@@ -1,0 +1,136 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   (a) warm-start (diffusive) repartitioning vs from-scratch — the
+//       parallel-MeTiS property the paper highlights because it shrinks the
+//       remapping volume;
+//   (b) F > 1 partitions per processor (paper §4.3) — finer mapping
+//       granularity trades mapper time for movement volume;
+//   (c) TotalV vs MaxV cost metrics across mappers.
+
+#include <iostream>
+
+#include "common.hpp"
+
+#include "util/stats.hpp"
+#include "io/table.hpp"
+#include "partition/multilevel.hpp"
+#include "remap/mapping.hpp"
+#include "remap/volume.hpp"
+
+int main() {
+  using namespace plum;
+
+  auto w = bench::make_workload();
+  adapt::MeshAdaptor adaptor(&w.mesh);
+  adaptor.mark(adapt::mark_top_fraction(w.mesh, w.err, 0.33));  // Real_2
+  const auto predicted = adaptor.predicted_weights();
+  const auto current = w.mesh.root_weights();
+  auto dual = w.mesh.build_initial_dual();
+
+  // ---- (a) warm start vs scratch -------------------------------------------
+  {
+    io::Table t({"P", "warm: moved", "warm: cut", "warm: imb",
+                 "scratch: moved", "scratch: cut", "scratch: imb"});
+    for (Rank P : {8, 16, 32, 64}) {
+      partition::MultilevelOptions popt;
+      popt.nparts = P;
+      dual.set_weights(current.wcomp, current.wremap);
+      const auto old_part = partition::partition(dual, popt).part;
+
+      dual.set_weights(predicted.wcomp, predicted.wremap);
+      const auto warm = partition::repartition(dual, old_part, popt);
+      const auto scratch = partition::partition(dual, popt);
+
+      auto moved_with = [&](const partition::PartVec& np) {
+        const auto S = remap::SimilarityMatrix::build(old_part, np,
+                                                      current.wremap, P, P);
+        const auto a = remap::map_heuristic_greedy(S);
+        return remap::evaluate_assignment(S, a).total_elems;
+      };
+      t.add_row({io::Table::fmt(std::int64_t{P}),
+                 io::Table::fmt(std::int64_t{moved_with(warm.part)}),
+                 io::Table::fmt(std::int64_t{warm.cut}),
+                 io::Table::fmt(warm.imbalance, 3),
+                 io::Table::fmt(std::int64_t{moved_with(scratch.part)}),
+                 io::Table::fmt(std::int64_t{scratch.cut}),
+                 io::Table::fmt(scratch.imbalance, 3)});
+    }
+    std::cout << "Ablation (a): warm-start vs scratch repartitioning "
+                 "(Real_2; moved = greedy-mapped remap volume)\n";
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // ---- (b) F sweep -----------------------------------------------------------
+  {
+    constexpr Rank P = 16;
+    io::Table t({"F", "parts", "moved", "imbalance", "mapper_ms"});
+    for (Rank F : {1, 2, 4, 8}) {
+      partition::MultilevelOptions popt;
+      popt.nparts = P * F;
+      dual.set_weights(current.wcomp, current.wremap);
+      const auto old_parts = partition::partition(dual, popt).part;
+      // Old processor of a dual vertex: partition j lived on proc j / F.
+      partition::PartVec old_proc(old_parts.size());
+      for (std::size_t v = 0; v < old_proc.size(); ++v) {
+        old_proc[v] = old_parts[v] / F;
+      }
+      dual.set_weights(predicted.wcomp, predicted.wremap);
+      const auto new_parts = partition::partition(dual, popt).part;
+
+      const auto S = remap::SimilarityMatrix::build(
+          old_proc, new_parts, current.wremap, P, P * F);
+      const auto a = remap::map_heuristic_greedy(S);
+      const auto vol = remap::evaluate_assignment(S, a);
+
+      // Achieved processor balance under the F-granular mapping.
+      std::vector<Weight> loads(P, 0);
+      for (std::size_t v = 0; v < new_parts.size(); ++v) {
+        loads[static_cast<std::size_t>(
+            a.part_to_proc[static_cast<std::size_t>(new_parts[v])])] +=
+            predicted.wcomp[v];
+      }
+      t.add_row({io::Table::fmt(std::int64_t{F}),
+                 io::Table::fmt(std::int64_t{P * F}),
+                 io::Table::fmt(std::int64_t{vol.total_elems}),
+                 io::Table::fmt(plum::imbalance(loads), 3),
+                 io::Table::fmt(a.solve_seconds * 1e3, 3)});
+    }
+    std::cout << "Ablation (b): partitions per processor (P = 16, scratch "
+                 "partitions, greedy mapper)\n";
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // ---- (c) metric x mapper ----------------------------------------------------
+  {
+    constexpr Rank P = 32;
+    partition::MultilevelOptions popt;
+    popt.nparts = P;
+    dual.set_weights(current.wcomp, current.wremap);
+    const auto old_part = partition::partition(dual, popt).part;
+    dual.set_weights(predicted.wcomp, predicted.wremap);
+    const auto new_part = partition::repartition(dual, old_part, popt).part;
+    const auto S = remap::SimilarityMatrix::build(old_part, new_part,
+                                                  current.wremap, P, P);
+    io::Table t({"mapper", "Ctotal", "Ntotal", "Cmax", "Nmax",
+                 "max(sent,recv)"});
+    struct Row {
+      const char* name;
+      remap::Assignment a;
+    };
+    const Row rows[] = {{"OptMWBG", remap::map_optimal_mwbg(S)},
+                        {"HeuMWBG", remap::map_heuristic_greedy(S)},
+                        {"OptBMCM", remap::map_optimal_bmcm(S)}};
+    for (const auto& r : rows) {
+      const auto vol = remap::evaluate_assignment(S, r.a);
+      t.add_row({r.name, io::Table::fmt(std::int64_t{vol.total_elems}),
+                 io::Table::fmt(std::int64_t{vol.total_sets}),
+                 io::Table::fmt(std::int64_t{vol.bottleneck_elems}),
+                 io::Table::fmt(std::int64_t{vol.bottleneck_sets}),
+                 io::Table::fmt(std::int64_t{vol.max_sent_or_recv})});
+    }
+    std::cout << "Ablation (c): TotalV vs MaxV movement profiles at P = 32\n";
+    t.print(std::cout);
+  }
+  return 0;
+}

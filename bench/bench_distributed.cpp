@@ -1,0 +1,76 @@
+// End-to-end distributed adaption cycle at paper scale: the full Fig. 1
+// loop on the BSP substrate (parallel solve, threshold marking, parallel
+// propagation, host gate, migration with solution transfer, balanced
+// parallel subdivision), reporting per-phase work balance and the real
+// communication ledger. This is the experiment behind the paper's closing
+// claim that "our framework will remain viable on a large number of
+// processors": no phase's bottleneck grows with P.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/dist_framework.hpp"
+#include "io/table.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace plum;
+
+  const char* small = std::getenv("PLUM_BENCH_SMALL");
+  const int boxn = (small && small[0] == '1') ? 8 : 16;
+
+  io::Table table({"P", "elems_after", "imb_old", "imb_new", "migrated",
+                   "refine_work_imb", "msgs", "MB_sent", "supersteps"});
+
+  for (Rank P : {4, 8, 16, 32}) {
+    core::FrameworkOptions opt;
+    opt.nranks = P;
+    opt.refine_fraction = 0.08;
+    opt.imbalance_trigger = 1.05;
+    opt.solver_steps_per_cycle = 6;
+
+    auto mesh = mesh::make_box_mesh(mesh::small_box(boxn));
+    core::DistFramework fw(std::move(mesh), opt);
+    solver::BlastSpec blast;
+    blast.radius = 0.2;
+    for (Rank r = 0; r < P; ++r) {
+      solver::init_blast(fw.dist_mesh().local(r).mesh,
+                         fw.solver().solution(r), blast);
+    }
+
+    const auto rep = fw.cycle();
+    fw.dist_mesh().validate();
+
+    std::int64_t msgs = 0;
+    for (const auto& step : fw.engine().ledger().steps) {
+      for (const auto& c : step) msgs += c.msgs_sent;
+    }
+    const double work_imb =
+        rep.refine_work_per_rank.empty() ? 1.0
+                                         : imbalance(rep.refine_work_per_rank);
+    table.add_row(
+        {io::Table::fmt(std::int64_t{P}),
+         io::Table::fmt(std::int64_t{rep.elements_after}),
+         io::Table::fmt(rep.imbalance_old, 3),
+         io::Table::fmt(rep.accepted ? rep.imbalance_new : rep.imbalance_old,
+                        3),
+         io::Table::fmt(rep.elements_migrated),
+         io::Table::fmt(work_imb, 3), io::Table::fmt(msgs),
+         io::Table::fmt(static_cast<double>(
+                            fw.engine().ledger().total_bytes()) /
+                            1e6,
+                        2),
+         io::Table::fmt(
+             std::int64_t{fw.engine().ledger().num_supersteps()})});
+  }
+
+  std::cout << "Distributed Fig. 1 cycle at " << 6 * boxn * boxn * boxn
+            << " initial elements (remap before subdivision, greedy "
+               "mapper)\n";
+  table.print(std::cout);
+  std::cout << "\nViability check: subdivision-work imbalance stays near 1 "
+               "after an accepted remap,\nand ledger traffic grows with P "
+               "far slower than the per-rank work shrinks.\n";
+  return 0;
+}

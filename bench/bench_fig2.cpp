@@ -1,0 +1,74 @@
+// Reproduces Fig. 2: a 4-processor similarity matrix before and after
+// processor reassignment with (b) the optimal MWBG algorithm and TotalV
+// metric, (c) the greedy heuristic and TotalV, and (d) the optimal BMCM
+// algorithm and MaxV, reporting Ctotal/Ntotal and Cmax/Nmax for each.
+//
+// The matrix entries in the scanned paper are partially illegible; the
+// matrix below is a reconstruction chosen to reproduce the *published
+// derived quantities* as closely as possible: total weight 755, optimal
+// objective 305 vs heuristic 280 (the worked example under Theorem 1), and
+// the three mappers disagreeing exactly as in the figure: the heuristic
+// close to optimal on TotalV, BMCM trading total volume for the smallest
+// bottleneck.
+
+#include <iostream>
+
+#include "io/table.hpp"
+#include "remap/mapping.hpp"
+#include "remap/volume.hpp"
+
+int main() {
+  using namespace plum;
+
+  // Reconstruction of Fig. 2(a): 4 processors x 4 new partitions. Found by
+  // constrained search against the published derived quantities; it matches
+  // the paper exactly on total weight (755), the full optimal-MWBG row
+  // (F=305, Ctotal=450, Ntotal=6, Cmax=260, Nmax=3) and the heuristic's
+  // F=280 / Ctotal=475 / Ntotal=6 / Nmax=3 (Cmax within 2%). On this matrix
+  // several assignments tie at the optimal MaxV bottleneck, so the BMCM row
+  // depends on tie-breaking and can coincide with the heuristic's.
+  remap::SimilarityMatrix S(4, 4);
+  const Weight entries[4][4] = {
+      {100, 55, 0, 0},
+      {80, 10, 0, 0},
+      {0, 95, 105, 70},
+      {80, 0, 95, 65},
+  };
+  for (Rank i = 0; i < 4; ++i) {
+    for (Rank j = 0; j < 4; ++j) S.at(i, j) = entries[i][j];
+  }
+  std::cout << "Fig. 2(a): similarity matrix before reassignment\n";
+  io::print_similarity(std::cout, S);
+  Weight total = 0;
+  for (Rank i = 0; i < 4; ++i) total += S.row_sum(i);
+  std::cout << "total weight: " << total << " (paper: 755)\n\n";
+
+  struct Case {
+    const char* label;
+    remap::Assignment assign;
+  };
+  const Case cases[] = {
+      {"(b) optimal MWBG, TotalV", remap::map_optimal_mwbg(S)},
+      {"(c) heuristic MWBG, TotalV", remap::map_heuristic_greedy(S)},
+      {"(d) optimal BMCM, MaxV", remap::map_optimal_bmcm(S)},
+  };
+
+  io::Table t({"case", "objective_F", "Ctotal", "Ntotal", "Cmax", "Nmax"});
+  for (const auto& c : cases) {
+    std::cout << c.label << ":\n";
+    io::print_similarity(std::cout, S, &c.assign.part_to_proc);
+    const auto vol = remap::evaluate_assignment(S, c.assign);
+    t.add_row({c.label, io::Table::fmt(std::int64_t{c.assign.objective}),
+               io::Table::fmt(std::int64_t{vol.total_elems}),
+               io::Table::fmt(std::int64_t{vol.total_sets}),
+               io::Table::fmt(std::int64_t{vol.bottleneck_elems}),
+               io::Table::fmt(std::int64_t{vol.bottleneck_sets})});
+    std::cout << '\n';
+  }
+  t.print(std::cout);
+  std::cout << "\npaper values: (b) Ctotal=450 Ntotal=6 Cmax=260 Nmax=3, "
+               "F=305; (c) Ctotal=475 Ntotal=6 Cmax=255 Nmax=3, F=280;\n"
+               "(d) Ctotal=545 Ntotal=7 Cmax=245 Nmax=3. Sum F + Ctotal = "
+               "755 in every column, as here.\n";
+  return 0;
+}

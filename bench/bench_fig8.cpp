@@ -1,0 +1,42 @@
+// Reproduces Fig. 8: the *actual* impact of load balancing on flow solver
+// execution times — the ratio of the bottleneck processor's load without
+// any rebalancing to the bottleneck load after repartitioning+remapping,
+// measured on the real marking data for the three strategies.
+//
+// Paper anchors at P = 64: Real_1 3.46x, Real_2 2.03x, Real_3 1.52x; the
+// curves follow the same shape as Fig. 7's analytic bound and Real_3
+// already attains its maximum.
+
+#include <algorithm>
+#include <iostream>
+
+#include "figures_common.hpp"
+#include "io/table.hpp"
+
+int main() {
+  using namespace plum;
+  const auto w = bench::make_workload();
+
+  io::Table table({"case", "G", "P", "improvement", "fig7_bound"});
+  for (const auto& c : bench::kRealCases) {
+    const auto cd = bench::evaluate_case(w, c);
+    for (const auto& pt : cd.points) {
+      const double improvement =
+          static_cast<double>(pt.wmax_unbalanced) /
+          static_cast<double>(std::max<Weight>(pt.wmax_balanced, 1));
+      const double bound =
+          std::min(8.0, pt.nprocs * (cd.growth - 1.0) + 1.0) / cd.growth;
+      table.add_row({cd.name, io::Table::fmt(cd.growth, 3),
+                     io::Table::fmt(std::int64_t{pt.nprocs}),
+                     io::Table::fmt(improvement, 2),
+                     io::Table::fmt(bound, 2)});
+    }
+  }
+  std::cout << "Fig. 8: actual impact of load balancing on solver load "
+               "(bottleneck ratio), with the Fig. 7 analytic bound\n";
+  table.print(std::cout);
+  std::cout << "\npaper anchors at P=64: Real_1 3.46, Real_2 2.03, Real_3 "
+               "1.52; actual <= bound everywhere,\nsmaller refinement "
+               "regions gain more, curves rise with P\n";
+  return 0;
+}

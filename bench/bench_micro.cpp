@@ -1,0 +1,126 @@
+// Google-benchmark microbenchmarks for the performance-critical kernels:
+// the three reassignment algorithms (dense similarity matrices — the regime
+// where the paper's Table 2 ordering heuristic << optimal MWBG << optimal
+// BMCM shows), HEM coarsening, k-way refinement, marking propagation and
+// subdivision, and the full multilevel partitioner.
+
+#include <benchmark/benchmark.h>
+
+#include "adapt/adaptor.hpp"
+#include "graph/dual.hpp"
+#include "mesh/box_mesh.hpp"
+#include "partition/hem.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/refine_kway.hpp"
+#include "remap/mapping.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace plum;
+
+remap::SimilarityMatrix dense_matrix(Rank P, std::uint64_t seed) {
+  Rng rng(seed);
+  remap::SimilarityMatrix S(P, P);
+  for (Rank i = 0; i < P; ++i) {
+    for (Rank j = 0; j < P; ++j) {
+      S.at(i, j) = static_cast<Weight>(rng.below(2000));
+    }
+  }
+  return S;
+}
+
+void BM_MapperGreedy(benchmark::State& state) {
+  const auto S = dense_matrix(static_cast<Rank>(state.range(0)), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(remap::map_heuristic_greedy(S));
+  }
+}
+BENCHMARK(BM_MapperGreedy)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MapperOptimalMwbg(benchmark::State& state) {
+  const auto S = dense_matrix(static_cast<Rank>(state.range(0)), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(remap::map_optimal_mwbg(S));
+  }
+}
+BENCHMARK(BM_MapperOptimalMwbg)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MapperOptimalBmcm(benchmark::State& state) {
+  const auto S = dense_matrix(static_cast<Rank>(state.range(0)), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(remap::map_optimal_bmcm(S));
+  }
+}
+BENCHMARK(BM_MapperOptimalBmcm)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_HemCoarsen(benchmark::State& state) {
+  const auto mesh =
+      mesh::make_box_mesh(mesh::small_box(static_cast<int>(state.range(0))));
+  const auto dual = mesh.build_initial_dual();
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(partition::coarsen_hem(dual, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * dual.num_vertices());
+}
+BENCHMARK(BM_HemCoarsen)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_MultilevelPartition(benchmark::State& state) {
+  const auto mesh = mesh::make_box_mesh(mesh::small_box(10));
+  const auto dual = mesh.build_initial_dual();
+  partition::MultilevelOptions opt;
+  opt.nparts = static_cast<Rank>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::partition(dual, opt));
+  }
+}
+BENCHMARK(BM_MultilevelPartition)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_KwayRefine(benchmark::State& state) {
+  const auto mesh = mesh::make_box_mesh(mesh::small_box(10));
+  const auto dual = mesh.build_initial_dual();
+  partition::MultilevelOptions opt;
+  opt.nparts = 16;
+  const auto base = partition::partition(dual, opt);
+  partition::RefineOptions ropt;
+  for (auto _ : state) {
+    auto part = base.part;
+    Rng rng(3);
+    benchmark::DoNotOptimize(
+        partition::refine_kway(dual, part, 16, ropt, rng));
+  }
+}
+BENCHMARK(BM_KwayRefine);
+
+void BM_MarkPropagation(benchmark::State& state) {
+  auto mesh = mesh::make_box_mesh(mesh::small_box(10));
+  Rng rng(5);
+  std::vector<char> seeds(static_cast<std::size_t>(mesh.num_edges()), 0);
+  for (auto& s : seeds) s = rng.uniform() < 0.05;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adapt::propagate_marks(mesh, seeds));
+  }
+  state.SetItemsProcessed(state.iterations() * mesh.num_active_elements());
+}
+BENCHMARK(BM_MarkPropagation);
+
+void BM_Subdivision(benchmark::State& state) {
+  // Mesh + marks rebuilt each iteration (refine mutates); time is dominated
+  // by refine_mesh itself.
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto mesh = mesh::make_box_mesh(mesh::small_box(8));
+    Rng rng(5);
+    std::vector<char> seeds(static_cast<std::size_t>(mesh.num_edges()), 0);
+    for (auto& s : seeds) s = rng.uniform() < 0.10;
+    const auto marks = adapt::propagate_marks(mesh, seeds);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(adapt::refine_mesh(mesh, marks));
+  }
+}
+BENCHMARK(BM_Subdivision);
+
+}  // namespace
+
+BENCHMARK_MAIN();

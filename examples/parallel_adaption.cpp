@@ -1,0 +1,78 @@
+// Distributed-memory mesh adaption demo (paper §3): distribute a mesh over
+// 6 logical ranks, mark edges around a blast front on each rank's local
+// region, let the marking propagate across partition boundaries, subdivide
+// locally, and show the shared-object bookkeeping (SPLs) stay consistent.
+
+#include <cstdio>
+
+#include "adapt/error_indicator.hpp"
+#include "io/table.hpp"
+#include "mesh/box_mesh.hpp"
+#include "partition/multilevel.hpp"
+#include "pmesh/dist_mesh.hpp"
+#include "pmesh/parallel_adapt.hpp"
+#include "solver/euler.hpp"
+#include "solver/init_conditions.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace plum;
+  constexpr Rank kRanks = 6;
+
+  auto global = mesh::make_box_mesh(mesh::small_box(8));
+  solver::EulerSolver solver(&global);
+  solver::BlastSpec blast;
+  blast.radius = 0.25;
+  solver::init_blast(global, solver.solution(), blast);
+  solver.run(15);
+
+  // Partition the dual graph and distribute.
+  auto dual = global.build_initial_dual();
+  partition::MultilevelOptions popt;
+  popt.nparts = kRanks;
+  const auto part = partition::partition(dual, popt).part;
+  pmesh::DistMesh dm(global, part, kRanks);
+  dm.validate();
+  std::printf("distributed %d elements over %d ranks; shared-object fraction %.1f%%\n",
+              global.num_active_elements(), kRanks,
+              100.0 * dm.shared_object_fraction());
+
+  // Error-driven marks, localized to each rank's region via the global ids.
+  const auto err = adapt::edge_error(global, solver.density_field());
+  const auto gmarks = adapt::mark_top_fraction(global, err, 0.06);
+  std::vector<std::vector<char>> seeds(kRanks);
+  for (Rank r = 0; r < kRanks; ++r) {
+    const auto& lm = dm.local(r);
+    seeds[r].assign(static_cast<std::size_t>(lm.mesh.num_edges()), 0);
+    for (Index e = 0; e < static_cast<Index>(lm.edge_global.size()); ++e) {
+      if (gmarks[static_cast<std::size_t>(lm.edge_global[e])]) seeds[r][e] = 1;
+    }
+  }
+
+  // Parallel marking + refinement.
+  rt::Engine eng(kRanks);
+  const auto pm = pmesh::parallel_mark(dm, eng, seeds);
+  const auto pf = pmesh::parallel_refine(dm, eng, pm);
+  dm.validate();
+
+  std::printf("marking converged in %d cross-partition rounds, %lld shared-edge notifications\n",
+              pm.comm_rounds, static_cast<long long>(pm.marks_exchanged));
+  std::printf("post-refinement SPL repair created %lld shared edges, %lld shared vertices\n\n",
+              static_cast<long long>(pf.new_shared_edges),
+              static_cast<long long>(pf.new_shared_verts));
+
+  io::Table table({"rank", "elements", "work(children)", "shared edges",
+                   "shared verts"});
+  for (Rank r = 0; r < kRanks; ++r) {
+    table.add_row({io::Table::fmt(std::int64_t{r}),
+                   io::Table::fmt(std::int64_t{dm.local(r).mesh.num_active_elements()}),
+                   io::Table::fmt(std::int64_t{pf.work_per_rank[r]}),
+                   io::Table::fmt(std::int64_t(dm.local(r).shared_edges.size())),
+                   io::Table::fmt(std::int64_t(dm.local(r).shared_verts.size()))});
+  }
+  table.print(std::cout);
+  std::printf("\ntotal active elements across ranks: %d (SPLs validated)\n",
+              dm.total_active_elements());
+  return 0;
+}

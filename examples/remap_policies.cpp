@@ -1,0 +1,87 @@
+// Processor-reassignment policies side by side (paper §4.4, Fig. 2): build
+// a similarity matrix from a real repartitioning, then map new partitions
+// to processors with the optimal MWBG, the greedy heuristic, and the
+// optimal BMCM algorithms, printing the matrix and the movement metrics
+// each policy induces.
+
+#include <cstdio>
+#include <iostream>
+
+#include "adapt/adaptor.hpp"
+#include "io/table.hpp"
+#include "mesh/box_mesh.hpp"
+#include "partition/multilevel.hpp"
+#include "remap/mapping.hpp"
+#include "remap/volume.hpp"
+#include "solver/euler.hpp"
+#include "solver/init_conditions.hpp"
+
+int main() {
+  using namespace plum;
+  constexpr Rank kProcs = 4;
+
+  // A real workload: blast-driven marking on a small box, then a
+  // repartitioning of the dual graph with the predicted weights.
+  auto mesh = mesh::make_box_mesh(mesh::small_box(6));
+  solver::EulerSolver solver(&mesh);
+  solver::BlastSpec blast;
+  blast.radius = 0.2;
+  solver::init_blast(mesh, solver.solution(), blast);
+  solver.run(20);
+
+  adapt::MeshAdaptor adaptor(&mesh);
+  const auto err = adapt::edge_error(mesh, solver.density_field());
+  adaptor.mark_fraction(err, 0.08);
+
+  auto dual = mesh.build_initial_dual();
+  partition::MultilevelOptions popt;
+  popt.nparts = kProcs;
+  const auto old_part = partition::partition(dual, popt).part;
+
+  const auto predicted = adaptor.predicted_weights();
+  dual.set_weights(predicted.wcomp, predicted.wremap);
+  const auto new_part = partition::repartition(dual, old_part, popt).part;
+
+  // Remap-before-subdivision: what moves is the *current* tree (1 element
+  // per root at the first adaption).
+  const auto current = mesh.root_weights();
+  const auto S = remap::SimilarityMatrix::build(old_part, new_part,
+                                                current.wremap, kProcs, kProcs);
+  io::print_similarity(std::cout, S);
+
+  io::Table table({"mapper", "objective", "Ctotal", "Ntotal", "Cmax", "Nmax",
+                   "max(sent,recv)", "solve_ms"});
+  struct Row {
+    const char* name;
+    remap::Assignment assign;
+  };
+  const Row rows[] = {
+      {"OptMWBG (TotalV)", remap::map_optimal_mwbg(S)},
+      {"HeuMWBG (TotalV)", remap::map_heuristic_greedy(S)},
+      {"OptBMCM (MaxV)", remap::map_optimal_bmcm(S)},
+      {"identity", remap::map_identity(S)},
+  };
+  for (const auto& row : rows) {
+    const auto vol = remap::evaluate_assignment(S, row.assign);
+    table.add_row({row.name, io::Table::fmt(std::int64_t{row.assign.objective}),
+                   io::Table::fmt(std::int64_t{vol.total_elems}),
+                   io::Table::fmt(std::int64_t{vol.total_sets}),
+                   io::Table::fmt(std::int64_t{vol.bottleneck_elems}),
+                   io::Table::fmt(std::int64_t{vol.bottleneck_sets}),
+                   io::Table::fmt(std::int64_t{vol.max_sent_or_recv}),
+                   io::Table::fmt(row.assign.solve_seconds * 1e3, 4)});
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  std::printf(
+      "\nNote: OptMWBG maximizes retained weight (min total movement);\n"
+      "OptBMCM minimizes the bottleneck processor's traffic instead;\n"
+      "the greedy heuristic is within 2x of OptMWBG by the paper's Theorem 1\n"
+      "and is the one PLUM runs in production (Table 2 shows why: ~10x faster).\n");
+
+  // Assignment detail for the winning policy.
+  const auto heu = remap::map_heuristic_greedy(S);
+  std::printf("\ngreedy assignment with retained entries highlighted:\n");
+  io::print_similarity(std::cout, S, &heu.part_to_proc);
+  return 0;
+}

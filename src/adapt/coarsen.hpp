@@ -1,0 +1,46 @@
+#pragma once
+// Coarsening phase (paper §3).
+//
+// "If a child element has any edge marked for coarsening, this element and
+// its siblings are removed and their parent is reinstated. [...] The
+// parents are then subdivided based on their new patterns by invoking the
+// mesh refinement procedure."
+//
+// Constraints honored (paper §3 / ref [4]):
+//  - edges cannot be coarsened beyond the initial mesh;
+//  - edges are coarsened in reverse refinement order (deepest level first;
+//    a sibling group with refined descendants is skipped this round);
+//  - an edge coarsens only if its bisection sibling is also targeted.
+
+#include <functional>
+#include <vector>
+
+#include "mesh/tet_mesh.hpp"
+
+namespace plum::adapt {
+
+struct CoarsenStats {
+  Index groups_removed = 0;     ///< sibling groups deleted
+  Index elements_removed = 0;   ///< total child elements deleted
+  Index parents_reinstated = 0;
+  Index edges_uncoarsened = 0;  ///< bisections undone
+  Index resubdivided_children = 0;  ///< children recreated by the re-refine
+  /// Vertex renumbering of the compaction (new id -> old id); per-vertex
+  /// solution arrays must be permuted with this.
+  std::vector<Index> vertex_new_to_old;
+};
+
+/// Coarsens per `coarsen_marks` (per edge id), purges and compacts the
+/// mesh, then re-runs refinement so partially-coarsened neighborhoods end
+/// in a valid conforming state. All entity ids may change (compaction)
+/// except initial-mesh entities.
+///
+/// `on_compaction(vertex_new_to_old)` fires right after the compaction and
+/// *before* the conformity re-refinement: per-vertex solution arrays must
+/// be permuted there, because the re-refinement's bisection hooks
+/// interpolate using post-compaction vertex ids.
+CoarsenStats coarsen_mesh(
+    mesh::TetMesh& mesh, const std::vector<char>& coarsen_marks,
+    const std::function<void(const std::vector<Index>&)>& on_compaction = {});
+
+}  // namespace plum::adapt

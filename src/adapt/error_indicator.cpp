@@ -1,0 +1,77 @@
+#include "adapt/error_indicator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace plum::adapt {
+
+std::vector<double> edge_error(const mesh::TetMesh& mesh,
+                               const std::vector<double>& vertex_field,
+                               double length_power) {
+  PLUM_ASSERT(static_cast<Index>(vertex_field.size()) ==
+              mesh.num_vertices());
+  std::vector<double> err(static_cast<std::size_t>(mesh.num_edges()), 0.0);
+  for (Index e = 0; e < mesh.num_edges(); ++e) {
+    if (mesh.edge_elements(e).empty()) continue;  // not in the active mesh
+    const auto& ed = mesh.edge(e);
+    const double jump = std::abs(vertex_field[static_cast<std::size_t>(ed.v1)] -
+                                 vertex_field[static_cast<std::size_t>(ed.v0)]);
+    err[static_cast<std::size_t>(e)] =
+        jump * std::pow(mesh.edge_length(e), length_power);
+  }
+  return err;
+}
+
+std::vector<char> mark_above(const mesh::TetMesh& mesh,
+                             const std::vector<double>& err, double upper) {
+  std::vector<char> marks(err.size(), 0);
+  for (Index e = 0; e < mesh.num_edges(); ++e) {
+    if (!mesh.edge_elements(e).empty() &&
+        err[static_cast<std::size_t>(e)] > upper) {
+      marks[static_cast<std::size_t>(e)] = 1;
+    }
+  }
+  return marks;
+}
+
+std::vector<char> mark_below(const mesh::TetMesh& mesh,
+                             const std::vector<double>& err, double lower) {
+  std::vector<char> marks(err.size(), 0);
+  for (Index e = 0; e < mesh.num_edges(); ++e) {
+    if (!mesh.edge_elements(e).empty() &&
+        err[static_cast<std::size_t>(e)] < lower) {
+      marks[static_cast<std::size_t>(e)] = 1;
+    }
+  }
+  return marks;
+}
+
+std::vector<char> mark_top_fraction(const mesh::TetMesh& mesh,
+                                    const std::vector<double>& err,
+                                    double fraction) {
+  PLUM_ASSERT(fraction >= 0.0 && fraction <= 1.0);
+  std::vector<Index> active;
+  for (Index e = 0; e < mesh.num_edges(); ++e) {
+    if (!mesh.edge_elements(e).empty()) active.push_back(e);
+  }
+  const auto want = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(active.size())));
+  std::vector<char> marks(err.size(), 0);
+  if (want == 0) return marks;
+
+  // Highest error first; ties by id keep runs reproducible.
+  std::sort(active.begin(), active.end(), [&](Index a, Index b) {
+    const double ea = err[static_cast<std::size_t>(a)];
+    const double eb = err[static_cast<std::size_t>(b)];
+    return ea != eb ? ea > eb : a < b;
+  });
+  for (std::size_t i = 0; i < want && i < active.size(); ++i) {
+    marks[static_cast<std::size_t>(active[i])] = 1;
+  }
+  return marks;
+}
+
+}  // namespace plum::adapt

@@ -1,0 +1,35 @@
+#pragma once
+// Per-edge error indicators computed from a vertex solution field, and the
+// threshold machinery that turns them into refinement / coarsening targets
+// (paper §3: "edges whose error values exceed a specified upper threshold
+// are targeted for subdivision; edges whose error values lie below another
+// lower threshold are targeted for removal").
+
+#include <vector>
+
+#include "mesh/tet_mesh.hpp"
+
+namespace plum::adapt {
+
+/// err(e) = |u(v1) - u(v0)| * length(e)^length_power over active edges
+/// (0 elsewhere). length_power=1 biases toward long under-resolved edges.
+std::vector<double> edge_error(const mesh::TetMesh& mesh,
+                               const std::vector<double>& vertex_field,
+                               double length_power = 1.0);
+
+/// Refinement marks from an absolute upper threshold.
+std::vector<char> mark_above(const mesh::TetMesh& mesh,
+                             const std::vector<double>& err, double upper);
+
+/// Coarsening marks from an absolute lower threshold.
+std::vector<char> mark_below(const mesh::TetMesh& mesh,
+                             const std::vector<double>& err, double lower);
+
+/// Marks the top `fraction` of active edges by error — how the paper's
+/// Real_1/2/3 strategies target 5%, 33% and 60% of the initial edges.
+/// Deterministic tie-break by edge id.
+std::vector<char> mark_top_fraction(const mesh::TetMesh& mesh,
+                                    const std::vector<double>& err,
+                                    double fraction);
+
+}  // namespace plum::adapt

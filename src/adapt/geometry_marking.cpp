@@ -1,0 +1,55 @@
+#include "adapt/geometry_marking.hpp"
+
+namespace plum::adapt {
+
+namespace {
+
+using mesh::Vec3;
+
+template <typename Pred>
+std::vector<char> mark_if(const mesh::TetMesh& mesh, Pred pred) {
+  std::vector<char> marks(static_cast<std::size_t>(mesh.num_edges()), 0);
+  for (Index e = 0; e < mesh.num_edges(); ++e) {
+    if (mesh.edge_elements(e).empty()) continue;
+    const auto& ed = mesh.edge(e);
+    const Vec3 mid =
+        midpoint(mesh.vertex(ed.v0).pos, mesh.vertex(ed.v1).pos);
+    if (pred(e, mid)) marks[static_cast<std::size_t>(e)] = 1;
+  }
+  return marks;
+}
+
+}  // namespace
+
+std::vector<char> mark_sphere(const mesh::TetMesh& mesh, const Vec3& center,
+                              double radius) {
+  const double r2 = radius * radius;
+  return mark_if(mesh, [&](Index, const Vec3& mid) {
+    const Vec3 d = mid - center;
+    return dot(d, d) < r2;
+  });
+}
+
+std::vector<char> mark_box(const mesh::TetMesh& mesh, const Vec3& lo,
+                           const Vec3& hi) {
+  return mark_if(mesh, [&](Index, const Vec3& m) {
+    return m.x >= lo.x && m.x <= hi.x && m.y >= lo.y && m.y <= hi.y &&
+           m.z >= lo.z && m.z <= hi.z;
+  });
+}
+
+std::vector<char> mark_slab(const mesh::TetMesh& mesh, const Vec3& point,
+                            const Vec3& normal, double distance) {
+  const Vec3 n = normalized(normal);
+  return mark_if(mesh, [&](Index, const Vec3& m) {
+    return std::abs(dot(m - point, n)) <= distance;
+  });
+}
+
+std::vector<char> mark_longer_than(const mesh::TetMesh& mesh, double length) {
+  return mark_if(mesh, [&](Index e, const Vec3&) {
+    return mesh.edge_length(e) > length;
+  });
+}
+
+}  // namespace plum::adapt

@@ -1,0 +1,32 @@
+#pragma once
+// Geometry-based edge-marking strategies. The paper's results focus on
+// solution-based marking, but its companion study ([1] in the paper)
+// investigates "several other edge-marking strategies based on geometry";
+// these are the standard ones: refine everything inside a sphere, a box,
+// or within a distance of a plane (e.g. a rotor disk or a shock plane).
+// All mark only active (leaf) edges, like the error-indicator markers.
+
+#include <vector>
+
+#include "mesh/tet_mesh.hpp"
+
+namespace plum::adapt {
+
+/// Marks active edges whose midpoint lies inside the sphere.
+std::vector<char> mark_sphere(const mesh::TetMesh& mesh,
+                              const mesh::Vec3& center, double radius);
+
+/// Marks active edges whose midpoint lies inside the axis-aligned box.
+std::vector<char> mark_box(const mesh::TetMesh& mesh, const mesh::Vec3& lo,
+                           const mesh::Vec3& hi);
+
+/// Marks active edges whose midpoint lies within `distance` of the plane
+/// through `point` with normal `normal`.
+std::vector<char> mark_slab(const mesh::TetMesh& mesh,
+                            const mesh::Vec3& point,
+                            const mesh::Vec3& normal, double distance);
+
+/// Marks active edges longer than `length` (uniform resolution control).
+std::vector<char> mark_longer_than(const mesh::TetMesh& mesh, double length);
+
+}  // namespace plum::adapt

@@ -1,0 +1,105 @@
+#include "adapt/marking.hpp"
+
+#include <deque>
+
+#include "util/assert.hpp"
+
+namespace plum::adapt {
+
+Index MarkingResult::predicted_new_elements(const mesh::TetMesh& m) const {
+  Index total = 0;
+  for (Index t = 0; t < m.num_elements(); ++t) {
+    const auto& el = m.element(t);
+    if (!el.alive || !el.is_leaf()) continue;
+    total += static_cast<Index>(children_of(t));
+  }
+  return total;
+}
+
+MarkingResult propagate_marks(const mesh::TetMesh& mesh,
+                              const std::vector<char>& seed_marks) {
+  const Index ne = mesh.num_edges();
+  const Index nt = mesh.num_elements();
+  PLUM_ASSERT(static_cast<Index>(seed_marks.size()) == ne);
+
+  MarkingResult out;
+  out.edge_marked.assign(static_cast<std::size_t>(ne), 0);
+  out.pattern.assign(static_cast<std::size_t>(nt), 0);
+
+  // Accept seed marks only on edges of the current computational mesh.
+  for (Index e = 0; e < ne; ++e) {
+    if (seed_marks[e] && !mesh.edge_elements(e).empty()) {
+      out.edge_marked[e] = 1;
+    }
+  }
+
+  // Worklist of elements whose pattern may have become invalid. An edge
+  // marking affects exactly the elements sharing it, so propagation follows
+  // e2elem lists ("these lists eliminate extensive searches").
+  std::deque<Index> work;
+  std::vector<char> queued(static_cast<std::size_t>(nt), 0);
+  auto enqueue_edge_elements = [&](Index e) {
+    for (Index t : mesh.edge_elements(e)) {
+      if (!queued[t]) {
+        queued[t] = 1;
+        work.push_back(t);
+      }
+    }
+  };
+  for (Index e = 0; e < ne; ++e) {
+    if (out.edge_marked[e]) enqueue_edge_elements(e);
+  }
+
+  // In the parallel setting each drain of the worklist is one communication
+  // round; we count equivalent rounds so the distributed version and the
+  // cost model can report the same quantity.
+  int rounds = 0;
+  while (!work.empty()) {
+    ++rounds;
+    std::deque<Index> current;
+    current.swap(work);
+    for (Index t : current) queued[t] = 0;
+    while (!current.empty()) {
+      const Index t = current.front();
+      current.pop_front();
+      const auto& el = mesh.element(t);
+      PLUM_ASSERT(el.alive && el.is_leaf());
+
+      Pattern p = 0;
+      for (int k = 0; k < kTetEdges; ++k) {
+        if (out.edge_marked[el.edges[k]]) p |= static_cast<Pattern>(1u << k);
+      }
+      const Pattern up = upgrade_pattern(p);
+      out.pattern[t] = up;
+      if (up == p) continue;
+      for (int k = 0; k < kTetEdges; ++k) {
+        const Pattern bit = static_cast<Pattern>(1u << k);
+        if ((up & bit) && !(p & bit)) {
+          out.edge_marked[el.edges[k]] = 1;
+          enqueue_edge_elements(el.edges[k]);
+        }
+      }
+    }
+  }
+  out.propagation_rounds = rounds;
+
+  // Final sweep: patterns for untouched elements + validity check.
+  for (Index t = 0; t < nt; ++t) {
+    const auto& el = mesh.element(t);
+    if (!el.alive || !el.is_leaf()) continue;
+    Pattern p = 0;
+    for (int k = 0; k < kTetEdges; ++k) {
+      if (out.edge_marked[el.edges[k]]) p |= static_cast<Pattern>(1u << k);
+    }
+    PLUM_ASSERT_MSG(classify_pattern(p).valid,
+                    "upgrade propagation left an invalid pattern");
+    out.pattern[t] = p;
+  }
+
+  for (Index e = 0; e < ne; ++e) {
+    if (out.edge_marked[e]) out.marked_edges.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace plum::adapt

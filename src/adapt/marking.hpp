@@ -1,0 +1,43 @@
+#pragma once
+// Edge-marking phase with pattern-upgrade propagation (paper §3).
+//
+// Marking is pure bookkeeping: the grid does not change. That separation is
+// what lets the load balancer remap data *before* subdivision (paper §4.6)
+// — the predicted post-refinement weights are available here.
+
+#include <vector>
+
+#include "adapt/patterns.hpp"
+#include "mesh/tet_mesh.hpp"
+
+namespace plum::adapt {
+
+struct MarkingResult {
+  /// Final per-edge refinement marks after upgrade propagation (indexed by
+  /// edge id; only leaf edges of active elements can be set).
+  std::vector<char> edge_marked;
+  /// Final valid pattern per element (indexed by element id; only active
+  /// leaves are meaningful).
+  std::vector<Pattern> pattern;
+  /// Number of upgrade sweeps until the global fixpoint.
+  int propagation_rounds = 0;
+  /// Marked edges, in id order.
+  std::vector<Index> marked_edges;
+
+  /// Exact prediction of the subdivided mesh (paper: "it is possible to
+  /// exactly predict the new mesh before actually performing the
+  /// refinement step").
+  [[nodiscard]] Index predicted_new_elements(const mesh::TetMesh& m) const;
+  /// Predicted number of leaf elements each active element will turn into.
+  [[nodiscard]] int children_of(Index elem) const {
+    return num_children(classify_pattern(pattern[elem]).type);
+  }
+};
+
+/// Runs upgrade propagation from the initial `seed_marks` (per edge id) to
+/// the global fixpoint where every active element has a valid pattern.
+/// Marks on non-leaf or unused edges are ignored.
+MarkingResult propagate_marks(const mesh::TetMesh& mesh,
+                              const std::vector<char>& seed_marks);
+
+}  // namespace plum::adapt

@@ -1,0 +1,66 @@
+#include "adapt/patterns.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace plum::adapt {
+
+namespace {
+
+/// Bitmask of the three edges of local face f.
+constexpr Pattern face_mask(int f) {
+  Pattern m = 0;
+  for (int e : mesh::kFaceEdges[f]) m |= static_cast<Pattern>(1u << e);
+  return m;
+}
+
+constexpr std::array<Pattern, kTetFaces> kFaceMasks = {
+    face_mask(0), face_mask(1), face_mask(2), face_mask(3)};
+
+}  // namespace
+
+PatternClass classify_pattern(Pattern p) {
+  PatternClass out;
+  const int bits = std::popcount(static_cast<unsigned>(p));
+  if (bits == 0) {
+    out = {SubdivType::kNone, -1, -1, true};
+  } else if (bits == 1) {
+    out = {SubdivType::kOneToTwo, std::countr_zero(static_cast<unsigned>(p)),
+           -1, true};
+  } else if (bits == 3) {
+    for (int f = 0; f < kTetFaces; ++f) {
+      if (p == kFaceMasks[f]) {
+        out = {SubdivType::kOneToFour, -1, f, true};
+        break;
+      }
+    }
+  } else if (bits == 6) {
+    out = {SubdivType::kOneToEight, -1, -1, true};
+  }
+  return out;
+}
+
+Pattern upgrade_pattern(Pattern p) {
+  if (classify_pattern(p).valid) return p;
+  // If one face contains every marked edge, completing that face gives the
+  // minimal valid pattern (two edges sharing a vertex lie in exactly one
+  // common face, so the choice is unique when it exists).
+  for (const Pattern fm : kFaceMasks) {
+    if ((p & ~fm) == 0) return fm;
+  }
+  return 0b111111;
+}
+
+int num_children(SubdivType t) {
+  switch (t) {
+    case SubdivType::kNone: return 1;
+    case SubdivType::kOneToTwo: return 2;
+    case SubdivType::kOneToFour: return 4;
+    case SubdivType::kOneToEight: return 8;
+  }
+  PLUM_ASSERT(false);
+  return 0;
+}
+
+}  // namespace plum::adapt

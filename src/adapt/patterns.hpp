@@ -1,0 +1,45 @@
+#pragma once
+// Edge-marking patterns (paper §3).
+//
+// "The edge markings for each element are then combined to form a 6-bit
+// pattern. Elements are continuously upgraded to valid patterns
+// corresponding to the three allowed subdivision types until none of the
+// patterns show any change."
+//
+// Valid patterns: no edge marked; exactly one edge (1:2 bisection); exactly
+// the three edges of one face (1:4); all six edges (1:8 isotropic).
+
+#include <cstdint>
+
+#include "mesh/entities.hpp"
+
+namespace plum::adapt {
+
+using Pattern = std::uint8_t;  ///< bit k set = local edge k marked
+
+enum class SubdivType : std::int8_t {
+  kNone = 0,
+  kOneToTwo = 2,
+  kOneToFour = 4,
+  kOneToEight = 8,
+};
+
+struct PatternClass {
+  SubdivType type = SubdivType::kNone;
+  int edge = -1;  ///< the bisected local edge (1:2 only)
+  int face = -1;  ///< the fully marked local face (1:4 only)
+  bool valid = false;
+};
+
+/// Classifies a 6-bit pattern against the three allowed subdivision types.
+PatternClass classify_pattern(Pattern p);
+
+/// Smallest valid superset of `p` — the upgrade step. If all marked edges
+/// lie within one face the face is completed (1:4); otherwise all six edges
+/// are marked (1:8). Idempotent on valid patterns.
+Pattern upgrade_pattern(Pattern p);
+
+/// Number of children the pattern's subdivision produces (1 for kNone).
+int num_children(SubdivType t);
+
+}  // namespace plum::adapt

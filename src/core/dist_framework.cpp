@@ -1,0 +1,311 @@
+#include "core/dist_framework.hpp"
+
+#include <algorithm>
+
+#include "adapt/error_indicator.hpp"
+#include "pmesh/migrate.hpp"
+#include "pmesh/parallel_adapt.hpp"
+#include "pmesh/parallel_coarsen.hpp"
+#include "runtime/collectives.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace plum::core {
+
+namespace {
+
+/// Per-rank refinement seeds: active local edges with error > threshold.
+/// Shared copies mark consistently because the error field is replicated.
+std::vector<std::vector<char>> threshold_marks(
+    const pmesh::DistMesh& dm,
+    const std::vector<std::vector<double>>& err_per_rank, double threshold) {
+  std::vector<std::vector<char>> seeds(
+      static_cast<std::size_t>(dm.nranks()));
+  for (Rank r = 0; r < dm.nranks(); ++r) {
+    const auto& lm = dm.local(r);
+    auto& s = seeds[static_cast<std::size_t>(r)];
+    s.assign(static_cast<std::size_t>(lm.mesh.num_edges()), 0);
+    const auto& err = err_per_rank[static_cast<std::size_t>(r)];
+    for (Index e = 0; e < lm.mesh.num_edges(); ++e) {
+      if (!lm.mesh.edge_elements(e).empty() &&
+          err[static_cast<std::size_t>(e)] > threshold) {
+        s[static_cast<std::size_t>(e)] = 1;
+      }
+    }
+  }
+  return seeds;
+}
+
+/// Per-rank error fields from the parallel solution.
+std::vector<std::vector<double>> rank_errors(
+    const pmesh::DistMesh& dm, const pmesh::ParallelEulerSolver& solver) {
+  std::vector<std::vector<double>> err(static_cast<std::size_t>(dm.nranks()));
+  for (Rank r = 0; r < dm.nranks(); ++r) {
+    err[static_cast<std::size_t>(r)] = adapt::edge_error(
+        dm.local(r).mesh, solver.density_field(r), 1.0);
+  }
+  return err;
+}
+
+}  // namespace
+
+DistFramework::DistFramework(mesh::TetMesh initial_global,
+                             FrameworkOptions opt)
+    : opt_(opt) {
+  PLUM_ASSERT(opt_.nranks >= 1);
+  eng_ = std::make_unique<rt::Engine>(opt_.nranks);
+
+  dual_ = initial_global.build_initial_dual();
+  partition::MultilevelOptions popt;
+  popt.nparts = opt_.nranks;
+  popt.seed = opt_.seed;
+  root_part_ = partition::partition(dual_, popt).part;
+
+  dm_ = std::make_unique<pmesh::DistMesh>(initial_global, root_part_,
+                                          opt_.nranks);
+  rebind_solver();
+}
+
+void DistFramework::rebind_solver() {
+  solver_ = std::make_unique<pmesh::ParallelEulerSolver>(dm_.get(), eng_.get());
+  if (!states_.empty()) {
+    for (Rank r = 0; r < opt_.nranks; ++r) {
+      auto& dst = solver_->solution(r);
+      const auto& src = states_[static_cast<std::size_t>(r)];
+      PLUM_ASSERT(dst.size() == src.size());
+      dst = src;
+    }
+  }
+}
+
+DistCycleReport DistFramework::cycle() {
+  const Rank P = opt_.nranks;
+  DistCycleReport rep;
+  rep.elements_before = dm_->total_active_elements();
+
+  // --- 1. parallel flow solver ------------------------------------------------
+  solver_->run(opt_.solver_steps_per_cycle);
+
+  // --- 1b. distributed coarsening phase (Fig. 1) -------------------------------
+  if (opt_.coarsen_fraction > 0) {
+    const auto cerr = rank_errors(*dm_, *solver_);
+    // Bottom-fraction threshold over owned active edges (host quantile).
+    std::vector<std::vector<double>> owned(static_cast<std::size_t>(P));
+    for (Rank r = 0; r < P; ++r) {
+      const auto& lm = dm_->local(r);
+      for (Index e = 0; e < lm.mesh.num_edges(); ++e) {
+        if (lm.mesh.edge_elements(e).empty()) continue;
+        owned[static_cast<std::size_t>(r)].push_back(
+            cerr[static_cast<std::size_t>(r)][static_cast<std::size_t>(e)]);
+      }
+    }
+    const auto g = rt::gather(*eng_, owned, 0);
+    std::vector<double> all;
+    for (const auto& v : g) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    const auto k = static_cast<std::size_t>(
+        opt_.coarsen_fraction * static_cast<double>(all.size()));
+    if (k > 0 && !all.empty()) {
+      const double low = all[std::min(k, all.size() - 1)];
+      std::vector<std::vector<char>> cmarks(static_cast<std::size_t>(P));
+      for (Rank r = 0; r < P; ++r) {
+        const auto& lm = dm_->local(r);
+        auto& cm = cmarks[static_cast<std::size_t>(r)];
+        cm.assign(static_cast<std::size_t>(lm.mesh.num_edges()), 0);
+        for (Index e = 0; e < lm.mesh.num_edges(); ++e) {
+          if (!lm.mesh.edge_elements(e).empty() &&
+              cerr[static_cast<std::size_t>(r)][static_cast<std::size_t>(e)] <
+                  low) {
+            cm[static_cast<std::size_t>(e)] = 1;
+          }
+        }
+      }
+      states_.clear();
+      for (Rank r = 0; r < P; ++r) states_.push_back(solver_->solution(r));
+      pmesh::parallel_coarsen(*dm_, *eng_, cmarks, &states_);
+      rebind_solver();
+    }
+  }
+
+  // --- 2. error indicator + global marking threshold --------------------------
+  // Each rank contributes the error values of the edges it owns (lowest SPL
+  // rank) so the host's quantile sees every edge exactly once — the same
+  // gather pattern as the similarity matrix (§4.3).
+  auto err = rank_errors(*dm_, *solver_);
+  std::vector<std::vector<double>> owned_errs(static_cast<std::size_t>(P));
+  for (Rank r = 0; r < P; ++r) {
+    const auto& lm = dm_->local(r);
+    for (Index e = 0; e < lm.mesh.num_edges(); ++e) {
+      if (lm.mesh.edge_elements(e).empty()) continue;
+      auto it = lm.shared_edges.find(e);
+      if (it != lm.shared_edges.end()) {
+        Rank owner = r;
+        for (const auto& c : it->second) owner = std::min(owner, c.rank);
+        if (owner != r) continue;
+      }
+      owned_errs[static_cast<std::size_t>(r)].push_back(
+          err[static_cast<std::size_t>(r)][static_cast<std::size_t>(e)]);
+    }
+  }
+  const auto gathered = rt::gather(*eng_, owned_errs, 0);
+  std::vector<double> all_err;
+  for (const auto& v : gathered) all_err.insert(all_err.end(), v.begin(), v.end());
+  std::sort(all_err.begin(), all_err.end(), std::greater<>());
+  const auto want = static_cast<std::size_t>(
+      opt_.refine_fraction * static_cast<double>(all_err.size()));
+  const double threshold =
+      (want == 0 || all_err.empty())
+          ? std::numeric_limits<double>::max()
+          : all_err[std::min(want, all_err.size() - 1)];
+
+  // --- 3. parallel marking -----------------------------------------------------
+  auto seeds = threshold_marks(*dm_, err, threshold);
+  auto pm = pmesh::parallel_mark(*dm_, *eng_, seeds);
+  rep.mark_comm_rounds = pm.comm_rounds;
+
+  // --- 4. predicted weights gathered per global root ---------------------------
+  struct RootW {
+    Index groot;
+    Weight wcomp_pred;
+    Weight wremap_pred;
+    Weight wremap_cur;
+  };
+  std::vector<std::vector<RootW>> rows(static_cast<std::size_t>(P));
+  for (Rank r = 0; r < P; ++r) {
+    const auto& lm = dm_->local(r);
+    const auto cur = lm.mesh.root_weights();
+    std::vector<RootW> mine(lm.root_global.size());
+    for (std::size_t lr = 0; lr < lm.root_global.size(); ++lr) {
+      mine[lr] = {lm.root_global[lr], cur.wcomp[lr], cur.wremap[lr],
+                  cur.wremap[lr]};
+    }
+    // Growth from the pending marks.
+    const auto& res = pm.per_rank[static_cast<std::size_t>(r)];
+    for (Index t = 0; t < lm.mesh.num_elements(); ++t) {
+      const auto& el = lm.mesh.element(t);
+      if (!el.alive || !el.is_leaf()) continue;
+      const int kids = res.children_of(t);
+      if (kids <= 1) continue;
+      mine[static_cast<std::size_t>(el.root)].wcomp_pred += kids - 1;
+      mine[static_cast<std::size_t>(el.root)].wremap_pred += kids;
+    }
+    rows[static_cast<std::size_t>(r)] = std::move(mine);
+  }
+  const auto hosted = rt::gather(*eng_, rows, 0);
+
+  const Index nroots = dual_.num_vertices();
+  std::vector<Weight> wcomp_pred(static_cast<std::size_t>(nroots), 0);
+  std::vector<Weight> wremap_pred(static_cast<std::size_t>(nroots), 0);
+  std::vector<Weight> wremap_cur(static_cast<std::size_t>(nroots), 0);
+  for (const auto& row : hosted) {
+    for (const auto& rw : row) {
+      wcomp_pred[static_cast<std::size_t>(rw.groot)] = rw.wcomp_pred;
+      wremap_pred[static_cast<std::size_t>(rw.groot)] = rw.wremap_pred;
+      wremap_cur[static_cast<std::size_t>(rw.groot)] = rw.wremap_cur;
+    }
+  }
+
+  // --- 5. host-side balance gate + repartition + reassignment ------------------
+  std::vector<Weight> loads_old(static_cast<std::size_t>(P), 0);
+  for (Index v = 0; v < nroots; ++v) {
+    loads_old[static_cast<std::size_t>(root_part_[v])] +=
+        wcomp_pred[static_cast<std::size_t>(v)];
+  }
+  rep.imbalance_old = imbalance(loads_old);
+
+  if (rep.imbalance_old > opt_.imbalance_trigger) {
+    rep.evaluated_repartition = true;
+    dual_.set_weights(wcomp_pred, wremap_pred);
+    partition::MultilevelOptions popt;
+    popt.nparts = P;
+    popt.seed = opt_.seed;
+    const auto repart = partition::repartition(dual_, root_part_, popt);
+
+    const auto& move_w =
+        opt_.remap_before_subdivision ? wremap_cur : wremap_pred;
+    const auto S = remap::SimilarityMatrix::build(root_part_, repart.part,
+                                                  move_w, P, P);
+    const auto assign = opt_.mapper == MapperKind::kOptimalMwbg
+                            ? remap::map_optimal_mwbg(S)
+                        : opt_.mapper == MapperKind::kOptimalBmcm
+                            ? remap::map_optimal_bmcm(S)
+                            : remap::map_heuristic_greedy(S);
+    rep.volume = remap::evaluate_assignment(S, assign);
+
+    std::vector<Weight> loads_new(static_cast<std::size_t>(P), 0);
+    partition::PartVec new_part(root_part_.size());
+    for (std::size_t v = 0; v < new_part.size(); ++v) {
+      new_part[v] =
+          assign.part_to_proc[static_cast<std::size_t>(repart.part[v])];
+      loads_new[static_cast<std::size_t>(new_part[v])] += wcomp_pred[v];
+    }
+    rep.imbalance_new = imbalance(loads_new);
+
+    std::vector<Weight> growth(static_cast<std::size_t>(nroots));
+    for (Index v = 0; v < nroots; ++v) {
+      growth[static_cast<std::size_t>(v)] =
+          wremap_pred[static_cast<std::size_t>(v)] -
+          wremap_cur[static_cast<std::size_t>(v)];
+    }
+    std::vector<Weight> ref_old(static_cast<std::size_t>(P), 0),
+        ref_new(static_cast<std::size_t>(P), 0);
+    for (Index v = 0; v < nroots; ++v) {
+      ref_old[static_cast<std::size_t>(root_part_[v])] +=
+          growth[static_cast<std::size_t>(v)];
+      ref_new[static_cast<std::size_t>(new_part[v])] +=
+          growth[static_cast<std::size_t>(v)];
+    }
+    const sim::CostModel cm(opt_.machine);
+    rep.gain_seconds = cm.computational_gain(
+        vec_max(loads_old), vec_max(loads_new), vec_max(ref_old),
+        vec_max(ref_new));
+    rep.cost_seconds = cm.redistribution_cost(rep.volume, opt_.metric);
+
+    if (cm.accept_remap(rep.gain_seconds, rep.cost_seconds)) {
+      rep.accepted = true;
+      // --- 6. migrate subtrees + solution (remap before subdivision) -------
+      states_.clear();
+      for (Rank r = 0; r < P; ++r) states_.push_back(solver_->solution(r));
+      const auto ms = pmesh::migrate(*dm_, *eng_, new_part, &states_);
+      rep.elements_migrated = ms.elements_moved;
+      root_part_ = new_part;
+      rebind_solver();
+
+      // Re-derive the marks on the new distribution (deterministic: same
+      // states, same threshold => the same global mark set).
+      err = rank_errors(*dm_, *solver_);
+      seeds = threshold_marks(*dm_, err, threshold);
+      pm = pmesh::parallel_mark(*dm_, *eng_, seeds);
+    }
+  }
+
+  // --- 7. parallel subdivision ---------------------------------------------------
+  for (Rank r = 0; r < P; ++r) {
+    auto& lm = dm_->local(r);
+    lm.mesh.on_bisect = [this, r](Index e, Index mid) {
+      auto& u = solver_->solution(r);
+      const auto& ed = dm_->local(r).mesh.edge(e);
+      if (static_cast<std::size_t>(mid) >= u.size()) {
+        u.resize(static_cast<std::size_t>(mid) + 1);
+      }
+      for (int c = 0; c < solver::kNumVars; ++c) {
+        u[static_cast<std::size_t>(mid)][c] =
+            0.5 * (u[static_cast<std::size_t>(ed.v0)][c] +
+                   u[static_cast<std::size_t>(ed.v1)][c]);
+      }
+    };
+  }
+  const auto pf = pmesh::parallel_refine(*dm_, *eng_, pm);
+  rep.refine_work_per_rank = pf.work_per_rank;
+  for (Rank r = 0; r < P; ++r) dm_->local(r).mesh.on_bisect = nullptr;
+
+  // Rebind with the grown solution arrays.
+  states_.clear();
+  for (Rank r = 0; r < P; ++r) states_.push_back(solver_->solution(r));
+  rebind_solver();
+
+  rep.elements_after = dm_->total_active_elements();
+  return rep;
+}
+
+}  // namespace plum::core

@@ -1,0 +1,75 @@
+#pragma once
+// Fully distributed framework driver — the paper's Fig. 1 loop with every
+// phase running on the distributed substrate:
+//
+//   parallel flow solver (owner-computes fluxes, SPL residual exchange)
+//   -> local error indicator + global threshold (quantile agreed via the
+//      host, the only serial step, as in the paper's similarity gather)
+//   -> parallel edge marking with cross-partition propagation
+//   -> per-rank predicted weights gathered to the host
+//   -> host: repartition the initial-mesh dual + processor reassignment
+//      + gain/cost gate (§4.2-4.6)
+//   -> accepted: migrate subtrees + solution (remap before subdivision)
+//   -> parallel refinement with SPL repair
+//
+// Complements core::Framework (the single-address-space driver used by the
+// figure benches): everything here moves through the BSP engine, so the
+// ledger records the true communication pattern of one adaption cycle.
+
+#include <memory>
+
+#include "core/framework.hpp"
+#include "pmesh/dist_mesh.hpp"
+#include "pmesh/parallel_solver.hpp"
+
+namespace plum::core {
+
+struct DistCycleReport {
+  Index elements_before = 0;
+  Index elements_after = 0;
+  int mark_comm_rounds = 0;
+  bool evaluated_repartition = false;
+  bool accepted = false;
+  double imbalance_old = 0;
+  double imbalance_new = 0;
+  double gain_seconds = 0;
+  double cost_seconds = 0;
+  remap::RemapVolume volume;
+  std::int64_t elements_migrated = 0;
+  /// Subdivision work per rank (children created) — balanced when the
+  /// remap-before-subdivision path accepted.
+  std::vector<Index> refine_work_per_rank;
+};
+
+class DistFramework {
+ public:
+  DistFramework(mesh::TetMesh initial_global, FrameworkOptions opt);
+
+  DistCycleReport cycle();
+
+  [[nodiscard]] pmesh::DistMesh& dist_mesh() { return *dm_; }
+  [[nodiscard]] rt::Engine& engine() { return *eng_; }
+  [[nodiscard]] pmesh::ParallelEulerSolver& solver() { return *solver_; }
+  [[nodiscard]] const partition::PartVec& root_partition() const {
+    return root_part_;
+  }
+  /// Per-rank active element counts (the solver load balance achieved).
+  [[nodiscard]] std::vector<Index> elements_per_rank() const {
+    return dm_->active_elements_per_rank();
+  }
+
+ private:
+  /// Rebinds the parallel solver to the current distribution, keeping the
+  /// per-rank states in `states_`.
+  void rebind_solver();
+
+  FrameworkOptions opt_;
+  std::unique_ptr<rt::Engine> eng_;
+  std::unique_ptr<pmesh::DistMesh> dm_;
+  std::unique_ptr<pmesh::ParallelEulerSolver> solver_;
+  std::vector<std::vector<solver::State>> states_;
+  graph::Csr dual_;  ///< dual of the initial global mesh (host side)
+  partition::PartVec root_part_;  ///< global initial element -> rank
+};
+
+}  // namespace plum::core

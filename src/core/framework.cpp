@@ -1,0 +1,183 @@
+#include "core/framework.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace plum::core {
+
+namespace {
+
+/// Per-processor sums of `weights` under `part` composed with an optional
+/// partition->processor map.
+std::vector<Weight> proc_sums(const partition::PartVec& part,
+                              const std::vector<Weight>& weights,
+                              Rank nprocs,
+                              const std::vector<Rank>* part_to_proc) {
+  std::vector<Weight> loads(static_cast<std::size_t>(nprocs), 0);
+  for (std::size_t v = 0; v < part.size(); ++v) {
+    const Rank p = part_to_proc
+                       ? (*part_to_proc)[static_cast<std::size_t>(part[v])]
+                       : part[v];
+    loads[static_cast<std::size_t>(p)] += weights[v];
+  }
+  return loads;
+}
+
+remap::Assignment run_mapper(MapperKind kind,
+                             const remap::SimilarityMatrix& S, double alpha,
+                             double beta) {
+  switch (kind) {
+    case MapperKind::kHeuristicGreedy: return remap::map_heuristic_greedy(S);
+    case MapperKind::kOptimalMwbg: return remap::map_optimal_mwbg(S);
+    case MapperKind::kOptimalBmcm:
+      return remap::map_optimal_bmcm(S, alpha, beta);
+  }
+  PLUM_ASSERT(false);
+  return {};
+}
+
+}  // namespace
+
+Framework::Framework(mesh::TetMesh mesh, FrameworkOptions opt)
+    : opt_(opt), mesh_(std::make_unique<mesh::TetMesh>(std::move(mesh))) {
+  PLUM_ASSERT(opt_.nranks >= 1);
+  PLUM_ASSERT(opt_.partitions_per_proc >= 1);
+
+  solver_ = std::make_unique<solver::EulerSolver>(mesh_.get());
+  adaptor_ = std::make_unique<adapt::MeshAdaptor>(mesh_.get());
+  mesh_->on_bisect = [this](Index e, Index mid) {
+    solver_->interpolate_midpoint(e, mid);
+  };
+
+  dual_ = mesh_->build_initial_dual();
+  const auto w = mesh_->root_weights();
+  dual_.set_weights(w.wcomp, w.wremap);
+
+  partition::MultilevelOptions popt;
+  popt.nparts = opt_.nranks;  // initial mapping: one partition per processor
+  popt.seed = opt_.seed;
+  root_part_ = partition::partition(dual_, popt).part;
+}
+
+std::vector<Weight> Framework::processor_loads() const {
+  const auto w = mesh_->root_weights();
+  return proc_sums(root_part_, w.wcomp, opt_.nranks, nullptr);
+}
+
+CycleReport Framework::cycle() {
+  CycleReport rep;
+  rep.elements_before = mesh_->num_active_elements();
+
+  // --- 1. flow solver -------------------------------------------------------
+  rep.solver_work = solver_->run(opt_.solver_steps_per_cycle);
+
+  // --- 1b. coarsening phase (Fig. 1: the old mesh shrinks before the
+  //         refinement bookkeeping; compaction renumbers everything, so the
+  //         solver state follows the vertex map) -----------------------------
+  if (opt_.coarsen_fraction > 0) {
+    const auto cerr_field =
+        adapt::edge_error(*mesh_, solver_->density_field(), 1.0);
+    // Lowest-error fraction: invert the ranking used for refinement.
+    std::vector<double> neg(cerr_field.size());
+    for (std::size_t e = 0; e < neg.size(); ++e) neg[e] = -cerr_field[e];
+    const auto cmarks =
+        adapt::mark_top_fraction(*mesh_, neg, opt_.coarsen_fraction);
+    const Index before = mesh_->num_active_elements();
+    adaptor_->coarsen(cmarks, [this](const std::vector<Index>& map) {
+      solver_->remap_solution(map);
+    });
+    solver_->rebuild();
+    rep.elements_coarsened = before - mesh_->num_active_elements();
+  }
+
+  // --- 2. edge marking from the flow solution -------------------------------
+  const auto err = adapt::edge_error(*mesh_, solver_->density_field(), 1.0);
+  const auto& marks = adaptor_->mark_fraction(err, opt_.refine_fraction);
+  rep.mark_propagation_rounds = marks.propagation_rounds;
+
+  // --- 3. balance evaluation on the *predicted* weights ----------------------
+  const auto current = mesh_->root_weights();
+  const auto predicted = adaptor_->predicted_weights();
+  const auto loads_old =
+      proc_sums(root_part_, predicted.wcomp, opt_.nranks, nullptr);
+  rep.imbalance_old = imbalance(loads_old);
+  rep.wmax_old = vec_max(loads_old);
+
+  if (rep.imbalance_old > opt_.imbalance_trigger) {
+    rep.evaluated_repartition = true;
+
+    // --- 4. repartition the dual graph (warm start, paper §4.2) ------------
+    dual_.set_weights(predicted.wcomp, predicted.wremap);
+    partition::MultilevelOptions popt;
+    popt.nparts = opt_.nranks * opt_.partitions_per_proc;
+    popt.seed = opt_.seed;
+    // Warm start only applies when partition count matches the current
+    // mapping's granularity (F = 1); otherwise partition from scratch.
+    const auto repart =
+        opt_.partitions_per_proc == 1
+            ? partition::repartition(dual_, root_part_, popt)
+            : partition::partition(dual_, popt);
+    rep.used_previous_partition = repart.used_previous;
+
+    // --- 5. processor reassignment (similarity matrix + mapper) ------------
+    // Remap-before moves the current (small) trees; remap-after would move
+    // the post-subdivision trees.
+    const auto& move_w =
+        opt_.remap_before_subdivision ? current.wremap : predicted.wremap;
+    const auto S = remap::SimilarityMatrix::build(
+        root_part_, repart.part, move_w, opt_.nranks, popt.nparts);
+    const auto assign = run_mapper(opt_.mapper, S, opt_.machine.alpha,
+                                   opt_.machine.beta);
+    rep.mapper_seconds = assign.solve_seconds;
+    rep.volume = remap::evaluate_assignment(S, assign, opt_.machine.alpha,
+                                            opt_.machine.beta);
+
+    // --- 6. gain vs cost gate (paper §4.5 / §4.6) ---------------------------
+    const auto loads_new =
+        proc_sums(repart.part, predicted.wcomp, opt_.nranks,
+                  &assign.part_to_proc);
+    rep.imbalance_new = imbalance(loads_new);
+    rep.wmax_new = vec_max(loads_new);
+
+    // Subdivision work per processor = predicted growth of the trees.
+    std::vector<Weight> growth(current.wremap.size());
+    for (std::size_t v = 0; v < growth.size(); ++v) {
+      growth[v] = predicted.wremap[v] - current.wremap[v];
+    }
+    const Weight ref_old =
+        vec_max(proc_sums(root_part_, growth, opt_.nranks, nullptr));
+    const Weight ref_new = vec_max(
+        proc_sums(repart.part, growth, opt_.nranks, &assign.part_to_proc));
+
+    const sim::CostModel cm(opt_.machine);
+    rep.gain_seconds =
+        cm.computational_gain(rep.wmax_old, rep.wmax_new, ref_old, ref_new);
+    rep.cost_seconds = cm.redistribution_cost(rep.volume, opt_.metric);
+
+    if (cm.accept_remap(rep.gain_seconds, rep.cost_seconds)) {
+      rep.accepted = true;
+      // --- 7. remap: install the new element->processor ownership ---------
+      for (std::size_t v = 0; v < root_part_.size(); ++v) {
+        root_part_[v] =
+            assign.part_to_proc[static_cast<std::size_t>(repart.part[v])];
+      }
+    }
+  }
+
+  // --- 8. subdivision ---------------------------------------------------------
+  adaptor_->refine();
+  solver_->rebuild();
+  rep.elements_after = mesh_->num_active_elements();
+  return rep;
+}
+
+std::vector<CycleReport> Framework::run(int cycles) {
+  std::vector<CycleReport> out;
+  out.reserve(static_cast<std::size_t>(cycles));
+  for (int i = 0; i < cycles; ++i) out.push_back(cycle());
+  return out;
+}
+
+}  // namespace plum::core

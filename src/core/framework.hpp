@@ -1,0 +1,104 @@
+#pragma once
+// The PLUM framework driver — the paper's Fig. 1 loop.
+//
+//   flow solver -> edge marking (error indicator) -> balance evaluation ->
+//   [repartition -> processor reassignment -> gain/cost gate -> remap] ->
+//   subdivision -> resume solver.
+//
+// The two-phase refinement split is what makes the "remap before
+// subdivision" optimization possible: after mark(), the post-refinement
+// dual-graph weights are exactly known, so the repartitioner balances the
+// *future* mesh while the remapper moves only the *current* (smaller) one.
+
+#include <cstdint>
+#include <memory>
+
+#include "adapt/adaptor.hpp"
+#include "mesh/tet_mesh.hpp"
+#include "partition/multilevel.hpp"
+#include "remap/mapping.hpp"
+#include "remap/volume.hpp"
+#include "sim/machine.hpp"
+#include "solver/euler.hpp"
+
+namespace plum::core {
+
+enum class MapperKind { kHeuristicGreedy, kOptimalMwbg, kOptimalBmcm };
+
+struct FrameworkOptions {
+  Rank nranks = 8;
+  Rank partitions_per_proc = 1;  ///< the paper's F
+  /// Repartition when predicted post-refinement imbalance exceeds this.
+  double imbalance_trigger = 1.15;
+  MapperKind mapper = MapperKind::kHeuristicGreedy;
+  sim::CostMetric metric = sim::CostMetric::kTotalV;
+  /// Remap on the pre-subdivision mesh (paper §4.6) vs after refinement.
+  bool remap_before_subdivision = true;
+  /// Fraction of active edges marked for refinement per adaption.
+  double refine_fraction = 0.05;
+  /// Fraction of active edges (lowest error) targeted for coarsening before
+  /// each refinement (0 disables the coarsening phase of Fig. 1).
+  double coarsen_fraction = 0.0;
+  int solver_steps_per_cycle = 20;
+  sim::MachineParams machine;
+  std::uint64_t seed = 12345;
+};
+
+/// Everything one solve->adapt->balance cycle measured or decided.
+struct CycleReport {
+  Index elements_before = 0;
+  Index elements_after = 0;
+  Index elements_coarsened = 0;  ///< removed by the coarsening phase
+  int mark_propagation_rounds = 0;
+
+  bool evaluated_repartition = false;  ///< trigger fired
+  bool accepted = false;               ///< remap executed
+  bool used_previous_partition = false;
+
+  double imbalance_old = 0;  ///< predicted wcomp imbalance, old partitions
+  double imbalance_new = 0;  ///< after repartitioning + reassignment
+  Weight wmax_old = 0;
+  Weight wmax_new = 0;
+
+  double gain_seconds = 0;
+  double cost_seconds = 0;
+  double mapper_seconds = 0;
+  remap::RemapVolume volume;
+
+  std::int64_t solver_work = 0;  ///< edge flux evaluations this cycle
+};
+
+class Framework {
+ public:
+  Framework(mesh::TetMesh mesh, FrameworkOptions opt);
+
+  /// One full Fig. 1 cycle.
+  CycleReport cycle();
+
+  /// Runs n cycles; returns the reports.
+  std::vector<CycleReport> run(int cycles);
+
+  [[nodiscard]] const mesh::TetMesh& mesh() const { return *mesh_; }
+  [[nodiscard]] mesh::TetMesh& mesh() { return *mesh_; }
+  [[nodiscard]] solver::EulerSolver& solver() { return *solver_; }
+  /// Current processor of each initial-mesh element (dual-graph vertex).
+  [[nodiscard]] const partition::PartVec& root_partition() const {
+    return root_part_;
+  }
+  [[nodiscard]] const graph::Csr& dual() const { return dual_; }
+  [[nodiscard]] const FrameworkOptions& options() const { return opt_; }
+
+  /// Per-processor solver load (current wcomp) under the current partition.
+  [[nodiscard]] std::vector<Weight> processor_loads() const;
+
+ private:
+  FrameworkOptions opt_;
+  // unique_ptr: the solver and adaptor hold stable pointers to the mesh.
+  std::unique_ptr<mesh::TetMesh> mesh_;
+  std::unique_ptr<solver::EulerSolver> solver_;
+  std::unique_ptr<adapt::MeshAdaptor> adaptor_;
+  graph::Csr dual_;
+  partition::PartVec root_part_;  ///< initial element -> processor
+};
+
+}  // namespace plum::core

@@ -1,0 +1,91 @@
+#include "graph/coloring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace plum::graph {
+
+Coloring greedy_coloring(const Csr& g, const std::vector<Index>& order) {
+  const Index n = g.num_vertices();
+  Coloring out;
+  out.color.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<Index> seq;
+  const std::vector<Index>* ord = &order;
+  if (order.empty()) {
+    seq.resize(static_cast<std::size_t>(n));
+    std::iota(seq.begin(), seq.end(), 0);
+    ord = &seq;
+  }
+  PLUM_ASSERT(static_cast<Index>(ord->size()) == n);
+
+  std::vector<char> used;  // scratch: colors taken by neighbors
+  for (Index v : *ord) {
+    used.assign(static_cast<std::size_t>(out.num_colors) + 1, 0);
+    for (Index u : g.neighbors(v)) {
+      const int c = out.color[u];
+      if (c >= 0) used[static_cast<std::size_t>(c)] = 1;
+    }
+    int c = 0;
+    while (used[static_cast<std::size_t>(c)]) ++c;
+    out.color[v] = c;
+    out.num_colors = std::max(out.num_colors, c + 1);
+  }
+  return out;
+}
+
+Coloring luby_coloring(const Csr& g, std::uint64_t seed) {
+  const Index n = g.num_vertices();
+  Coloring out;
+  out.color.assign(static_cast<std::size_t>(n), -1);
+
+  // Random priorities; a vertex joins the current MIS if it beats every
+  // still-uncolored neighbor. Ties broken by index (priorities are distinct
+  // with overwhelming probability, but determinism must not rely on that).
+  Rng rng(seed);
+  std::vector<std::uint64_t> prio(static_cast<std::size_t>(n));
+  for (auto& p : prio) p = rng.next();
+
+  Index remaining = n;
+  std::vector<char> tentative(static_cast<std::size_t>(n), 0);
+  while (remaining > 0) {
+    // Selection: v joins this round's independent set if it beats every
+    // still-uncolored neighbor. Two adjacent uncolored vertices can never
+    // both win (one of them loses the priority comparison).
+    for (Index v = 0; v < n; ++v) {
+      if (out.color[v] >= 0) continue;
+      bool wins = true;
+      for (Index u : g.neighbors(v)) {
+        if (out.color[u] >= 0) continue;
+        if (prio[u] > prio[v] || (prio[u] == prio[v] && u > v)) {
+          wins = false;
+          break;
+        }
+      }
+      tentative[static_cast<std::size_t>(v)] = wins;
+    }
+    for (Index v = 0; v < n; ++v) {
+      if (tentative[static_cast<std::size_t>(v)]) {
+        tentative[static_cast<std::size_t>(v)] = 0;
+        out.color[v] = out.num_colors;
+        --remaining;
+      }
+    }
+    ++out.num_colors;
+  }
+  return out;
+}
+
+bool is_valid_coloring(const Csr& g, const std::vector<int>& color) {
+  for (Index v = 0; v < g.num_vertices(); ++v) {
+    if (color[v] < 0) return false;
+    for (Index u : g.neighbors(v)) {
+      if (color[u] == color[v]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace plum::graph

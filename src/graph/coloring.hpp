@@ -1,0 +1,31 @@
+#pragma once
+// Graph coloring. Parallel MeTiS (paper §4.2) parallelizes coarsening and
+// uncoarsening with a vertex coloring: vertices of one color can be matched
+// or moved simultaneously without conflicts. We provide the same primitive;
+// the partitioner records the color-class counts per level, which the SP2
+// machine model (src/sim) uses to estimate parallel partitioning rounds.
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace plum::graph {
+
+/// Greedy first-fit coloring in the given vertex order (identity order if
+/// `order` is empty). Returns per-vertex colors in [0, num_colors).
+struct Coloring {
+  std::vector<int> color;
+  int num_colors = 0;
+};
+
+Coloring greedy_coloring(const Csr& g, const std::vector<Index>& order = {});
+
+/// Luby-style randomized maximal-independent-set coloring: repeatedly peel a
+/// MIS, giving all its vertices the next color. Produces the color classes a
+/// synchronous parallel machine would actually process one round at a time.
+Coloring luby_coloring(const Csr& g, std::uint64_t seed);
+
+/// Checks that no edge joins two equal colors.
+bool is_valid_coloring(const Csr& g, const std::vector<int>& color);
+
+}  // namespace plum::graph

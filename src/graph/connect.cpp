@@ -1,0 +1,75 @@
+#include "graph/connect.hpp"
+
+#include <deque>
+
+namespace plum::graph {
+
+Components connected_components(const Csr& g) {
+  const Index n = g.num_vertices();
+  Components out;
+  out.comp.assign(static_cast<std::size_t>(n), kInvalidIndex);
+  std::deque<Index> queue;
+  for (Index s = 0; s < n; ++s) {
+    if (out.comp[s] != kInvalidIndex) continue;
+    const Index id = out.num_components++;
+    out.comp[s] = id;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const Index v = queue.front();
+      queue.pop_front();
+      for (Index u : g.neighbors(v)) {
+        if (out.comp[u] == kInvalidIndex) {
+          out.comp[u] = id;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Index> bfs_order(const Csr& g, Index source,
+                             std::vector<Index>* dist,
+                             const std::vector<char>& mask) {
+  const Index n = g.num_vertices();
+  PLUM_ASSERT(source >= 0 && source < n);
+  PLUM_ASSERT(mask.empty() || static_cast<Index>(mask.size()) == n);
+  PLUM_ASSERT(mask.empty() || mask[source]);
+
+  std::vector<Index> d(static_cast<std::size_t>(n), kInvalidIndex);
+  std::vector<Index> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::deque<Index> queue;
+  d[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const Index v = queue.front();
+    queue.pop_front();
+    order.push_back(v);
+    for (Index u : g.neighbors(v)) {
+      if (d[u] != kInvalidIndex) continue;
+      if (!mask.empty() && !mask[u]) continue;
+      d[u] = d[v] + 1;
+      queue.push_back(u);
+    }
+  }
+  if (dist) *dist = std::move(d);
+  return order;
+}
+
+Index pseudo_peripheral(const Csr& g, Index start) {
+  Index v = start;
+  Index last_ecc = -1;
+  // Each hop strictly increases eccentricity; terminates in O(diameter).
+  for (;;) {
+    std::vector<Index> dist;
+    const auto order = bfs_order(g, v, &dist);
+    const Index far = order.back();
+    const Index ecc = dist[far];
+    if (ecc <= last_ecc) return v;
+    last_ecc = ecc;
+    v = far;
+  }
+}
+
+}  // namespace plum::graph

@@ -1,0 +1,30 @@
+#pragma once
+// Connectivity utilities: BFS layers and connected components. Used by the
+// greedy-graph-growing initial partitioner and by partition-quality checks.
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace plum::graph {
+
+/// Component id per vertex, ids dense in [0, num_components).
+struct Components {
+  std::vector<Index> comp;
+  Index num_components = 0;
+};
+
+Components connected_components(const Csr& g);
+
+/// BFS from `source` restricted to vertices where mask[v] != 0 (all vertices
+/// if mask empty). Returns visit order; dist filled with hop counts (-1 for
+/// unreached).
+std::vector<Index> bfs_order(const Csr& g, Index source,
+                             std::vector<Index>* dist = nullptr,
+                             const std::vector<char>& mask = {});
+
+/// A pseudo-peripheral vertex: repeated BFS to the farthest vertex. Good
+/// seeds for graph growing.
+Index pseudo_peripheral(const Csr& g, Index start);
+
+}  // namespace plum::graph

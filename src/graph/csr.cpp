@@ -1,0 +1,79 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace plum::graph {
+
+Csr Csr::from_edges(Index num_vertices,
+                    std::span<const std::pair<Index, Index>> edges,
+                    std::span<const Weight> edge_weights) {
+  PLUM_ASSERT(num_vertices >= 0);
+  PLUM_ASSERT(edge_weights.empty() || edge_weights.size() == edges.size());
+
+  Csr g;
+  g.xadj_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    PLUM_ASSERT(u >= 0 && u < num_vertices && v >= 0 && v < num_vertices);
+    PLUM_ASSERT_MSG(u != v, "self loop");
+    ++g.xadj_[u + 1];
+    ++g.xadj_[v + 1];
+  }
+  std::partial_sum(g.xadj_.begin(), g.xadj_.end(), g.xadj_.begin());
+
+  g.adjncy_.resize(static_cast<std::size_t>(g.xadj_.back()));
+  g.adjwgt_.resize(g.adjncy_.size());
+  std::vector<std::int64_t> fill(g.xadj_.begin(), g.xadj_.end() - 1);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto [u, v] = edges[e];
+    const Weight w = edge_weights.empty() ? 1 : edge_weights[e];
+    g.adjncy_[static_cast<std::size_t>(fill[u])] = v;
+    g.adjwgt_[static_cast<std::size_t>(fill[u]++)] = w;
+    g.adjncy_[static_cast<std::size_t>(fill[v])] = u;
+    g.adjwgt_[static_cast<std::size_t>(fill[v]++)] = w;
+  }
+
+  g.wcomp_.assign(static_cast<std::size_t>(num_vertices), 1);
+  g.wremap_.assign(static_cast<std::size_t>(num_vertices), 1);
+  return g;
+}
+
+void Csr::set_weights(std::vector<Weight> wcomp, std::vector<Weight> wremap) {
+  PLUM_ASSERT(static_cast<Index>(wcomp.size()) == num_vertices());
+  PLUM_ASSERT(static_cast<Index>(wremap.size()) == num_vertices());
+  wcomp_ = std::move(wcomp);
+  wremap_ = std::move(wremap);
+}
+
+Weight Csr::total_wcomp() const {
+  return std::accumulate(wcomp_.begin(), wcomp_.end(), Weight{0});
+}
+
+Weight Csr::total_wremap() const {
+  return std::accumulate(wremap_.begin(), wremap_.end(), Weight{0});
+}
+
+void Csr::validate() const {
+  const Index n = num_vertices();
+  PLUM_ASSERT(static_cast<Index>(wcomp_.size()) == n);
+  PLUM_ASSERT(static_cast<Index>(wremap_.size()) == n);
+  PLUM_ASSERT(adjwgt_.size() == adjncy_.size());
+  for (Index v = 0; v < n; ++v) {
+    PLUM_ASSERT(xadj_[v] <= xadj_[v + 1]);
+    auto nbrs = neighbors(v);
+    std::vector<Index> sorted(nbrs.begin(), nbrs.end());
+    std::sort(sorted.begin(), sorted.end());
+    PLUM_ASSERT_MSG(
+        std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+        "duplicate edge");
+    for (Index u : nbrs) {
+      PLUM_ASSERT_MSG(u != v, "self loop");
+      // Symmetry: v must appear in u's row.
+      auto back = neighbors(u);
+      PLUM_ASSERT_MSG(std::find(back.begin(), back.end(), v) != back.end(),
+                      "asymmetric adjacency");
+    }
+  }
+}
+
+}  // namespace plum::graph

@@ -1,0 +1,57 @@
+#include "graph/dual.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+namespace plum::graph {
+
+namespace {
+
+// A face key: the three vertex ids sorted ascending, plus owner element.
+struct FaceRec {
+  Index v0, v1, v2;
+  Index elem;
+  bool operator<(const FaceRec& o) const {
+    return std::tie(v0, v1, v2, elem) < std::tie(o.v0, o.v1, o.v2, o.elem);
+  }
+  bool same_face(const FaceRec& o) const {
+    return v0 == o.v0 && v1 == o.v1 && v2 == o.v2;
+  }
+};
+
+}  // namespace
+
+Csr build_dual(std::span<const std::array<Index, 4>> tets) {
+  // The four faces of tet (a,b,c,d): (b,c,d), (a,c,d), (a,b,d), (a,b,c).
+  std::vector<FaceRec> faces;
+  faces.reserve(tets.size() * 4);
+  for (std::size_t e = 0; e < tets.size(); ++e) {
+    const auto& t = tets[e];
+    for (int skip = 0; skip < 4; ++skip) {
+      std::array<Index, 3> f{};
+      int k = 0;
+      for (int i = 0; i < 4; ++i) {
+        if (i != skip) f[k++] = t[i];
+      }
+      std::sort(f.begin(), f.end());
+      faces.push_back({f[0], f[1], f[2], static_cast<Index>(e)});
+    }
+  }
+  std::sort(faces.begin(), faces.end());
+
+  std::vector<std::pair<Index, Index>> edges;
+  edges.reserve(tets.size() * 2);
+  for (std::size_t i = 0; i + 1 < faces.size(); ++i) {
+    if (faces[i].same_face(faces[i + 1])) {
+      PLUM_ASSERT_MSG(
+          i + 2 >= faces.size() || !faces[i + 1].same_face(faces[i + 2]),
+          "a face shared by more than two tetrahedra (non-manifold mesh)");
+      edges.emplace_back(faces[i].elem, faces[i + 1].elem);
+      ++i;  // skip the matched partner
+    }
+  }
+  return Csr::from_edges(static_cast<Index>(tets.size()), edges);
+}
+
+}  // namespace plum::graph

@@ -1,0 +1,27 @@
+#pragma once
+// Dual graph of a tetrahedral mesh (paper §4.1).
+//
+// Dual vertices are the tetrahedra of the *initial* mesh; a dual edge joins
+// two tetrahedra that share a triangular face. Partitioning the dual yields
+// an assignment of tetrahedra to processors, and — the paper's key point —
+// its size never changes while the computational mesh is adapted: only the
+// two per-vertex weights (Wcomp, Wremap) are refreshed from the refinement
+// trees before each repartitioning.
+//
+// Construction takes raw element→vertex connectivity (4 vertex ids per tet)
+// so it has no dependency on the mesh class; src/mesh provides a
+// convenience overload.
+
+#include <array>
+#include <span>
+
+#include "graph/csr.hpp"
+
+namespace plum::graph {
+
+/// Builds the face-adjacency dual. Each tet has ≤ 4 dual neighbors.
+/// O(E log E) via sorted-face matching. Unit weights; callers refresh them
+/// with Csr::set_weights as the refinement trees evolve.
+Csr build_dual(std::span<const std::array<Index, 4>> tets);
+
+}  // namespace plum::graph

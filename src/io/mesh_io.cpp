@@ -1,0 +1,57 @@
+#include "io/mesh_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace plum::io {
+
+void write_mesh(std::ostream& os, const mesh::TetMesh& mesh) {
+  os << "plum-tet 1\n";
+  os << mesh.num_vertices() << ' ' << mesh.num_initial_elements() << '\n';
+  os.precision(17);
+  for (Index v = 0; v < mesh.num_vertices(); ++v) {
+    const auto& p = mesh.vertex(v).pos;
+    os << p.x << ' ' << p.y << ' ' << p.z << '\n';
+  }
+  for (Index t = 0; t < mesh.num_initial_elements(); ++t) {
+    const auto& vs = mesh.element(t).verts;
+    os << vs[0] << ' ' << vs[1] << ' ' << vs[2] << ' ' << vs[3] << '\n';
+  }
+}
+
+void write_mesh_file(const std::string& path, const mesh::TetMesh& mesh) {
+  std::ofstream os(path);
+  PLUM_ASSERT_MSG(os.good(), "cannot open mesh file for writing");
+  write_mesh(os, mesh);
+}
+
+mesh::TetMesh read_mesh(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  PLUM_ASSERT_MSG(magic == "plum-tet" && version == 1,
+                  "not a plum-tet 1 stream");
+  Index nv = 0, nt = 0;
+  is >> nv >> nt;
+  PLUM_ASSERT(nv >= 4 && nt >= 1);
+
+  std::vector<mesh::Vec3> verts(static_cast<std::size_t>(nv));
+  for (auto& p : verts) is >> p.x >> p.y >> p.z;
+  std::vector<std::array<Index, 4>> tets(static_cast<std::size_t>(nt));
+  for (auto& t : tets) {
+    is >> t[0] >> t[1] >> t[2] >> t[3];
+    for (Index v : t) PLUM_ASSERT(v >= 0 && v < nv);
+  }
+  PLUM_ASSERT_MSG(is.good() || is.eof(), "truncated plum-tet stream");
+  return mesh::TetMesh::from_cells(std::move(verts), tets);
+}
+
+mesh::TetMesh read_mesh_file(const std::string& path) {
+  std::ifstream is(path);
+  PLUM_ASSERT_MSG(is.good(), "cannot open mesh file for reading");
+  return read_mesh(is);
+}
+
+}  // namespace plum::io

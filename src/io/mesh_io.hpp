@@ -1,0 +1,29 @@
+#pragma once
+// Plain-text mesh I/O for the *initial* (unrefined) computational mesh.
+//
+// Format ("plum-tet 1"):
+//   plum-tet 1
+//   <num_vertices> <num_tets>
+//   x y z                    (per vertex)
+//   v0 v1 v2 v3              (per tet)
+//
+// This is the interchange point for user-supplied grids (the paper's
+// rotor-blade mesh would enter here); adapted meshes are written for
+// inspection via the VTK exporter (vtk.hpp).
+
+#include <iosfwd>
+#include <string>
+
+#include "mesh/tet_mesh.hpp"
+
+namespace plum::io {
+
+/// Writes the initial elements of `mesh`.
+void write_mesh(std::ostream& os, const mesh::TetMesh& mesh);
+void write_mesh_file(const std::string& path, const mesh::TetMesh& mesh);
+
+/// Reads a "plum-tet 1" stream; aborts on malformed input.
+mesh::TetMesh read_mesh(std::istream& is);
+mesh::TetMesh read_mesh_file(const std::string& path);
+
+}  // namespace plum::io

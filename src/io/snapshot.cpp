@@ -1,0 +1,129 @@
+#include "io/snapshot.hpp"
+
+#include <fstream>
+
+#include "util/assert.hpp"
+
+namespace plum::io {
+
+namespace {
+constexpr const char* kMagic = "plum-snap";
+constexpr int kVersion = 1;
+}  // namespace
+
+void write_snapshot(std::ostream& os, const mesh::TetMesh& mesh,
+                    const std::vector<std::array<double, 5>>& solution) {
+  PLUM_ASSERT(solution.empty() ||
+              static_cast<Index>(solution.size()) == mesh.num_vertices());
+  os << kMagic << ' ' << kVersion << '\n';
+  os << mesh.num_vertices() << ' ' << mesh.num_edges() << ' '
+     << mesh.num_elements() << ' ' << mesh.num_bfaces() << ' '
+     << mesh.num_initial_elements() << ' ' << mesh.num_initial_edges() << ' '
+     << (solution.empty() ? 0 : 1) << '\n';
+  os.precision(17);
+
+  for (Index v = 0; v < mesh.num_vertices(); ++v) {
+    const auto& vx = mesh.vertex(v);
+    os << vx.pos.x << ' ' << vx.pos.y << ' ' << vx.pos.z << ' '
+       << int(vx.boundary) << '\n';
+  }
+  for (Index e = 0; e < mesh.num_edges(); ++e) {
+    const auto& ed = mesh.edge(e);
+    os << ed.v0 << ' ' << ed.v1 << ' ' << ed.parent << ' ' << ed.child[0]
+       << ' ' << ed.child[1] << ' ' << ed.mid << ' ' << int(ed.level) << ' '
+       << int(ed.boundary) << '\n';
+  }
+  for (Index t = 0; t < mesh.num_elements(); ++t) {
+    const auto& el = mesh.element(t);
+    for (Index v : el.verts) os << v << ' ';
+    for (Index e : el.edges) os << e << ' ';
+    os << el.parent << ' ' << el.first_child << ' ' << int(el.num_children)
+       << ' ' << int(el.level) << ' ' << int(el.subdiv_type) << ' ' << el.root
+       << '\n';
+  }
+  for (Index f = 0; f < mesh.num_bfaces(); ++f) {
+    const auto& bf = mesh.bface(f);
+    for (Index v : bf.verts) os << v << ' ';
+    for (Index e : bf.edges) os << e << ' ';
+    os << bf.parent << ' ' << bf.child[0] << ' ' << bf.child[1] << ' '
+       << bf.child[2] << ' ' << bf.child[3] << ' ' << int(bf.num_children)
+       << '\n';
+  }
+  for (const auto& s : solution) {
+    for (double x : s) os << x << ' ';
+    os << '\n';
+  }
+}
+
+Snapshot read_snapshot(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  PLUM_ASSERT_MSG(magic == kMagic && version == kVersion,
+                  "not a plum-snap 1 stream");
+  Index nv = 0, ne = 0, nt = 0, nf = 0, init_t = 0, init_e = 0;
+  int has_solution = 0;
+  is >> nv >> ne >> nt >> nf >> init_t >> init_e >> has_solution;
+  PLUM_ASSERT(nv >= 0 && ne >= 0 && nt >= 0 && nf >= 0);
+
+  std::vector<mesh::Vertex> verts(static_cast<std::size_t>(nv));
+  for (auto& vx : verts) {
+    int boundary = 0;
+    is >> vx.pos.x >> vx.pos.y >> vx.pos.z >> boundary;
+    vx.boundary = boundary != 0;
+  }
+  std::vector<mesh::Edge> edges(static_cast<std::size_t>(ne));
+  for (auto& ed : edges) {
+    int level = 0, boundary = 0;
+    is >> ed.v0 >> ed.v1 >> ed.parent >> ed.child[0] >> ed.child[1] >>
+        ed.mid >> level >> boundary;
+    ed.level = static_cast<std::int8_t>(level);
+    ed.boundary = boundary != 0;
+  }
+  std::vector<mesh::Element> elems(static_cast<std::size_t>(nt));
+  for (auto& el : elems) {
+    int nchild = 0, level = 0, subdiv = 0;
+    for (auto& v : el.verts) is >> v;
+    for (auto& e : el.edges) is >> e;
+    is >> el.parent >> el.first_child >> nchild >> level >> subdiv >> el.root;
+    el.num_children = static_cast<std::int8_t>(nchild);
+    el.level = static_cast<std::int8_t>(level);
+    el.subdiv_type = static_cast<std::int8_t>(subdiv);
+  }
+  std::vector<mesh::BFace> bfaces(static_cast<std::size_t>(nf));
+  for (auto& bf : bfaces) {
+    int nchild = 0;
+    for (auto& v : bf.verts) is >> v;
+    for (auto& e : bf.edges) is >> e;
+    is >> bf.parent >> bf.child[0] >> bf.child[1] >> bf.child[2] >>
+        bf.child[3] >> nchild;
+    bf.num_children = static_cast<std::int8_t>(nchild);
+  }
+  Snapshot snap;
+  if (has_solution) {
+    snap.solution.resize(static_cast<std::size_t>(nv));
+    for (auto& s : snap.solution) {
+      for (double& x : s) is >> x;
+    }
+  }
+  PLUM_ASSERT_MSG(is.good() || is.eof(), "truncated plum-snap stream");
+  snap.mesh = mesh::TetMesh::assemble(std::move(verts), std::move(edges),
+                                      std::move(elems), std::move(bfaces),
+                                      init_t, init_e);
+  return snap;
+}
+
+void write_snapshot_file(const std::string& path, const mesh::TetMesh& mesh,
+                         const std::vector<std::array<double, 5>>& solution) {
+  std::ofstream os(path);
+  PLUM_ASSERT_MSG(os.good(), "cannot open snapshot file for writing");
+  write_snapshot(os, mesh, solution);
+}
+
+Snapshot read_snapshot_file(const std::string& path) {
+  std::ifstream is(path);
+  PLUM_ASSERT_MSG(is.good(), "cannot open snapshot file for reading");
+  return read_snapshot(is);
+}
+
+}  // namespace plum::io

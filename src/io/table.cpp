@@ -1,0 +1,74 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace plum::io {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PLUM_ASSERT(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::setw(static_cast<int>(width[c]) + 2) << cells[c];
+    }
+    os << '\n';
+  };
+  line(headers_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string Table::fmt(std::int64_t v) { return std::to_string(v); }
+
+void print_similarity(std::ostream& os, const remap::SimilarityMatrix& S,
+                      const std::vector<Rank>* part_to_proc) {
+  os << "similarity matrix S (rows = processors, cols = new partitions";
+  if (part_to_proc) os << "; [x] = assigned";
+  os << ")\n";
+  for (Rank i = 0; i < S.nprocs(); ++i) {
+    os << "  P" << i << " |";
+    for (Rank j = 0; j < S.nparts(); ++j) {
+      const bool mine =
+          part_to_proc && (*part_to_proc)[static_cast<std::size_t>(j)] == i;
+      std::ostringstream cell;
+      if (S.at(i, j) != 0 || mine) {
+        cell << S.at(i, j);
+      }
+      std::string body = cell.str();
+      if (mine) body = "[" + body + "]";
+      os << std::setw(8) << body;
+    }
+    os << "   R=" << S.row_sum(i) << '\n';
+  }
+  os << "  W  |";
+  for (Rank j = 0; j < S.nparts(); ++j) {
+    os << std::setw(8) << S.col_sum(j);
+  }
+  os << '\n';
+}
+
+}  // namespace plum::io

@@ -1,0 +1,37 @@
+#pragma once
+// Small fixed-width table printer used by the benches to emit the paper's
+// tables/figures as aligned text, plus a similarity-matrix pretty-printer
+// (the Fig. 2 rendering).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "remap/similarity.hpp"
+
+namespace plum::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; each cell already formatted.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with per-column widths and a header underline.
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt(std::int64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints S with row/column sums, highlighting assigned entries if an
+/// assignment is given (Fig. 2 style).
+void print_similarity(std::ostream& os, const remap::SimilarityMatrix& S,
+                      const std::vector<Rank>* part_to_proc = nullptr);
+
+}  // namespace plum::io

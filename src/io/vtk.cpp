@@ -1,0 +1,56 @@
+#include "io/vtk.hpp"
+
+#include <fstream>
+
+#include "util/assert.hpp"
+
+namespace plum::io {
+
+void write_vtk(std::ostream& os, const mesh::TetMesh& mesh,
+               const VtkFields& fields) {
+  const auto leaves = mesh.active_elements();
+
+  os << "# vtk DataFile Version 3.0\n"
+     << "plum adapted mesh\nASCII\nDATASET UNSTRUCTURED_GRID\n";
+  os << "POINTS " << mesh.num_vertices() << " double\n";
+  os.precision(12);
+  for (Index v = 0; v < mesh.num_vertices(); ++v) {
+    const auto& p = mesh.vertex(v).pos;
+    os << p.x << ' ' << p.y << ' ' << p.z << '\n';
+  }
+  os << "CELLS " << leaves.size() << ' ' << leaves.size() * 5 << '\n';
+  for (Index t : leaves) {
+    const auto& vs = mesh.element(t).verts;
+    os << "4 " << vs[0] << ' ' << vs[1] << ' ' << vs[2] << ' ' << vs[3]
+       << '\n';
+  }
+  os << "CELL_TYPES " << leaves.size() << '\n';
+  for (std::size_t i = 0; i < leaves.size(); ++i) os << "10\n";  // VTK_TETRA
+
+  if (!fields.vertex_scalar.empty()) {
+    PLUM_ASSERT(static_cast<Index>(fields.vertex_scalar.size()) ==
+                mesh.num_vertices());
+    os << "POINT_DATA " << mesh.num_vertices() << '\n';
+    os << "SCALARS " << fields.vertex_scalar_name << " double 1\n"
+       << "LOOKUP_TABLE default\n";
+    for (double s : fields.vertex_scalar) os << s << '\n';
+  }
+  if (!fields.root_partition.empty()) {
+    os << "CELL_DATA " << leaves.size() << '\n'
+       << "SCALARS processor int 1\nLOOKUP_TABLE default\n";
+    for (Index t : leaves) {
+      os << fields.root_partition[static_cast<std::size_t>(
+                mesh.element(t).root)]
+         << '\n';
+    }
+  }
+}
+
+void write_vtk_file(const std::string& path, const mesh::TetMesh& mesh,
+                    const VtkFields& fields) {
+  std::ofstream os(path);
+  PLUM_ASSERT_MSG(os.good(), "cannot open VTK file for writing");
+  write_vtk(os, mesh, fields);
+}
+
+}  // namespace plum::io

@@ -1,0 +1,29 @@
+#pragma once
+// Legacy-VTK export of the *current computational mesh* (leaf elements)
+// with optional per-vertex scalar fields and the per-element partition id —
+// the "finalization phase" gather that post-processing / visualization
+// needs (paper §3).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mesh/tet_mesh.hpp"
+#include "partition/quality.hpp"
+
+namespace plum::io {
+
+struct VtkFields {
+  /// Per-vertex scalar (e.g. density); empty to skip.
+  std::vector<double> vertex_scalar;
+  std::string vertex_scalar_name = "density";
+  /// Per-initial-element processor id; leaves inherit their root's value.
+  partition::PartVec root_partition;
+};
+
+void write_vtk(std::ostream& os, const mesh::TetMesh& mesh,
+               const VtkFields& fields = {});
+void write_vtk_file(const std::string& path, const mesh::TetMesh& mesh,
+                    const VtkFields& fields = {});
+
+}  // namespace plum::io

@@ -1,0 +1,79 @@
+#include "mesh/box_mesh.hpp"
+
+#include <array>
+
+namespace plum::mesh {
+
+namespace {
+
+// The six path simplices of the unit cube: each follows a monotone path
+// 000 -> 111 visiting corner bitmasks in axis order given by a permutation.
+// All six share the main diagonal (000,111) and tile the cube conformingly.
+constexpr std::array<std::array<int, 3>, 6> kPerms = {{
+    {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+}};
+
+}  // namespace
+
+TetMesh make_box_mesh(const BoxSpec& spec) {
+  PLUM_ASSERT(spec.nx >= 1 && spec.ny >= 1 && spec.nz >= 1);
+  const int vx = spec.nx + 1, vy = spec.ny + 1, vz = spec.nz + 1;
+
+  std::vector<Vec3> verts;
+  verts.reserve(static_cast<std::size_t>(vx) * vy * vz);
+  for (int k = 0; k < vz; ++k) {
+    for (int j = 0; j < vy; ++j) {
+      for (int i = 0; i < vx; ++i) {
+        verts.push_back({
+            spec.lo.x + (spec.hi.x - spec.lo.x) * i / spec.nx,
+            spec.lo.y + (spec.hi.y - spec.lo.y) * j / spec.ny,
+            spec.lo.z + (spec.hi.z - spec.lo.z) * k / spec.nz,
+        });
+      }
+    }
+  }
+  auto vid = [&](int i, int j, int k) {
+    return static_cast<Index>((static_cast<std::int64_t>(k) * vy + j) * vx + i);
+  };
+
+  std::vector<std::array<Index, 4>> tets;
+  tets.reserve(static_cast<std::size_t>(spec.nx) * spec.ny * spec.nz * 6);
+  for (int k = 0; k < spec.nz; ++k) {
+    for (int j = 0; j < spec.ny; ++j) {
+      for (int i = 0; i < spec.nx; ++i) {
+        // corner(b) = cell corner offset by bit b of each axis.
+        auto corner = [&](int mask) {
+          return vid(i + (mask & 1), j + ((mask >> 1) & 1),
+                     k + ((mask >> 2) & 1));
+        };
+        for (const auto& perm : kPerms) {
+          int mask = 0;
+          std::array<Index, 4> t{};
+          t[0] = corner(0);
+          for (int s = 0; s < 3; ++s) {
+            mask |= 1 << perm[s];
+            t[s + 1] = corner(mask);
+          }
+          tets.push_back(t);
+        }
+      }
+    }
+  }
+  return TetMesh::from_cells(std::move(verts), tets);
+}
+
+BoxSpec paper_scale_box() {
+  BoxSpec s;
+  s.nx = 22;
+  s.ny = 22;
+  s.nz = 21;
+  return s;
+}
+
+BoxSpec small_box(int n) {
+  BoxSpec s;
+  s.nx = s.ny = s.nz = n;
+  return s;
+}
+
+}  // namespace plum::mesh

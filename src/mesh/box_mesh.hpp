@@ -1,0 +1,29 @@
+#pragma once
+// Structured-box tetrahedral mesh generator.
+//
+// Stand-in for the paper's UH-1H rotor-blade grid (DESIGN.md §3): each cell
+// of an nx × ny × nz grid is split into six tetrahedra with the Kuhn
+// (path-simplex) triangulation, which is face-compatible across neighboring
+// cells, so the result is a conforming tetrahedral mesh. nx=22, ny=22,
+// nz=21 gives 60,984 elements — the scale of the paper's 60,968-element
+// initial mesh.
+
+#include "mesh/tet_mesh.hpp"
+
+namespace plum::mesh {
+
+struct BoxSpec {
+  int nx = 4, ny = 4, nz = 4;        ///< cells per axis
+  Vec3 lo{0, 0, 0};                  ///< box corner
+  Vec3 hi{1, 1, 1};                  ///< opposite corner
+};
+
+TetMesh make_box_mesh(const BoxSpec& spec);
+
+/// The mesh size used throughout the paper-scale experiments (~61k tets).
+BoxSpec paper_scale_box();
+
+/// A small mesh for unit tests (6·n³ tets).
+BoxSpec small_box(int n = 3);
+
+}  // namespace plum::mesh

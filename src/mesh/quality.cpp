@@ -1,0 +1,53 @@
+#include "mesh/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace plum::mesh {
+
+double radius_ratio(const TetMesh& mesh, Index elem) {
+  const auto& vs = mesh.element(elem).verts;
+  const Vec3 a = mesh.vertex(vs[0]).pos, b = mesh.vertex(vs[1]).pos,
+             c = mesh.vertex(vs[2]).pos, d = mesh.vertex(vs[3]).pos;
+  const double vol = std::abs(dot(cross(b - a, c - a), d - a)) / 6.0;
+  if (vol <= 0) return 0;
+
+  // Inradius = 3V / total face area.
+  auto area = [](const Vec3& p, const Vec3& q, const Vec3& r) {
+    return 0.5 * norm(cross(q - p, r - p));
+  };
+  const double atot =
+      area(b, c, d) + area(a, c, d) + area(a, b, d) + area(a, b, c);
+  const double rin = 3.0 * vol / atot;
+
+  // Circumradius via the standard product-of-edges formula.
+  const double la = norm(b - a) * norm(d - c);
+  const double lb = norm(c - a) * norm(d - b);
+  const double lc = norm(d - a) * norm(c - b);
+  const double p = (la + lb + lc) * (-la + lb + lc) * (la - lb + lc) *
+                   (la + lb - lc);
+  if (p <= 0) return 0;
+  const double rcirc = std::sqrt(p) / (24.0 * vol);
+  return rcirc > 0 ? std::min(1.0, 3.0 * rin / rcirc) : 0;
+}
+
+QualityStats mesh_quality(const TetMesh& mesh) {
+  QualityStats s;
+  s.min = 1;
+  s.max = 0;
+  double sum = 0;
+  long n = 0;
+  for (Index t = 0; t < mesh.num_elements(); ++t) {
+    const auto& el = mesh.element(t);
+    if (!el.alive || !el.is_leaf()) continue;
+    const double q = radius_ratio(mesh, t);
+    s.min = std::min(s.min, q);
+    s.max = std::max(s.max, q);
+    sum += q;
+    ++n;
+  }
+  s.mean = n > 0 ? sum / static_cast<double>(n) : 0;
+  return s;
+}
+
+}  // namespace plum::mesh

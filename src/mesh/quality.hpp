@@ -1,0 +1,23 @@
+#pragma once
+// Element quality metrics: used by tests to confirm that repeated
+// refinement does not degenerate elements (the 1:8 octahedron-diagonal
+// choice is what keeps quality bounded).
+
+#include "mesh/tet_mesh.hpp"
+
+namespace plum::mesh {
+
+/// Radius-ratio quality in (0, 1]: 3 * inradius / circumradius, 1 for the
+/// regular tetrahedron, -> 0 for slivers.
+double radius_ratio(const TetMesh& mesh, Index elem);
+
+struct QualityStats {
+  double min = 0;
+  double mean = 0;
+  double max = 0;
+};
+
+/// Quality over the active (leaf) elements.
+QualityStats mesh_quality(const TetMesh& mesh);
+
+}  // namespace plum::mesh

@@ -1,0 +1,172 @@
+#include "partition/initpart.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/assert.hpp"
+
+namespace plum::partition {
+
+namespace {
+
+/// Grows a region of ~target_weight inside the vertex set `pool` (vertices
+/// with pool[v] == group), relabeling grown vertices to `grown`. Greedy: the
+/// frontier vertex with the largest connection to the region is absorbed
+/// first (gain-driven graph growing); falls back to any pool vertex when the
+/// region's component is exhausted (disconnected pools).
+void grow_region(const graph::Csr& g, std::vector<Rank>& pool, Rank group,
+                 Rank grown, Weight target_weight, Index min_verts,
+                 Index max_verts, Rng& rng) {
+  const Index n = g.num_vertices();
+
+  // Collect candidates and pick a seed.
+  std::vector<Index> members;
+  for (Index v = 0; v < n; ++v) {
+    if (pool[v] == group) members.push_back(v);
+  }
+  PLUM_ASSERT(!members.empty());
+  PLUM_ASSERT(min_verts >= 1 && max_verts >= min_verts);
+  PLUM_ASSERT(static_cast<Index>(members.size()) >= min_verts);
+
+  Weight grown_weight = 0;
+  Index grown_verts = 0;
+  std::vector<Weight> gain(static_cast<std::size_t>(n), 0);
+  std::vector<char> in_frontier(static_cast<std::size_t>(n), 0);
+  std::vector<Index> frontier;
+
+  auto absorb = [&](Index v) {
+    pool[v] = grown;
+    grown_weight += g.wcomp(v);
+    ++grown_verts;
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const Index u = nbrs[i];
+      if (pool[u] != group) continue;
+      gain[u] += wts[i];
+      if (!in_frontier[u]) {
+        in_frontier[u] = 1;
+        frontier.push_back(u);
+      }
+    }
+  };
+
+  const Index seed =
+      members[rng.below(static_cast<std::uint64_t>(members.size()))];
+  absorb(seed);
+
+  // Grow until the weight target is met AND the vertex floor is satisfied,
+  // but never beyond the ceiling (the remainder must keep enough vertices
+  // for its own parts).
+  while ((grown_weight < target_weight || grown_verts < min_verts) &&
+         grown_verts < max_verts) {
+    // Pick the frontier vertex with maximal gain (linear scan: coarsest
+    // graphs are small, and this keeps the code free of heap bookkeeping).
+    Index best = kInvalidIndex;
+    Weight best_gain = -1;
+    std::size_t best_pos = 0;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const Index u = frontier[i];
+      if (pool[u] != group) continue;  // already absorbed
+      if (gain[u] > best_gain) {
+        best_gain = gain[u];
+        best = u;
+        best_pos = i;
+      }
+    }
+    if (best == kInvalidIndex) {
+      // Region's component exhausted; restart from any remaining vertex.
+      Index fallback = kInvalidIndex;
+      for (Index v : members) {
+        if (pool[v] == group) {
+          fallback = v;
+          break;
+        }
+      }
+      if (fallback == kInvalidIndex) break;  // pool exhausted
+      absorb(fallback);
+      continue;
+    }
+    frontier[best_pos] = frontier.back();
+    frontier.pop_back();
+    in_frontier[best] = 0;
+    absorb(best);
+  }
+}
+
+/// Recursively splits the vertices labeled `group` into parts
+/// [first, first+count).
+void split(const graph::Csr& g, std::vector<Rank>& label, Rank group,
+           Rank first, Rank count, Rank& next_tmp, Rng& rng) {
+  if (count == 1) {
+    for (Index v = 0; v < g.num_vertices(); ++v) {
+      if (label[v] == group) label[v] = first;
+    }
+    return;
+  }
+  const Rank half = count / 2;
+  Weight group_weight = 0;
+  Index group_verts = 0;
+  for (Index v = 0; v < g.num_vertices(); ++v) {
+    if (label[v] == group) {
+      group_weight += g.wcomp(v);
+      ++group_verts;
+    }
+  }
+  PLUM_ASSERT(group_verts >= count);
+  const Weight target =
+      static_cast<Weight>(group_weight * static_cast<double>(half) /
+                          static_cast<double>(count));
+
+  // Grow the first half into a fresh temporary label (strictly decreasing
+  // negatives, so it can never collide with `group`); the rest keeps `group`.
+  const Rank tmp = next_tmp--;
+  grow_region(g, label, group, tmp, target, half, group_verts - (count - half),
+              rng);
+  split(g, label, tmp, first, half, next_tmp, rng);
+  split(g, label, group, first + half, count - half, next_tmp, rng);
+}
+
+}  // namespace
+
+PartVec initial_partition(const graph::Csr& g, Rank nparts, Rng& rng) {
+  PLUM_ASSERT(nparts >= 1);
+  PLUM_ASSERT(g.num_vertices() >= nparts);
+  PartVec part(static_cast<std::size_t>(g.num_vertices()), -1);
+  Rank next_tmp = -2;
+  split(g, part, -1, 0, nparts, next_tmp, rng);
+
+  // Guarantee non-empty parts: steal one vertex for any empty part from the
+  // largest part (can happen on tiny/disconnected coarsest graphs).
+  for (;;) {
+    std::vector<Index> counts(static_cast<std::size_t>(nparts), 0);
+    for (Rank q : part) ++counts[static_cast<std::size_t>(q)];
+    Rank empty = kNoRank;
+    for (Rank p = 0; p < nparts; ++p) {
+      if (counts[static_cast<std::size_t>(p)] == 0) {
+        empty = p;
+        break;
+      }
+    }
+    if (empty == kNoRank) break;
+    // Donate from the part with the most vertices (always >= 2 here since
+    // |V| >= nparts and some part is empty).
+    Rank donor = 0;
+    for (Rank p = 0; p < nparts; ++p) {
+      if (counts[static_cast<std::size_t>(p)] >
+          counts[static_cast<std::size_t>(donor)]) {
+        donor = p;
+      }
+    }
+    PLUM_ASSERT(counts[static_cast<std::size_t>(donor)] >= 2);
+    for (Index v = 0; v < g.num_vertices(); ++v) {
+      if (part[v] == donor) {
+        part[v] = empty;
+        break;
+      }
+    }
+  }
+  return part;
+}
+
+}  // namespace plum::partition

@@ -1,0 +1,15 @@
+#pragma once
+// Initial partitioning of the coarsest graph: greedy graph growing (GGGP)
+// recursive bisection — "applies a greedy graph growing algorithm for
+// partitioning the coarsest graph" (paper §4.2).
+
+#include "partition/quality.hpp"
+#include "util/rng.hpp"
+
+namespace plum::partition {
+
+/// Partitions `g` into `nparts` parts by recursive greedy graph growing.
+/// Weights balanced on wcomp; deterministic for a given rng state.
+PartVec initial_partition(const graph::Csr& g, Rank nparts, Rng& rng);
+
+}  // namespace plum::partition

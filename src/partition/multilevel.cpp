@@ -1,0 +1,102 @@
+#include "partition/multilevel.hpp"
+
+#include <algorithm>
+
+#include "partition/hem.hpp"
+#include "partition/initpart.hpp"
+#include "partition/refine_kway.hpp"
+#include "util/assert.hpp"
+
+namespace plum::partition {
+
+MultilevelResult partition(const graph::Csr& g,
+                           const MultilevelOptions& opt) {
+  PLUM_ASSERT(opt.nparts >= 1);
+  PLUM_ASSERT(g.num_vertices() >= opt.nparts);
+  Rng rng(opt.seed);
+
+  MultilevelResult out;
+  out.levels.push_back({g.num_vertices(), g.num_edges()});
+
+  if (opt.nparts == 1) {
+    out.part.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+    out.cut = 0;
+    out.imbalance = 1.0;
+    return out;
+  }
+
+  // --- Coarsening ----------------------------------------------------------
+  const Index coarse_target =
+      std::max<Index>(opt.coarsen_to_per_part * opt.nparts, 64);
+  std::vector<graph::Csr> graphs;   // [0] = finest
+  std::vector<std::vector<Index>> cmaps;
+  graphs.push_back(g);
+  while (graphs.back().num_vertices() > coarse_target) {
+    CoarseLevel level = coarsen_hem(graphs.back(), rng);
+    const Index before = graphs.back().num_vertices();
+    const Index after = level.graph.num_vertices();
+    if (after >= before || after > static_cast<Index>(before * 0.9) ||
+        after < opt.nparts) {
+      break;  // diminishing returns or would under-shoot nparts
+    }
+    out.levels.push_back({after, level.graph.num_edges()});
+    cmaps.push_back(std::move(level.cmap));
+    graphs.push_back(std::move(level.graph));
+  }
+
+  // --- Initial partition on the coarsest graph ------------------------------
+  PartVec part = initial_partition(graphs.back(), opt.nparts, rng);
+
+  RefineOptions ropt;
+  ropt.imbalance_tol = opt.imbalance_tol;
+  ropt.max_passes = opt.refine_passes;
+  refine_kway(graphs.back(), part, opt.nparts, ropt, rng);
+
+  // --- Uncoarsening + refinement --------------------------------------------
+  for (int lvl = static_cast<int>(cmaps.size()) - 1; lvl >= 0; --lvl) {
+    const auto& cmap = cmaps[static_cast<std::size_t>(lvl)];
+    PartVec fine(cmap.size());
+    for (std::size_t v = 0; v < cmap.size(); ++v) {
+      fine[v] = part[static_cast<std::size_t>(cmap[v])];
+    }
+    part = std::move(fine);
+    refine_kway(graphs[static_cast<std::size_t>(lvl)], part, opt.nparts, ropt,
+                rng);
+  }
+
+  PLUM_ASSERT(is_valid_partition(g, part, opt.nparts));
+  out.cut = edge_cut(g, part);
+  out.imbalance = load_imbalance(g, part, opt.nparts);
+  out.part = std::move(part);
+  return out;
+}
+
+MultilevelResult repartition(const graph::Csr& g, const PartVec& previous,
+                             const MultilevelOptions& opt) {
+  PLUM_ASSERT(static_cast<Index>(previous.size()) == g.num_vertices());
+  Rng rng(opt.seed ^ 0x9e3779b9u);
+
+  // Warm start: diffuse load out of overloaded parts, then polish the cut.
+  PartVec part = previous;
+  RefineOptions ropt;
+  ropt.imbalance_tol = opt.imbalance_tol;
+  ropt.max_passes = opt.refine_passes * 2;  // diffusion needs more passes
+  ropt.allow_balancing_moves = true;
+  refine_kway(g, part, opt.nparts, ropt, rng);
+
+  const double imb = load_imbalance(g, part, opt.nparts);
+  if (imb <= 1.0 + opt.imbalance_tol + 0.02 &&
+      is_valid_partition(g, part, opt.nparts)) {
+    MultilevelResult out;
+    out.levels.push_back({g.num_vertices(), g.num_edges()});
+    out.part = std::move(part);
+    out.cut = edge_cut(g, out.part);
+    out.imbalance = imb;
+    out.used_previous = true;
+    return out;
+  }
+  // Diffusion failed (e.g. refinement region dwarfs one part): scratch.
+  return partition(g, opt);
+}
+
+}  // namespace plum::partition

@@ -1,0 +1,46 @@
+#include "partition/quality.hpp"
+
+#include "util/stats.hpp"
+
+namespace plum::partition {
+
+Weight edge_cut(const graph::Csr& g, const PartVec& part) {
+  Weight cut = 0;
+  for (Index v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (part[v] < part[nbrs[i]]) cut += wts[i];  // count each edge once
+    }
+  }
+  return cut;
+}
+
+std::vector<Weight> part_loads(const graph::Csr& g, const PartVec& part,
+                               Rank nparts) {
+  std::vector<Weight> loads(static_cast<std::size_t>(nparts), 0);
+  for (Index v = 0; v < g.num_vertices(); ++v) {
+    loads[static_cast<std::size_t>(part[v])] += g.wcomp(v);
+  }
+  return loads;
+}
+
+double load_imbalance(const graph::Csr& g, const PartVec& part, Rank nparts) {
+  return imbalance(part_loads(g, part, nparts));
+}
+
+bool is_valid_partition(const graph::Csr& g, const PartVec& part,
+                        Rank nparts) {
+  if (static_cast<Index>(part.size()) != g.num_vertices()) return false;
+  std::vector<char> seen(static_cast<std::size_t>(nparts), 0);
+  for (Rank p : part) {
+    if (p < 0 || p >= nparts) return false;
+    seen[static_cast<std::size_t>(p)] = 1;
+  }
+  for (char s : seen) {
+    if (!s) return false;
+  }
+  return true;
+}
+
+}  // namespace plum::partition

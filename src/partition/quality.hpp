@@ -1,0 +1,28 @@
+#pragma once
+// Partition quality metrics: edge cut (communication volume proxy) and load
+// imbalance (max part weight / mean part weight).
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace plum::partition {
+
+/// part[v] in [0, nparts) for every vertex.
+using PartVec = std::vector<Rank>;
+
+/// Sum of edge weights crossing part boundaries (each edge counted once).
+Weight edge_cut(const graph::Csr& g, const PartVec& part);
+
+/// Per-part total wcomp.
+std::vector<Weight> part_loads(const graph::Csr& g, const PartVec& part,
+                               Rank nparts);
+
+/// max load / mean load; 1.0 = perfect.
+double load_imbalance(const graph::Csr& g, const PartVec& part, Rank nparts);
+
+/// True if every part id is within range and every part is non-empty.
+bool is_valid_partition(const graph::Csr& g, const PartVec& part,
+                        Rank nparts);
+
+}  // namespace plum::partition

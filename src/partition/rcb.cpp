@@ -1,0 +1,82 @@
+#include "partition/rcb.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace plum::partition {
+
+namespace {
+
+double coord(const mesh::Vec3& p, int axis) {
+  switch (axis) {
+    case 0: return p.x;
+    case 1: return p.y;
+    default: return p.z;
+  }
+}
+
+void rcb_split(const std::vector<mesh::Vec3>& pts,
+               const std::vector<Weight>& w, std::vector<Index>& ids,
+               std::size_t lo, std::size_t hi, Rank first, Rank count,
+               PartVec& part) {
+  if (count == 1) {
+    for (std::size_t i = lo; i < hi; ++i) part[ids[i]] = first;
+    return;
+  }
+  // Longest axis of the bounding box of this block.
+  mesh::Vec3 mn = pts[ids[lo]], mx = pts[ids[lo]];
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto& p = pts[ids[i]];
+    mn = {std::min(mn.x, p.x), std::min(mn.y, p.y), std::min(mn.z, p.z)};
+    mx = {std::max(mx.x, p.x), std::max(mx.y, p.y), std::max(mx.z, p.z)};
+  }
+  const mesh::Vec3 ext = mx - mn;
+  int axis = 0;
+  if (ext.y > ext.x) axis = 1;
+  if (ext.z > coord(ext, axis)) axis = 2;
+
+  std::sort(ids.begin() + static_cast<std::ptrdiff_t>(lo),
+            ids.begin() + static_cast<std::ptrdiff_t>(hi),
+            [&](Index a, Index b) {
+              const double ca = coord(pts[a], axis), cb = coord(pts[b], axis);
+              return ca != cb ? ca < cb : a < b;
+            });
+
+  // Weighted median at the first-half target. Each side must keep at least
+  // as many points as parts it will receive.
+  const Rank half = count / 2;
+  Weight block = 0;
+  for (std::size_t i = lo; i < hi; ++i) block += w[ids[i]];
+  const auto target = static_cast<Weight>(
+      block * static_cast<double>(half) / static_cast<double>(count));
+
+  std::size_t cutpos = lo;
+  Weight acc = 0;
+  while (cutpos < hi && acc < target) acc += w[ids[cutpos++]];
+  cutpos = std::clamp(cutpos, lo + static_cast<std::size_t>(half),
+                      hi - static_cast<std::size_t>(count - half));
+
+  rcb_split(pts, w, ids, lo, cutpos, first, half, part);
+  rcb_split(pts, w, ids, cutpos, hi, first + half, count - half, part);
+}
+
+}  // namespace
+
+PartVec rcb_partition(const std::vector<mesh::Vec3>& points,
+                      const std::vector<Weight>& weights, Rank nparts) {
+  const auto n = static_cast<Index>(points.size());
+  PLUM_ASSERT(nparts >= 1 && n >= nparts);
+  std::vector<Weight> w = weights;
+  if (w.empty()) w.assign(static_cast<std::size_t>(n), 1);
+  PLUM_ASSERT(static_cast<Index>(w.size()) == n);
+
+  std::vector<Index> ids(static_cast<std::size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  PartVec part(static_cast<std::size_t>(n), kNoRank);
+  rcb_split(points, w, ids, 0, static_cast<std::size_t>(n), 0, nparts, part);
+  return part;
+}
+
+}  // namespace plum::partition

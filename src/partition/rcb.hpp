@@ -1,0 +1,16 @@
+#pragma once
+// Recursive coordinate bisection — the classical geometric baseline the
+// graph-based repartitioner is compared against in the ablation benches.
+// Splits along the longest axis at the weighted median, recursively.
+
+#include "mesh/vec3.hpp"
+#include "partition/quality.hpp"
+
+namespace plum::partition {
+
+/// Partitions `n = points.size()` weighted points into nparts spatial
+/// blocks. Weight balance on `weights` (unit if empty).
+PartVec rcb_partition(const std::vector<mesh::Vec3>& points,
+                      const std::vector<Weight>& weights, Rank nparts);
+
+}  // namespace plum::partition

@@ -1,0 +1,300 @@
+#include "pmesh/dist_mesh.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace plum::pmesh {
+
+using mesh::TetMesh;
+
+DistMesh::DistMesh(const TetMesh& global, const partition::PartVec& root_part,
+                   Rank nranks) {
+  PLUM_ASSERT(static_cast<Index>(root_part.size()) ==
+              global.num_initial_elements());
+  locals_.resize(static_cast<std::size_t>(nranks));
+
+  // Rank of every element = rank of its root; of every boundary face = rank
+  // of its adjacent element tree.
+  const Index nt = global.num_elements();
+  std::vector<Rank> elem_rank(static_cast<std::size_t>(nt), kNoRank);
+  for (Index t = 0; t < nt; ++t) {
+    const auto& el = global.element(t);
+    if (el.alive) elem_rank[static_cast<std::size_t>(t)] = root_part[el.root];
+  }
+  std::vector<Rank> bface_rank(static_cast<std::size_t>(global.num_bfaces()),
+                               kNoRank);
+  for (Index f = 0; f < global.num_bfaces(); ++f) {
+    const auto& bf = global.bface(f);
+    if (!bf.alive || !bf.is_leaf()) continue;
+    // Owner: the leaf element containing all three face vertices.
+    Index owner = kInvalidIndex;
+    for (Index t : global.edge_elements(bf.edges[0])) {
+      const auto& vs = global.element(t).verts;
+      int hits = 0;
+      for (Index fv : bf.verts) {
+        for (Index tv : vs) hits += (tv == fv);
+      }
+      if (hits == 3) {
+        owner = t;
+        break;
+      }
+    }
+    PLUM_ASSERT(owner != kInvalidIndex);
+    bface_rank[static_cast<std::size_t>(f)] =
+        elem_rank[static_cast<std::size_t>(owner)];
+  }
+  // Interior bface-tree nodes inherit from any child (children are deeper
+  // ids, so a reverse sweep sees children first).
+  for (Index f = global.num_bfaces() - 1; f >= 0; --f) {
+    const auto& bf = global.bface(f);
+    if (!bf.alive || bf.is_leaf()) continue;
+    PLUM_ASSERT(bf.child[0] != kInvalidIndex);
+    bface_rank[static_cast<std::size_t>(f)] =
+        bface_rank[static_cast<std::size_t>(bf.child[0])];
+  }
+
+  // Per-global-entity local ids per rank (kInvalidIndex = not present).
+  const Index nv = global.num_vertices();
+  const Index ne = global.num_edges();
+  std::vector<std::vector<Index>> vmap(
+      static_cast<std::size_t>(nranks),
+      std::vector<Index>(static_cast<std::size_t>(nv), kInvalidIndex));
+  std::vector<std::vector<Index>> emap(
+      static_cast<std::size_t>(nranks),
+      std::vector<Index>(static_cast<std::size_t>(ne), kInvalidIndex));
+
+  for (Rank r = 0; r < nranks; ++r) {
+    LocalMesh& lm = locals_[static_cast<std::size_t>(r)];
+
+    // --- select elements (global order => contiguous sibling groups) ------
+    std::vector<Index> tmap(static_cast<std::size_t>(nt), kInvalidIndex);
+    std::vector<Index> sel_elems;
+    for (Index t = 0; t < nt; ++t) {
+      if (elem_rank[static_cast<std::size_t>(t)] == r) {
+        tmap[static_cast<std::size_t>(t)] =
+            static_cast<Index>(sel_elems.size());
+        sel_elems.push_back(t);
+      }
+    }
+
+    // --- vertices & edges referenced by those elements ---------------------
+    auto& vm = vmap[static_cast<std::size_t>(r)];
+    auto& em = emap[static_cast<std::size_t>(r)];
+    std::vector<Index> sel_verts, sel_edges;
+    auto touch_vert = [&](Index v) {
+      if (vm[static_cast<std::size_t>(v)] == kInvalidIndex) {
+        vm[static_cast<std::size_t>(v)] = -2;  // mark; number later in order
+      }
+    };
+    auto touch_edge = [&](Index e) {
+      if (em[static_cast<std::size_t>(e)] == kInvalidIndex) {
+        em[static_cast<std::size_t>(e)] = -2;
+      }
+    };
+    for (Index t : sel_elems) {
+      for (Index v : global.element(t).verts) touch_vert(v);
+      for (Index e : global.element(t).edges) touch_edge(e);
+    }
+    // Midpoints of included bisected edges (endpoints of child edges that
+    // are themselves included when the children's elements are included).
+    for (Index e = 0; e < ne; ++e) {
+      if (em[static_cast<std::size_t>(e)] == -2) {
+        touch_vert(global.edge(e).v0);
+        touch_vert(global.edge(e).v1);
+      }
+    }
+    for (Index v = 0; v < nv; ++v) {
+      if (vm[static_cast<std::size_t>(v)] == -2) {
+        vm[static_cast<std::size_t>(v)] = static_cast<Index>(sel_verts.size());
+        sel_verts.push_back(v);
+      }
+    }
+    for (Index e = 0; e < ne; ++e) {
+      if (em[static_cast<std::size_t>(e)] == -2) {
+        em[static_cast<std::size_t>(e)] = static_cast<Index>(sel_edges.size());
+        sel_edges.push_back(e);
+      }
+    }
+
+    // --- boundary faces -----------------------------------------------------
+    std::vector<Index> fmap(static_cast<std::size_t>(global.num_bfaces()),
+                            kInvalidIndex);
+    std::vector<Index> sel_bfaces;
+    for (Index f = 0; f < global.num_bfaces(); ++f) {
+      if (bface_rank[static_cast<std::size_t>(f)] == r) {
+        fmap[static_cast<std::size_t>(f)] =
+            static_cast<Index>(sel_bfaces.size());
+        sel_bfaces.push_back(f);
+      }
+    }
+
+    // --- build localized records -------------------------------------------
+    auto loc = [](const std::vector<Index>& map, Index id) {
+      return id == kInvalidIndex ? kInvalidIndex : map[static_cast<std::size_t>(id)];
+    };
+
+    std::vector<mesh::Vertex> lverts;
+    lverts.reserve(sel_verts.size());
+    for (Index v : sel_verts) lverts.push_back(global.vertex(v));
+
+    std::vector<mesh::Edge> ledges;
+    ledges.reserve(sel_edges.size());
+    Index n_init_edges = 0;
+    for (Index e : sel_edges) {
+      mesh::Edge ed = global.edge(e);
+      ed.v0 = vm[static_cast<std::size_t>(ed.v0)];
+      ed.v1 = vm[static_cast<std::size_t>(ed.v1)];
+      if (ed.v0 > ed.v1) std::swap(ed.v0, ed.v1);
+      ed.parent = loc(em, ed.parent);
+      // Children present only if the bisection's elements live here.
+      const Index c0 = loc(em, ed.child[0]);
+      const Index c1 = loc(em, ed.child[1]);
+      if (c0 != kInvalidIndex && c1 != kInvalidIndex) {
+        ed.child = {c0, c1};
+        ed.mid = vm[static_cast<std::size_t>(ed.mid)];
+        PLUM_ASSERT(ed.mid != kInvalidIndex);
+      } else {
+        ed.child = {kInvalidIndex, kInvalidIndex};
+        ed.mid = kInvalidIndex;
+      }
+      if (ed.level == 0) ++n_init_edges;
+      ledges.push_back(ed);
+    }
+
+    std::vector<mesh::Element> lelems;
+    lelems.reserve(sel_elems.size());
+    Index n_init_elems = 0;
+    for (Index t : sel_elems) {
+      mesh::Element el = global.element(t);
+      for (auto& v : el.verts) v = vm[static_cast<std::size_t>(v)];
+      for (auto& e : el.edges) e = em[static_cast<std::size_t>(e)];
+      el.parent = loc(tmap, el.parent);
+      el.first_child = loc(tmap, el.first_child);
+      el.root = tmap[static_cast<std::size_t>(el.root)];
+      PLUM_ASSERT(el.root != kInvalidIndex);
+      if (el.level == 0) {
+        ++n_init_elems;
+        lm.root_global.push_back(t);
+      }
+      lelems.push_back(el);
+    }
+
+    std::vector<mesh::BFace> lbfaces;
+    lbfaces.reserve(sel_bfaces.size());
+    for (Index f : sel_bfaces) {
+      mesh::BFace bf = global.bface(f);
+      for (auto& v : bf.verts) v = vm[static_cast<std::size_t>(v)];
+      for (auto& e : bf.edges) e = em[static_cast<std::size_t>(e)];
+      bf.parent = loc(fmap, bf.parent);
+      for (auto& c : bf.child) c = loc(fmap, c);
+      lbfaces.push_back(bf);
+    }
+
+    lm.mesh = TetMesh::assemble(std::move(lverts), std::move(ledges),
+                                std::move(lelems), std::move(lbfaces),
+                                n_init_elems, n_init_edges);
+    lm.vert_global = sel_verts;
+    lm.edge_global = sel_edges;
+  }
+
+  // --- SPLs: invert the per-rank maps --------------------------------------
+  for (Index v = 0; v < nv; ++v) {
+    std::vector<SharedCopy> copies;
+    for (Rank r = 0; r < nranks; ++r) {
+      const Index lid = vmap[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)];
+      if (lid != kInvalidIndex) copies.push_back({r, lid});
+    }
+    if (copies.size() < 2) continue;
+    for (const auto& me : copies) {
+      auto& spl = locals_[static_cast<std::size_t>(me.rank)]
+                      .shared_verts[me.remote_id];
+      for (const auto& other : copies) {
+        if (other.rank != me.rank) spl.push_back(other);
+      }
+    }
+  }
+  for (Index e = 0; e < ne; ++e) {
+    std::vector<SharedCopy> copies;
+    for (Rank r = 0; r < nranks; ++r) {
+      const Index lid = emap[static_cast<std::size_t>(r)][static_cast<std::size_t>(e)];
+      if (lid != kInvalidIndex) copies.push_back({r, lid});
+    }
+    if (copies.size() < 2) continue;
+    for (const auto& me : copies) {
+      auto& spl = locals_[static_cast<std::size_t>(me.rank)]
+                      .shared_edges[me.remote_id];
+      for (const auto& other : copies) {
+        if (other.rank != me.rank) spl.push_back(other);
+      }
+    }
+  }
+}
+
+Index DistMesh::total_active_elements() const {
+  Index sum = 0;
+  for (const auto& lm : locals_) sum += lm.mesh.num_active_elements();
+  return sum;
+}
+
+std::vector<Index> DistMesh::active_elements_per_rank() const {
+  std::vector<Index> out;
+  out.reserve(locals_.size());
+  for (const auto& lm : locals_) out.push_back(lm.mesh.num_active_elements());
+  return out;
+}
+
+double DistMesh::shared_object_fraction() const {
+  std::int64_t shared = 0, total = 0;
+  for (const auto& lm : locals_) {
+    shared += static_cast<std::int64_t>(lm.shared_verts.size()) +
+              static_cast<std::int64_t>(lm.shared_edges.size());
+    total += lm.mesh.num_vertices() + lm.mesh.num_edges();
+  }
+  return total == 0 ? 0.0 : static_cast<double>(shared) /
+                                static_cast<double>(total);
+}
+
+void DistMesh::validate() const {
+  for (Rank r = 0; r < nranks(); ++r) {
+    const LocalMesh& lm = local(r);
+    lm.mesh.validate();
+    for (const auto& [lid, spl] : lm.shared_edges) {
+      for (const auto& copy : spl) {
+        const LocalMesh& other = local(copy.rank);
+        // Symmetry: the copy's SPL must point back at us.
+        auto it = other.shared_edges.find(copy.remote_id);
+        PLUM_ASSERT_MSG(it != other.shared_edges.end(), "asymmetric edge SPL");
+        const bool back = std::any_of(
+            it->second.begin(), it->second.end(), [&](const SharedCopy& c) {
+              return c.rank == r && c.remote_id == lid;
+            });
+        PLUM_ASSERT_MSG(back, "edge SPL does not mirror");
+        // Geometry agreement.
+        const auto& ea = lm.mesh.edge(lid);
+        const auto& eb = other.mesh.edge(copy.remote_id);
+        const auto pa0 = lm.mesh.vertex(ea.v0).pos;
+        const auto pb0 = other.mesh.vertex(eb.v0).pos;
+        const auto pa1 = lm.mesh.vertex(ea.v1).pos;
+        const auto pb1 = other.mesh.vertex(eb.v1).pos;
+        const bool same = (norm(pa0 - pb0) + norm(pa1 - pb1) < 1e-12) ||
+                          (norm(pa0 - pb1) + norm(pa1 - pb0) < 1e-12);
+        PLUM_ASSERT_MSG(same, "shared edge geometry mismatch");
+      }
+    }
+    for (const auto& [lid, spl] : lm.shared_verts) {
+      for (const auto& copy : spl) {
+        const LocalMesh& other = local(copy.rank);
+        auto it = other.shared_verts.find(copy.remote_id);
+        PLUM_ASSERT_MSG(it != other.shared_verts.end(),
+                        "asymmetric vertex SPL");
+        const auto pa = lm.mesh.vertex(lid).pos;
+        const auto pb = other.mesh.vertex(copy.remote_id).pos;
+        PLUM_ASSERT_MSG(norm(pa - pb) < 1e-12,
+                        "shared vertex geometry mismatch");
+      }
+    }
+  }
+}
+
+}  // namespace plum::pmesh

@@ -1,0 +1,95 @@
+#pragma once
+// Distributed tetrahedral mesh (paper §3, distributed-memory 3D_TAG).
+//
+// Each logical rank owns the initial-mesh elements its partition assigns to
+// it, plus their whole refinement subtrees (descendants follow their root —
+// that is also why Wremap counts the full tree). Vertices and edges on
+// partition boundaries are replicated on every sharing rank; each shared
+// object carries a shared-processor list (SPL) with the *remote local ids*
+// of its copies, which is what messages address ("a list of shared
+// processors is also generated for each shared object").
+//
+// Construction distributes a (possibly already adapted) global mesh. After
+// that, the parallel marking / refinement algorithms (parallel_adapt.hpp)
+// mutate only the per-rank local meshes and keep the SPL maps consistent
+// through explicit messages. Data migration is performed by redistributing
+// from the global mirror (DESIGN.md §3 documents this substitution); its
+// traffic volumes are charged from the real subtree sizes.
+
+#include <unordered_map>
+#include <vector>
+
+#include "mesh/tet_mesh.hpp"
+#include "partition/quality.hpp"
+#include "runtime/engine.hpp"
+
+namespace plum::pmesh {
+
+/// One (rank, remote local id) entry of a shared object's SPL.
+struct SharedCopy {
+  Rank rank = kNoRank;
+  Index remote_id = kInvalidIndex;
+};
+
+/// Per-rank piece of the distributed mesh.
+struct LocalMesh {
+  mesh::TetMesh mesh;
+
+  /// Local root element -> global initial-element id (dual graph vertex).
+  std::vector<Index> root_global;
+
+  /// Construction-time global ids (local id -> id in the source global
+  /// mesh). Entities created by later parallel adaption have no entry;
+  /// their cross-rank identity lives purely in the SPL maps.
+  std::vector<Index> vert_global;
+  std::vector<Index> edge_global;
+
+  /// SPLs: local id -> copies on other ranks. Only boundary objects appear.
+  std::unordered_map<Index, std::vector<SharedCopy>> shared_verts;
+  std::unordered_map<Index, std::vector<SharedCopy>> shared_edges;
+
+  [[nodiscard]] bool vert_is_shared(Index v) const {
+    return shared_verts.count(v) > 0;
+  }
+  [[nodiscard]] bool edge_is_shared(Index e) const {
+    return shared_edges.count(e) > 0;
+  }
+};
+
+class DistMesh {
+ public:
+  /// Distributes `global` over `nranks` ranks: initial element t goes to
+  /// root_part[t]; descendants follow. `global` may be pre-adapted.
+  DistMesh(const mesh::TetMesh& global, const partition::PartVec& root_part,
+           Rank nranks);
+
+  [[nodiscard]] Rank nranks() const {
+    return static_cast<Rank>(locals_.size());
+  }
+  [[nodiscard]] LocalMesh& local(Rank r) {
+    return locals_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] const LocalMesh& local(Rank r) const {
+    return locals_[static_cast<std::size_t>(r)];
+  }
+
+  /// Sum over ranks of active local elements (shared objects make vertex /
+  /// edge sums exceed the global counts; elements are never replicated).
+  [[nodiscard]] Index total_active_elements() const;
+
+  /// Per-rank active leaf element counts — the solver load vector.
+  [[nodiscard]] std::vector<Index> active_elements_per_rank() const;
+
+  /// Extra storage fraction of the parallel version: replicated shared
+  /// objects / total local objects (paper: "less than 10%").
+  [[nodiscard]] double shared_object_fraction() const;
+
+  /// Checks SPL symmetry (i's entry for j mirrors j's entry for i) and that
+  /// shared edges/vertices have identical geometry on every copy.
+  void validate() const;
+
+ private:
+  std::vector<LocalMesh> locals_;
+};
+
+}  // namespace plum::pmesh

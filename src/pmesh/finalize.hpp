@@ -1,0 +1,31 @@
+#pragma once
+// Finalization phase (paper §3): "connecting individual subgrids into one
+// global mesh. Each local object is first assigned a unique global number.
+// All processors then update their local data structures accordingly.
+// Finally, a gather operation is performed by a host processor to
+// concatenate the local data structures into a global mesh."
+//
+// Global numbers are agreed upon without any geometry matching: every
+// shared object is owned by the lowest rank in its SPL; owners number their
+// objects densely (prefix offsets over ranks), then push the numbers to the
+// other copies through the BSP engine. The host assembles the result and
+// can hand it straight to post-processing (visualization, restarts).
+
+#include "pmesh/dist_mesh.hpp"
+
+namespace plum::pmesh {
+
+struct FinalizeResult {
+  mesh::TetMesh global;  ///< the concatenated mesh (host view)
+  /// Per-rank maps local id -> global id (what "update their local data
+  /// structures" produces on every processor).
+  std::vector<std::vector<Index>> vert_global;
+  std::vector<std::vector<Index>> edge_global;
+  std::vector<std::vector<Index>> elem_global;
+};
+
+/// Gathers `dm` into one global mesh on the host. The engine's ledger picks
+/// up the numbering messages and the final concatenation traffic.
+FinalizeResult finalize_gather(const DistMesh& dm, rt::Engine& eng);
+
+}  // namespace plum::pmesh

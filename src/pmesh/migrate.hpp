@@ -1,0 +1,41 @@
+#pragma once
+// Data remapping / element migration (paper §4.6): physically move every
+// initial-mesh element whose processor assignment changed — together with
+// its whole refinement subtree ("all descendants of the root element must
+// move with it") — and rebuild the per-rank local meshes and SPLs.
+//
+// The byte traffic charged to the engine is computed from the *real* local
+// subtree sizes (elements, their vertices/edges and boundary faces at the
+// serialized record sizes), so Fig. 5-style remap costs come from measured
+// volumes. The structural rebuild itself reuses the finalization gather +
+// redistribution path (DESIGN.md §3 documents this substitution for the
+// pack/unpack plumbing).
+
+#include "pmesh/dist_mesh.hpp"
+#include "solver/euler.hpp"
+
+namespace plum::pmesh {
+
+struct MigrateStats {
+  /// Initial-mesh elements (roots) that changed processor.
+  Index roots_moved = 0;
+  /// Adapted-mesh elements moved (sum of moved subtree sizes) — the
+  /// quantity Wremap predicts.
+  std::int64_t elements_moved = 0;
+  /// Bytes each rank packed/sent (charged to the engine ledger too).
+  std::vector<std::int64_t> bytes_sent;
+  std::vector<std::int64_t> bytes_received;
+};
+
+/// Moves ownership per `new_root_part` (indexed by *global* initial-element
+/// id) and replaces `dm` with the redistributed mesh. Traffic is charged on
+/// `eng`. If `states` is non-null it holds one per-vertex solution vector
+/// per rank (aligned with the old local meshes) and is rewritten to follow
+/// the new distribution — the "all necessary data is appropriately
+/// redistributed" of the paper's Fig. 1.
+MigrateStats migrate(DistMesh& dm, rt::Engine& eng,
+                     const partition::PartVec& new_root_part,
+                     std::vector<std::vector<solver::State>>* states =
+                         nullptr);
+
+}  // namespace plum::pmesh

@@ -1,0 +1,114 @@
+#include "pmesh/parallel_coarsen.hpp"
+
+#include "pmesh/finalize.hpp"
+#include "util/assert.hpp"
+
+namespace plum::pmesh {
+
+ParallelCoarsenResult parallel_coarsen(
+    DistMesh& dm, rt::Engine& eng,
+    const std::vector<std::vector<char>>& marks,
+    std::vector<std::vector<solver::State>>* states) {
+  const Rank P = dm.nranks();
+  PLUM_ASSERT(static_cast<Rank>(marks.size()) == P);
+
+  ParallelCoarsenResult out;
+  out.elements_before = dm.total_active_elements();
+
+  // --- gather (global numbering travels through the engine) ------------------
+  auto fin = finalize_gather(dm, eng);
+
+  // Translate per-rank marks to the gathered edge numbering.
+  std::vector<char> gmarks(static_cast<std::size_t>(fin.global.num_edges()),
+                           0);
+  for (Rank r = 0; r < P; ++r) {
+    const auto& eg = fin.edge_global[static_cast<std::size_t>(r)];
+    const auto& mk = marks[static_cast<std::size_t>(r)];
+    PLUM_ASSERT(mk.size() == eg.size());
+    for (std::size_t e = 0; e < eg.size(); ++e) {
+      if (mk[e]) gmarks[static_cast<std::size_t>(eg[e])] = 1;
+    }
+  }
+
+  // Assemble the global solution (copies are replicated).
+  std::vector<solver::State> gstate;
+  if (states) {
+    gstate.resize(static_cast<std::size_t>(fin.global.num_vertices()));
+    for (Rank r = 0; r < P; ++r) {
+      const auto& vg = fin.vert_global[static_cast<std::size_t>(r)];
+      const auto& su = (*states)[static_cast<std::size_t>(r)];
+      PLUM_ASSERT(su.size() == vg.size());
+      for (std::size_t v = 0; v < vg.size(); ++v) {
+        gstate[static_cast<std::size_t>(vg[v])] = su[v];
+      }
+    }
+    // The conformity re-refinement may bisect edges; interpolate.
+    fin.global.on_bisect = [&](Index e, Index mid) {
+      const auto& ed = fin.global.edge(e);
+      if (static_cast<std::size_t>(mid) >= gstate.size()) {
+        gstate.resize(static_cast<std::size_t>(mid) + 1);
+      }
+      for (int c = 0; c < solver::kNumVars; ++c) {
+        gstate[static_cast<std::size_t>(mid)][c] =
+            0.5 * (gstate[static_cast<std::size_t>(ed.v0)][c] +
+                   gstate[static_cast<std::size_t>(ed.v1)][c]);
+      }
+    };
+  }
+
+  // --- serial coarsening kernel on the host -----------------------------------
+  // Root ownership before coarsening (gathered numbering; stable through
+  // compaction because initial elements are never removed).
+  partition::PartVec gathered_part(
+      static_cast<std::size_t>(fin.global.num_initial_elements()), kNoRank);
+  std::vector<Index> orig_root(
+      static_cast<std::size_t>(fin.global.num_initial_elements()),
+      kInvalidIndex);
+  for (Rank r = 0; r < P; ++r) {
+    const auto& lm = dm.local(r);
+    for (std::size_t lr = 0; lr < lm.root_global.size(); ++lr) {
+      const Index gid =
+          fin.elem_global[static_cast<std::size_t>(r)][lr];
+      gathered_part[static_cast<std::size_t>(gid)] = r;
+      orig_root[static_cast<std::size_t>(gid)] = lm.root_global[lr];
+    }
+  }
+
+  out.stats = adapt::coarsen_mesh(
+      fin.global, gmarks, [&](const std::vector<Index>& vmap) {
+        if (!states) return;
+        std::vector<solver::State> ns(vmap.size());
+        for (std::size_t v = 0; v < vmap.size(); ++v) {
+          if (vmap[v] != kInvalidIndex) {
+            ns[v] = gstate[static_cast<std::size_t>(vmap[v])];
+          }
+        }
+        gstate = std::move(ns);
+      });
+  fin.global.on_bisect = nullptr;
+
+  // --- redistribute under the unchanged ownership -----------------------------
+  DistMesh rebuilt(fin.global, gathered_part, P);
+  for (Rank r = 0; r < P; ++r) {
+    for (auto& g : rebuilt.local(r).root_global) {
+      g = orig_root[static_cast<std::size_t>(g)];
+      PLUM_ASSERT(g != kInvalidIndex);
+    }
+  }
+  if (states) {
+    states->assign(static_cast<std::size_t>(P), {});
+    for (Rank r = 0; r < P; ++r) {
+      const auto& vg = rebuilt.local(r).vert_global;
+      auto& su = (*states)[static_cast<std::size_t>(r)];
+      su.resize(vg.size());
+      for (std::size_t v = 0; v < vg.size(); ++v) {
+        su[v] = gstate[static_cast<std::size_t>(vg[v])];
+      }
+    }
+  }
+  dm = std::move(rebuilt);
+  out.elements_after = dm.total_active_elements();
+  return out;
+}
+
+}  // namespace plum::pmesh

@@ -1,0 +1,34 @@
+#pragma once
+// Distributed coarsening phase (the Coarsening box of the paper's Fig. 1).
+//
+// Coarsening compacts and renumbers every array, which would invalidate all
+// SPL bookkeeping in place; the paper's own finalization phase exists
+// precisely because some operations need a global view. We take that route:
+// gather the distributed mesh on the host (finalize_gather), run the serial
+// coarsening kernel with its full constraint set there, and redistribute
+// under the unchanged root ownership — per-vertex solutions ride along and
+// are re-interpolated where the conformity re-refinement bisects edges.
+// DESIGN.md §3 records this substitution; the marking and refinement
+// phases, which dominate adaption cost, stay fully distributed.
+
+#include "adapt/coarsen.hpp"
+#include "pmesh/dist_mesh.hpp"
+#include "solver/euler.hpp"
+
+namespace plum::pmesh {
+
+struct ParallelCoarsenResult {
+  adapt::CoarsenStats stats;          ///< of the serial kernel on the host
+  Index elements_before = 0;
+  Index elements_after = 0;
+};
+
+/// Coarsens per `marks` (per-rank, local edge ids; copies of shared edges
+/// may be marked on any rank) and replaces `dm` with the redistributed
+/// result. `states` (optional) follows the data as in migrate().
+ParallelCoarsenResult parallel_coarsen(
+    DistMesh& dm, rt::Engine& eng,
+    const std::vector<std::vector<char>>& marks,
+    std::vector<std::vector<solver::State>>* states = nullptr);
+
+}  // namespace plum::pmesh

@@ -1,0 +1,378 @@
+#include "pmesh/parallel_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "runtime/collectives.hpp"
+#include "util/assert.hpp"
+
+namespace plum::pmesh {
+
+using mesh::Vec3;
+using solver::State;
+
+namespace {
+
+constexpr int kTagMetric = 11;
+constexpr int kTagResidual = 12;
+
+struct VertScalarMsg {
+  Index local_id;  ///< receiver-local vertex id
+  double volume;
+  double min_len;
+  Vec3 boundary_area;
+};
+
+struct EdgeAreaMsg {
+  Index local_id;  ///< receiver-local edge id
+  Vec3 area;       ///< sender's partial, oriented sender v0 -> v1
+  Index your_v0;   ///< receiver-local id of the sender's v0 (orientation)
+};
+
+struct ResidualMsg {
+  Index local_id;
+  State partial;
+};
+
+Rank min_rank(Rank self, const std::vector<SharedCopy>& spl) {
+  Rank m = self;
+  for (const auto& c : spl) m = std::min(m, c.rank);
+  return m;
+}
+
+}  // namespace
+
+ParallelEulerSolver::ParallelEulerSolver(DistMesh* dm, rt::Engine* eng,
+                                         solver::EulerOptions opt)
+    : dm_(dm), eng_(eng), opt_(opt) {
+  PLUM_ASSERT(dm != nullptr && eng != nullptr);
+  const Rank P = dm_->nranks();
+  metrics_.resize(static_cast<std::size_t>(P));
+  edge_owned_.resize(static_cast<std::size_t>(P));
+  vert_owned_.resize(static_cast<std::size_t>(P));
+  u_.resize(static_cast<std::size_t>(P));
+
+  for (Rank r = 0; r < P; ++r) {
+    const auto& lm = dm_->local(r);
+    metrics_[static_cast<std::size_t>(r)] =
+        solver::build_dual_metrics(lm.mesh);
+    u_[static_cast<std::size_t>(r)].assign(
+        static_cast<std::size_t>(lm.mesh.num_vertices()),
+        State{1.0, 0.0, 0.0, 0.0, 1.0 / (opt_.gamma - 1.0)});
+
+    auto& eo = edge_owned_[static_cast<std::size_t>(r)];
+    eo.assign(static_cast<std::size_t>(lm.mesh.num_edges()), 1);
+    for (const auto& [e, spl] : lm.shared_edges) {
+      eo[static_cast<std::size_t>(e)] = (min_rank(r, spl) == r);
+    }
+    auto& vo = vert_owned_[static_cast<std::size_t>(r)];
+    vo.assign(static_cast<std::size_t>(lm.mesh.num_vertices()), 1);
+    for (const auto& [v, spl] : lm.shared_verts) {
+      vo[static_cast<std::size_t>(v)] = (min_rank(r, spl) == r);
+    }
+  }
+  exchange_setup();
+}
+
+void ParallelEulerSolver::exchange_setup() {
+  const Rank P = dm_->nranks();
+
+  // Slot lookup: local edge id -> metrics slot, per rank.
+  std::vector<std::vector<Index>> slot(static_cast<std::size_t>(P));
+  for (Rank r = 0; r < P; ++r) {
+    const auto& m = metrics_[static_cast<std::size_t>(r)];
+    slot[static_cast<std::size_t>(r)].assign(
+        static_cast<std::size_t>(dm_->local(r).mesh.num_edges()),
+        kInvalidIndex);
+    for (std::size_t k = 0; k < m.edges.size(); ++k) {
+      slot[static_cast<std::size_t>(r)][static_cast<std::size_t>(m.edges[k])] =
+          static_cast<Index>(k);
+    }
+  }
+
+  int phase = 0;
+  eng_->run([&](Rank r, const rt::Inbox& inbox, rt::Outbox& out) {
+    if (r == 0) ++phase;
+    const auto& lm = dm_->local(r);
+    auto& m = metrics_[static_cast<std::size_t>(r)];
+
+    if (phase == 1) {
+      // Send partial vertex quantities and partial edge areas to copies.
+      std::vector<std::vector<VertScalarMsg>> vout(static_cast<std::size_t>(P));
+      for (const auto& [v, spl] : lm.shared_verts) {
+        for (const auto& c : spl) {
+          vout[static_cast<std::size_t>(c.rank)].push_back(
+              {c.remote_id, m.cell_volume[static_cast<std::size_t>(v)],
+               m.min_edge_length[static_cast<std::size_t>(v)],
+               m.boundary_area[static_cast<std::size_t>(v)]});
+        }
+      }
+      std::vector<std::vector<EdgeAreaMsg>> eout(static_cast<std::size_t>(P));
+      for (const auto& [e, spl] : lm.shared_edges) {
+        const Index s = slot[static_cast<std::size_t>(r)][static_cast<std::size_t>(e)];
+        if (s == kInvalidIndex) continue;  // not active locally
+        const Index v0 = lm.mesh.edge(e).v0;
+        for (const auto& c : spl) {
+          // Receiver-local id of our v0, for orientation agreement.
+          Index v0_on_peer = kInvalidIndex;
+          auto it = lm.shared_verts.find(v0);
+          PLUM_ASSERT(it != lm.shared_verts.end());
+          for (const auto& vc : it->second) {
+            if (vc.rank == c.rank) v0_on_peer = vc.remote_id;
+          }
+          PLUM_ASSERT(v0_on_peer != kInvalidIndex);
+          eout[static_cast<std::size_t>(c.rank)].push_back(
+              {c.remote_id, m.edge_area[static_cast<std::size_t>(s)],
+               v0_on_peer});
+        }
+      }
+      for (Rank q = 0; q < P; ++q) {
+        if (!vout[static_cast<std::size_t>(q)].empty()) {
+          out.send_vec(q, kTagMetric, vout[static_cast<std::size_t>(q)]);
+        }
+        if (!eout[static_cast<std::size_t>(q)].empty()) {
+          out.send_vec(q, kTagMetric + 100, eout[static_cast<std::size_t>(q)]);
+        }
+      }
+      return true;
+    }
+
+    for (const auto* msg : inbox.with_tag(kTagMetric)) {
+      for (const auto& rec : rt::unpack<VertScalarMsg>(*msg)) {
+        m.cell_volume[static_cast<std::size_t>(rec.local_id)] += rec.volume;
+        m.min_edge_length[static_cast<std::size_t>(rec.local_id)] = std::min(
+            m.min_edge_length[static_cast<std::size_t>(rec.local_id)],
+            rec.min_len);
+        m.boundary_area[static_cast<std::size_t>(rec.local_id)] +=
+            rec.boundary_area;
+      }
+    }
+    for (const auto* msg : inbox.with_tag(kTagMetric + 100)) {
+      for (const auto& rec : rt::unpack<EdgeAreaMsg>(*msg)) {
+        const Index s =
+            slot[static_cast<std::size_t>(r)][static_cast<std::size_t>(rec.local_id)];
+        PLUM_ASSERT_MSG(s != kInvalidIndex,
+                        "peer active edge inactive locally");
+        const bool aligned =
+            dm_->local(r).mesh.edge(rec.local_id).v0 == rec.your_v0;
+        m.edge_area[static_cast<std::size_t>(s)] +=
+            aligned ? rec.area : rec.area * -1.0;
+      }
+    }
+    return false;
+  });
+}
+
+double ParallelEulerSolver::pressure(const State& s) const {
+  const double rho = s[0];
+  const double ke = 0.5 * (s[1] * s[1] + s[2] * s[2] + s[3] * s[3]) / rho;
+  return (opt_.gamma - 1.0) * (s[4] - ke);
+}
+
+double ParallelEulerSolver::max_wave_speed(const State& s) const {
+  const double rho = std::max(s[0], 1e-12);
+  const double vel = std::sqrt(s[1] * s[1] + s[2] * s[2] + s[3] * s[3]) / rho;
+  const double p = std::max(pressure(s), 1e-12);
+  return vel + std::sqrt(opt_.gamma * p / rho);
+}
+
+void ParallelEulerSolver::exchange_residuals(
+    std::vector<std::vector<State>>& res) {
+  const Rank P = dm_->nranks();
+  int phase = 0;
+  eng_->run([&](Rank r, const rt::Inbox& inbox, rt::Outbox& out) {
+    if (r == 0) ++phase;
+    const auto& lm = dm_->local(r);
+    if (phase == 1) {
+      std::vector<std::vector<ResidualMsg>> outgoing(
+          static_cast<std::size_t>(P));
+      for (const auto& [v, spl] : lm.shared_verts) {
+        for (const auto& c : spl) {
+          outgoing[static_cast<std::size_t>(c.rank)].push_back(
+              {c.remote_id,
+               res[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)]});
+        }
+      }
+      for (Rank q = 0; q < P; ++q) {
+        if (!outgoing[static_cast<std::size_t>(q)].empty()) {
+          out.send_vec(q, kTagResidual, outgoing[static_cast<std::size_t>(q)]);
+        }
+      }
+      return true;
+    }
+    // Deterministic accumulation: sort contributions by (sender, id).
+    for (const auto* msg : inbox.with_tag(kTagResidual)) {
+      for (const auto& rec : rt::unpack<ResidualMsg>(*msg)) {
+        auto& acc =
+            res[static_cast<std::size_t>(r)][static_cast<std::size_t>(rec.local_id)];
+        for (int c = 0; c < solver::kNumVars; ++c) acc[c] += rec.partial[c];
+      }
+    }
+    return false;
+  });
+}
+
+ParallelEulerSolver::StepInfo ParallelEulerSolver::step() {
+  const Rank P = dm_->nranks();
+  StepInfo info;
+  info.edge_flux_evals.assign(static_cast<std::size_t>(P), 0);
+
+  // --- global CFL dt ---------------------------------------------------------
+  std::vector<double> local_dt(static_cast<std::size_t>(P),
+                               std::numeric_limits<double>::max());
+  for (Rank r = 0; r < P; ++r) {
+    const auto& m = metrics_[static_cast<std::size_t>(r)];
+    for (Index v : m.active_vertices()) {
+      const double h = m.min_edge_length[static_cast<std::size_t>(v)];
+      const double c =
+          max_wave_speed(u_[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)]);
+      local_dt[static_cast<std::size_t>(r)] =
+          std::min(local_dt[static_cast<std::size_t>(r)],
+                   opt_.cfl * h / std::max(c, 1e-12));
+    }
+  }
+  const double dt = rt::allreduce(
+      *eng_, local_dt, [](double a, double b) { return std::min(a, b); },
+      std::numeric_limits<double>::max());
+  info.dt = dt;
+
+  auto compute_residual = [&](const std::vector<std::vector<State>>& u,
+                              std::vector<std::vector<State>>& res) {
+    for (Rank r = 0; r < P; ++r) {
+      const auto& lm = dm_->local(r);
+      const auto& m = metrics_[static_cast<std::size_t>(r)];
+      auto& rr = res[static_cast<std::size_t>(r)];
+      rr.assign(u[static_cast<std::size_t>(r)].size(), State{});
+      const auto& uu = u[static_cast<std::size_t>(r)];
+
+      for (std::size_t k = 0; k < m.edges.size(); ++k) {
+        const Index e = m.edges[k];
+        if (!edge_owned_[static_cast<std::size_t>(r)][static_cast<std::size_t>(e)]) {
+          continue;  // a peer computes this flux
+        }
+        const Index a = lm.mesh.edge(e).v0;
+        const Index b = lm.mesh.edge(e).v1;
+        const Vec3 n = m.edge_area[static_cast<std::size_t>(k)];
+        const double area = norm(n);
+        if (area <= 0) continue;
+        const State& ua = uu[static_cast<std::size_t>(a)];
+        const State& ub = uu[static_cast<std::size_t>(b)];
+        const double pa = pressure(ua), pb = pressure(ub);
+        const Vec3 va{ua[1] / ua[0], ua[2] / ua[0], ua[3] / ua[0]};
+        const Vec3 vb{ub[1] / ub[0], ub[2] / ub[0], ub[3] / ub[0]};
+        const double vna = dot(va, n), vnb = dot(vb, n);
+        const State fa{ua[0] * vna, ua[1] * vna + pa * n.x,
+                       ua[2] * vna + pa * n.y, ua[3] * vna + pa * n.z,
+                       (ua[4] + pa) * vna};
+        const State fb{ub[0] * vnb, ub[1] * vnb + pb * n.x,
+                       ub[2] * vnb + pb * n.y, ub[3] * vnb + pb * n.z,
+                       (ub[4] + pb) * vnb};
+        const double lam =
+            std::max(max_wave_speed(ua), max_wave_speed(ub)) * area;
+        for (int c = 0; c < solver::kNumVars; ++c) {
+          const double f = 0.5 * (fa[c] + fb[c]) - 0.5 * lam * (ub[c] - ua[c]);
+          rr[static_cast<std::size_t>(a)][c] -= f;
+          rr[static_cast<std::size_t>(b)][c] += f;
+        }
+        ++info.edge_flux_evals[static_cast<std::size_t>(r)];
+      }
+    }
+    // Sum partial residuals of shared vertices across copies.
+    exchange_residuals(res);
+    // Boundary closure after the exchange: every copy adds the same full
+    // term locally, so it is counted once in each copy's (identical) total.
+    for (Rank r = 0; r < P; ++r) {
+      const auto& m = metrics_[static_cast<std::size_t>(r)];
+      auto& rr = res[static_cast<std::size_t>(r)];
+      const auto& uu = u[static_cast<std::size_t>(r)];
+      for (std::size_t v = 0; v < rr.size(); ++v) {
+        const Vec3 nb = m.boundary_area[v];
+        if (nb.x == 0 && nb.y == 0 && nb.z == 0) continue;
+        const double p = pressure(uu[v]);
+        rr[v][1] -= p * nb.x;
+        rr[v][2] -= p * nb.y;
+        rr[v][3] -= p * nb.z;
+      }
+    }
+  };
+
+  // --- RK2 --------------------------------------------------------------------
+  std::vector<std::vector<State>> res(static_cast<std::size_t>(P));
+  compute_residual(u_, res);
+  std::vector<std::vector<State>> u1 = u_;
+  for (Rank r = 0; r < P; ++r) {
+    const auto& m = metrics_[static_cast<std::size_t>(r)];
+    for (Index v : m.active_vertices()) {
+      const double inv_vol = 1.0 / m.cell_volume[static_cast<std::size_t>(v)];
+      for (int c = 0; c < solver::kNumVars; ++c) {
+        u1[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)][c] +=
+            0.5 * dt *
+            res[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)][c] *
+            inv_vol;
+      }
+    }
+  }
+  compute_residual(u1, res);
+  for (Rank r = 0; r < P; ++r) {
+    const auto& m = metrics_[static_cast<std::size_t>(r)];
+    for (Index v : m.active_vertices()) {
+      const double inv_vol = 1.0 / m.cell_volume[static_cast<std::size_t>(v)];
+      for (int c = 0; c < solver::kNumVars; ++c) {
+        u_[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)][c] +=
+            dt *
+            res[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)][c] *
+            inv_vol;
+      }
+    }
+  }
+  return info;
+}
+
+void ParallelEulerSolver::run(int nsteps) {
+  for (int i = 0; i < nsteps; ++i) step();
+}
+
+State ParallelEulerSolver::totals() const {
+  State t{};
+  for (Rank r = 0; r < dm_->nranks(); ++r) {
+    const auto& m = metrics_[static_cast<std::size_t>(r)];
+    for (Index v = 0; v < static_cast<Index>(u_[static_cast<std::size_t>(r)].size());
+         ++v) {
+      if (!vert_owned_[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)]) {
+        continue;  // counted by the owner
+      }
+      const double vol = m.cell_volume[static_cast<std::size_t>(v)];
+      for (int c = 0; c < solver::kNumVars; ++c) {
+        t[c] += vol *
+                u_[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)][c];
+      }
+    }
+  }
+  return t;
+}
+
+std::vector<double> ParallelEulerSolver::density_field(Rank r) const {
+  const auto& uu = u_[static_cast<std::size_t>(r)];
+  std::vector<double> rho(uu.size());
+  for (std::size_t v = 0; v < uu.size(); ++v) rho[v] = uu[v][0];
+  return rho;
+}
+
+void ParallelEulerSolver::validate_replication() const {
+  for (Rank r = 0; r < dm_->nranks(); ++r) {
+    for (const auto& [v, spl] : dm_->local(r).shared_verts) {
+      for (const auto& c : spl) {
+        const auto& a = u_[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)];
+        const auto& b = u_[static_cast<std::size_t>(c.rank)]
+                          [static_cast<std::size_t>(c.remote_id)];
+        for (int k = 0; k < solver::kNumVars; ++k) {
+          PLUM_ASSERT_MSG(std::abs(a[k] - b[k]) <= 1e-11,
+                          "shared vertex state diverged across ranks");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace plum::pmesh

@@ -1,0 +1,156 @@
+// Optimal MaxV mapper (paper §4.4): the bottleneck maximum cardinality
+// matching formulation (Gabow & Tarjan [10]). Assigning partition j to
+// processor i costs
+//     C(i,j) = max(alpha * (R_i - S(i,j)),  beta * (W_j - S(i,j)))
+// (elements i must send away vs elements i must receive). We minimize the
+// maximum C over the assignment: binary search on the bottleneck value with
+// a Hopcroft-Karp feasibility check on the thresholded bipartite graph.
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <limits>
+
+#include "remap/mapping.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace plum::remap {
+
+namespace {
+
+/// Hopcroft-Karp maximum matching on a P x P bipartite graph given as
+/// adjacency lists (left -> right). Returns matching size; match_l[l] = r.
+int hopcroft_karp(const std::vector<std::vector<Rank>>& adj, Rank n,
+                  std::vector<Rank>& match_l) {
+  std::vector<Rank> match_r(static_cast<std::size_t>(n), kNoRank);
+  match_l.assign(static_cast<std::size_t>(n), kNoRank);
+  std::vector<Rank> dist(static_cast<std::size_t>(n));
+  constexpr Rank kInfDist = std::numeric_limits<Rank>::max();
+
+  auto bfs = [&]() {
+    std::deque<Rank> q;
+    for (Rank l = 0; l < n; ++l) {
+      if (match_l[static_cast<std::size_t>(l)] == kNoRank) {
+        dist[static_cast<std::size_t>(l)] = 0;
+        q.push_back(l);
+      } else {
+        dist[static_cast<std::size_t>(l)] = kInfDist;
+      }
+    }
+    bool found = false;
+    while (!q.empty()) {
+      const Rank l = q.front();
+      q.pop_front();
+      for (Rank r : adj[static_cast<std::size_t>(l)]) {
+        const Rank next = match_r[static_cast<std::size_t>(r)];
+        if (next == kNoRank) {
+          found = true;
+        } else if (dist[static_cast<std::size_t>(next)] == kInfDist) {
+          dist[static_cast<std::size_t>(next)] =
+              dist[static_cast<std::size_t>(l)] + 1;
+          q.push_back(next);
+        }
+      }
+    }
+    return found;
+  };
+
+  std::function<bool(Rank)> dfs = [&](Rank l) -> bool {
+    for (Rank r : adj[static_cast<std::size_t>(l)]) {
+      const Rank next = match_r[static_cast<std::size_t>(r)];
+      if (next == kNoRank ||
+          (dist[static_cast<std::size_t>(next)] ==
+               dist[static_cast<std::size_t>(l)] + 1 &&
+           dfs(next))) {
+        match_l[static_cast<std::size_t>(l)] = r;
+        match_r[static_cast<std::size_t>(r)] = l;
+        return true;
+      }
+    }
+    dist[static_cast<std::size_t>(l)] = std::numeric_limits<Rank>::max();
+    return false;
+  };
+
+  int matched = 0;
+  while (bfs()) {
+    for (Rank l = 0; l < n; ++l) {
+      if (match_l[static_cast<std::size_t>(l)] == kNoRank && dfs(l)) {
+        ++matched;
+      }
+    }
+  }
+  return matched;
+}
+
+}  // namespace
+
+Assignment map_optimal_bmcm(const SimilarityMatrix& S, double alpha,
+                            double beta) {
+  PLUM_ASSERT_MSG(S.f() == 1, "BMCM mapper implemented for F = 1");
+  Timer timer;
+  const Rank P = S.nprocs();
+
+  std::vector<Weight> R(static_cast<std::size_t>(P)), W(static_cast<std::size_t>(P));
+  for (Rank i = 0; i < P; ++i) R[static_cast<std::size_t>(i)] = S.row_sum(i);
+  for (Rank j = 0; j < P; ++j) W[static_cast<std::size_t>(j)] = S.col_sum(j);
+
+  // Scaled integer costs (alpha/beta are machine ratios; x1024 keeps them
+  // exact for typical values while staying in int64 range).
+  auto cost_of = [&](Rank i, Rank j) -> std::int64_t {
+    const double sent = alpha * static_cast<double>(
+                                    R[static_cast<std::size_t>(i)] - S.at(i, j));
+    const double recv = beta * static_cast<double>(
+                                   W[static_cast<std::size_t>(j)] - S.at(i, j));
+    return static_cast<std::int64_t>(std::max(sent, recv) * 1024.0);
+  };
+
+  std::vector<std::int64_t> costs;
+  costs.reserve(static_cast<std::size_t>(P) * static_cast<std::size_t>(P));
+  for (Rank i = 0; i < P; ++i) {
+    for (Rank j = 0; j < P; ++j) costs.push_back(cost_of(i, j));
+  }
+  std::vector<std::int64_t> sorted = costs;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  // Binary search the smallest bottleneck admitting a perfect matching.
+  std::vector<Rank> match_l;
+  auto feasible = [&](std::int64_t threshold, std::vector<Rank>& ml) {
+    std::vector<std::vector<Rank>> adj(static_cast<std::size_t>(P));
+    for (Rank i = 0; i < P; ++i) {
+      for (Rank j = 0; j < P; ++j) {
+        if (costs[static_cast<std::size_t>(i) * P + j] <= threshold) {
+          adj[static_cast<std::size_t>(i)].push_back(j);
+        }
+      }
+    }
+    return hopcroft_karp(adj, P, ml) == P;
+  };
+
+  std::size_t lo = 0, hi = sorted.size() - 1;
+  // The max threshold always admits the complete graph's perfect matching.
+  PLUM_ASSERT(feasible(sorted[hi], match_l));
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    std::vector<Rank> ml;
+    if (feasible(sorted[mid], ml)) {
+      hi = mid;
+      match_l = std::move(ml);
+    } else {
+      lo = mid + 1;
+    }
+  }
+
+  Assignment out;
+  out.part_to_proc.assign(static_cast<std::size_t>(P), kNoRank);
+  for (Rank i = 0; i < P; ++i) {
+    const Rank j = match_l[static_cast<std::size_t>(i)];
+    out.part_to_proc[static_cast<std::size_t>(j)] = i;
+    out.objective += S.at(i, j);
+  }
+  out.solve_seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace plum::remap

@@ -1,0 +1,45 @@
+#pragma once
+// Processor reassignment (paper §4.4): map each new partition to a
+// processor so the redistribution cost is minimized. Three algorithms, as
+// in the paper:
+//   map_optimal_mwbg      — maximally weighted bipartite graph matching
+//                           (TotalV metric), optimal, Hungarian algorithm.
+//   map_heuristic_greedy  — the paper's O(E) radix-sort greedy; Theorem 1
+//                           guarantees objective >= 1/2 optimal.
+//   map_optimal_bmcm      — bottleneck maximum cardinality matching (MaxV
+//                           metric), optimal, threshold search + Hopcroft-
+//                           Karp; implemented for F = 1 as in the paper.
+
+#include <vector>
+
+#include "remap/similarity.hpp"
+
+namespace plum::remap {
+
+struct Assignment {
+  /// part_to_proc[j] = processor that receives new partition j.
+  std::vector<Rank> part_to_proc;
+  /// Objective F = sum of retained similarity weight (data NOT moved).
+  Weight objective = 0;
+  /// Wall-clock seconds spent solving (the paper's "reassignment time").
+  double solve_seconds = 0;
+};
+
+/// Optimal TotalV mapper. F >= 1 handled by duplicating each processor F
+/// times (paper §4.4). O((PF)^3).
+Assignment map_optimal_mwbg(const SimilarityMatrix& S);
+
+/// The paper's greedy heuristic (pseudocode in §4.4): sort all entries
+/// descending with a radix sort, then assign greedily. O(E) after the sort.
+Assignment map_heuristic_greedy(const SimilarityMatrix& S);
+
+/// Optimal MaxV mapper: minimizes max_i max(alpha * elements_sent_i,
+/// beta * elements_received_i). Requires F == 1.
+Assignment map_optimal_bmcm(const SimilarityMatrix& S, double alpha = 1.0,
+                            double beta = 1.0);
+
+/// The identity mapping (partition j stays on processor j % P) — the
+/// baseline an unmapped repartitioning would induce.
+Assignment map_identity(const SimilarityMatrix& S);
+
+}  // namespace plum::remap

@@ -1,0 +1,123 @@
+#include <algorithm>
+#include <limits>
+
+#include "remap/mapping.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace plum::remap {
+
+namespace {
+
+/// Hungarian algorithm (Jonker-Volgenant potentials formulation) for the
+/// square min-cost assignment problem. cost is n x n, row-major.
+/// Returns col_of_row[r] = assigned column. O(n^3).
+std::vector<int> hungarian_min_cost(const std::vector<std::int64_t>& cost,
+                                    int n) {
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+  // 1-based arrays per the classical formulation.
+  std::vector<std::int64_t> u(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<std::int64_t> v(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<int> p(static_cast<std::size_t>(n) + 1, 0);    // row matched to col
+  std::vector<int> way(static_cast<std::size_t>(n) + 1, 0);
+
+  auto c = [&](int i, int j) {  // 1-based accessor
+    return cost[static_cast<std::size_t>(i - 1) * n + (j - 1)];
+  };
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<std::int64_t> minv(static_cast<std::size_t>(n) + 1, kInf);
+    std::vector<char> used(static_cast<std::size_t>(n) + 1, 0);
+    do {
+      used[static_cast<std::size_t>(j0)] = 1;
+      const int i0 = p[static_cast<std::size_t>(j0)];
+      std::int64_t delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) continue;
+        const std::int64_t cur = c(i0, j) - u[static_cast<std::size_t>(i0)] -
+                                 v[static_cast<std::size_t>(j)];
+        if (cur < minv[static_cast<std::size_t>(j)]) {
+          minv[static_cast<std::size_t>(j)] = cur;
+          way[static_cast<std::size_t>(j)] = j0;
+        }
+        if (minv[static_cast<std::size_t>(j)] < delta) {
+          delta = minv[static_cast<std::size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) {
+          u[static_cast<std::size_t>(p[static_cast<std::size_t>(j)])] += delta;
+          v[static_cast<std::size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<std::size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<std::size_t>(j0)] != 0);
+    do {
+      const int j1 = way[static_cast<std::size_t>(j0)];
+      p[static_cast<std::size_t>(j0)] = p[static_cast<std::size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> col_of_row(static_cast<std::size_t>(n), -1);
+  for (int j = 1; j <= n; ++j) {
+    col_of_row[static_cast<std::size_t>(p[static_cast<std::size_t>(j)] - 1)] =
+        j - 1;
+  }
+  return col_of_row;
+}
+
+}  // namespace
+
+Assignment map_optimal_mwbg(const SimilarityMatrix& S) {
+  Timer timer;
+  const Rank P = S.nprocs();
+  const Rank N = S.nparts();  // = P * F
+  const Rank F = S.f();
+
+  // Duplicate each processor row F times -> square N x N max-weight
+  // assignment; convert to min-cost with (maxS - S).
+  Weight max_entry = 0;
+  for (Rank i = 0; i < P; ++i) {
+    for (Rank j = 0; j < N; ++j) max_entry = std::max(max_entry, S.at(i, j));
+  }
+  std::vector<std::int64_t> cost(static_cast<std::size_t>(N) *
+                                 static_cast<std::size_t>(N));
+  for (Rank r = 0; r < N; ++r) {
+    const Rank i = r / F;  // the processor this duplicated row represents
+    for (Rank j = 0; j < N; ++j) {
+      cost[static_cast<std::size_t>(r) * N + j] = max_entry - S.at(i, j);
+    }
+  }
+  const auto col_of_row = hungarian_min_cost(cost, N);
+
+  Assignment out;
+  out.part_to_proc.assign(static_cast<std::size_t>(N), kNoRank);
+  for (Rank r = 0; r < N; ++r) {
+    const Rank j = col_of_row[static_cast<std::size_t>(r)];
+    out.part_to_proc[static_cast<std::size_t>(j)] = r / F;
+    out.objective += S.at(r / F, j);
+  }
+  out.solve_seconds = timer.seconds();
+  return out;
+}
+
+Assignment map_identity(const SimilarityMatrix& S) {
+  Assignment out;
+  const Rank N = S.nparts();
+  const Rank F = S.f();
+  out.part_to_proc.resize(static_cast<std::size_t>(N));
+  for (Rank j = 0; j < N; ++j) {
+    out.part_to_proc[static_cast<std::size_t>(j)] = j / F;
+    out.objective += S.at(j / F, j);
+  }
+  return out;
+}
+
+}  // namespace plum::remap

@@ -1,0 +1,71 @@
+#include "remap/similarity.hpp"
+
+namespace plum::remap {
+
+SimilarityMatrix::SimilarityMatrix(Rank nprocs, Rank nparts)
+    : nprocs_(nprocs), nparts_(nparts) {
+  PLUM_ASSERT(nprocs >= 1 && nparts >= nprocs && nparts % nprocs == 0);
+  s_.assign(static_cast<std::size_t>(nprocs) * static_cast<std::size_t>(nparts),
+            0);
+}
+
+SimilarityMatrix SimilarityMatrix::build(std::span<const Rank> current_proc,
+                                         std::span<const Rank> new_part,
+                                         std::span<const Weight> wremap,
+                                         Rank nprocs, Rank nparts) {
+  PLUM_ASSERT(current_proc.size() == new_part.size());
+  PLUM_ASSERT(current_proc.size() == wremap.size());
+  SimilarityMatrix S(nprocs, nparts);
+  for (std::size_t v = 0; v < current_proc.size(); ++v) {
+    S.at(current_proc[v], new_part[v]) += wremap[v];
+  }
+  return S;
+}
+
+std::vector<Weight> SimilarityMatrix::build_row(
+    Rank proc, std::span<const Rank> current_proc,
+    std::span<const Rank> new_part, std::span<const Weight> wremap,
+    Rank nparts) {
+  std::vector<Weight> row(static_cast<std::size_t>(nparts), 0);
+  for (std::size_t v = 0; v < current_proc.size(); ++v) {
+    if (current_proc[v] == proc) {
+      row[static_cast<std::size_t>(new_part[v])] += wremap[v];
+    }
+  }
+  return row;
+}
+
+SimilarityMatrix SimilarityMatrix::from_rows(
+    const std::vector<std::vector<Weight>>& rows) {
+  PLUM_ASSERT(!rows.empty());
+  const auto nprocs = static_cast<Rank>(rows.size());
+  const auto nparts = static_cast<Rank>(rows.front().size());
+  SimilarityMatrix S(nprocs, nparts);
+  for (Rank i = 0; i < nprocs; ++i) {
+    PLUM_ASSERT(static_cast<Rank>(rows[i].size()) == nparts);
+    for (Rank j = 0; j < nparts; ++j) {
+      S.at(i, j) = rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    }
+  }
+  return S;
+}
+
+Weight SimilarityMatrix::row_sum(Rank i) const {
+  Weight sum = 0;
+  for (Rank j = 0; j < nparts_; ++j) sum += at(i, j);
+  return sum;
+}
+
+Weight SimilarityMatrix::col_sum(Rank j) const {
+  Weight sum = 0;
+  for (Rank i = 0; i < nprocs_; ++i) sum += at(i, j);
+  return sum;
+}
+
+int SimilarityMatrix::nonzeros() const {
+  int nz = 0;
+  for (const Weight w : s_) nz += (w != 0);
+  return nz;
+}
+
+}  // namespace plum::remap

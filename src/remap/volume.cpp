@@ -1,0 +1,62 @@
+#include "remap/volume.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace plum::remap {
+
+RemapVolume evaluate_assignment(const SimilarityMatrix& S,
+                                const Assignment& assign, double alpha,
+                                double beta) {
+  const Rank P = S.nprocs();
+  const Rank N = S.nparts();
+  PLUM_ASSERT(static_cast<Rank>(assign.part_to_proc.size()) == N);
+
+  std::vector<Weight> sent(static_cast<std::size_t>(P), 0);
+  std::vector<Weight> recv(static_cast<std::size_t>(P), 0);
+  std::vector<int> sets(static_cast<std::size_t>(P), 0);
+
+  RemapVolume out;
+  for (Rank i = 0; i < P; ++i) {
+    for (Rank j = 0; j < N; ++j) {
+      const Weight s = S.at(i, j);
+      if (s == 0) continue;
+      const Rank dest = assign.part_to_proc[static_cast<std::size_t>(j)];
+      PLUM_ASSERT(dest != kNoRank);
+      if (dest == i) continue;  // stays home
+      out.total_elems += s;
+      ++out.total_sets;
+      sent[static_cast<std::size_t>(i)] += s;
+      recv[static_cast<std::size_t>(dest)] += s;
+      ++sets[static_cast<std::size_t>(i)];
+      ++sets[static_cast<std::size_t>(dest)];
+    }
+  }
+
+  Rank bottleneck = 0;
+  for (Rank p = 0; p < P; ++p) {
+    out.max_sent = std::max(out.max_sent, sent[static_cast<std::size_t>(p)]);
+    out.max_recv = std::max(out.max_recv, recv[static_cast<std::size_t>(p)]);
+    out.max_sent_or_recv =
+        std::max(out.max_sent_or_recv,
+                 std::max(sent[static_cast<std::size_t>(p)],
+                          recv[static_cast<std::size_t>(p)]));
+    const Weight both =
+        sent[static_cast<std::size_t>(p)] + recv[static_cast<std::size_t>(p)];
+    if (both > sent[static_cast<std::size_t>(bottleneck)] +
+                   recv[static_cast<std::size_t>(bottleneck)]) {
+      bottleneck = p;
+    }
+    out.maxv_cost = std::max(
+        out.maxv_cost,
+        std::max(alpha * static_cast<double>(sent[static_cast<std::size_t>(p)]),
+                 beta * static_cast<double>(recv[static_cast<std::size_t>(p)])));
+  }
+  out.bottleneck_elems = sent[static_cast<std::size_t>(bottleneck)] +
+                         recv[static_cast<std::size_t>(bottleneck)];
+  out.bottleneck_sets = sets[static_cast<std::size_t>(bottleneck)];
+  return out;
+}
+
+}  // namespace plum::remap

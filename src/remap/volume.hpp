@@ -1,0 +1,34 @@
+#pragma once
+// Data-movement volumes induced by a processor assignment (paper §4.4-4.5).
+// These are the quantities of Fig. 2 and Table 2:
+//   Ctotal / Ntotal — total elements and element-sets moved (TotalV view),
+//   Cmax   / Nmax   — elements and sets moved by the bottleneck processor
+//                     (MaxV view),
+//   max(Sent, Recd) — the per-processor bottleneck Table 2's 2nd column
+//                     reports.
+
+#include "remap/mapping.hpp"
+#include "remap/similarity.hpp"
+
+namespace plum::remap {
+
+struct RemapVolume {
+  Weight total_elems = 0;  ///< Ctotal: sum of all moved similarity weight
+  int total_sets = 0;      ///< Ntotal: nonzero S(i,j) with j assigned away
+  Weight max_sent = 0;     ///< max over processors of elements sent
+  Weight max_recv = 0;     ///< max over processors of elements received
+  /// max_i max(sent_i, recv_i) — Table 2's "Max(Sent,Recd)".
+  Weight max_sent_or_recv = 0;
+  Weight bottleneck_elems = 0;  ///< Cmax: sent+recv of the bottleneck proc
+  int bottleneck_sets = 0;      ///< Nmax: sets touching the bottleneck proc
+
+  /// MaxV cost kernel: max_i max(alpha*sent_i, beta*recv_i).
+  double maxv_cost = 0;
+};
+
+/// Evaluates the volumes for `assign` against similarity matrix S.
+RemapVolume evaluate_assignment(const SimilarityMatrix& S,
+                                const Assignment& assign, double alpha = 1.0,
+                                double beta = 1.0);
+
+}  // namespace plum::remap

@@ -1,0 +1,55 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+
+namespace plum::rt {
+
+std::int64_t Ledger::total_bytes() const {
+  std::int64_t sum = 0;
+  for (const auto& step : steps) {
+    for (const auto& c : step) sum += c.bytes_sent;
+  }
+  return sum;
+}
+
+std::int64_t Ledger::max_rank_compute() const {
+  if (steps.empty()) return 0;
+  const std::size_t nranks = steps.front().size();
+  std::int64_t best = 0;
+  for (std::size_t r = 0; r < nranks; ++r) {
+    std::int64_t sum = 0;
+    for (const auto& step : steps) sum += step[r].compute_units;
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+bool Engine::superstep(
+    const std::function<bool(Rank, const Inbox&, Outbox&)>& fn) {
+  // Swap out the queues filled by the previous superstep; sends made during
+  // this step land in fresh queues and are only visible next step.
+  std::vector<std::vector<Message>> delivering(
+      static_cast<std::size_t>(nranks_));
+  delivering.swap(pending_);
+
+  std::vector<StepCounters> counters(static_cast<std::size_t>(nranks_));
+  bool any_continue = false;
+  for (Rank r = 0; r < nranks_; ++r) {
+    Inbox inbox(std::move(delivering[static_cast<std::size_t>(r)]));
+    Outbox outbox(r, nranks_, &pending_,
+                  &counters[static_cast<std::size_t>(r)]);
+    any_continue |= fn(r, inbox, outbox);
+  }
+  ledger_.steps.push_back(std::move(counters));
+  return any_continue;
+}
+
+void Engine::run(const std::function<bool(Rank, const Inbox&, Outbox&)>& fn,
+                 int max_steps) {
+  for (int s = 0; s < max_steps; ++s) {
+    if (!superstep(fn)) return;
+  }
+  PLUM_ASSERT_MSG(false, "BSP program did not terminate within max_steps");
+}
+
+}  // namespace plum::rt

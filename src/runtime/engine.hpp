@@ -1,0 +1,124 @@
+#pragma once
+// BSP superstep engine.
+//
+// Algorithms are written SPMD-style: a superstep function runs once per
+// logical rank, reading the messages delivered at the end of the previous
+// superstep and posting new ones. The engine executes ranks sequentially
+// and deterministically (rank 0, 1, ..., P-1), then routes all posted
+// messages for the next superstep — the synchronous model a bulk-
+// synchronous MPI code runs under, minus nondeterministic arrival order.
+//
+// Every send and every charge() is recorded per rank per superstep; the
+// sim::CostModel converts these ledgers into SP2-style phase times, which
+// is how the paper's Figs. 4-6 are reproduced from real executions.
+
+#include <functional>
+#include <vector>
+
+#include "runtime/message.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace plum::rt {
+
+/// Messages delivered to one rank for the current superstep.
+class Inbox {
+ public:
+  explicit Inbox(std::vector<Message> msgs) : msgs_(std::move(msgs)) {}
+  [[nodiscard]] const std::vector<Message>& messages() const { return msgs_; }
+
+  /// Messages with a specific tag, in sender-rank order.
+  [[nodiscard]] std::vector<const Message*> with_tag(int tag) const {
+    std::vector<const Message*> out;
+    for (const auto& m : msgs_) {
+      if (m.tag == tag) out.push_back(&m);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Message> msgs_;
+};
+
+/// Per-superstep accounting for one rank.
+struct StepCounters {
+  std::int64_t compute_units = 0;  ///< abstract work units charged
+  std::int64_t msgs_sent = 0;
+  std::int64_t bytes_sent = 0;
+};
+
+/// Send-side interface handed to the superstep function.
+class Outbox {
+ public:
+  Outbox(Rank self, Rank nranks, std::vector<std::vector<Message>>* queues,
+         StepCounters* counters)
+      : self_(self), nranks_(nranks), queues_(queues), counters_(counters) {}
+
+  void send(Rank to, int tag, std::vector<std::byte> bytes) {
+    PLUM_ASSERT(to >= 0 && to < nranks_);
+    counters_->msgs_sent += 1;
+    counters_->bytes_sent += static_cast<std::int64_t>(bytes.size());
+    (*queues_)[static_cast<std::size_t>(to)].push_back(
+        Message{self_, tag, std::move(bytes)});
+  }
+
+  template <typename T>
+  void send_vec(Rank to, int tag, const std::vector<T>& items) {
+    send(to, tag, pack(items));
+  }
+
+  /// Charges abstract local work (e.g. elements touched) to this rank.
+  void charge(std::int64_t units) { counters_->compute_units += units; }
+
+  [[nodiscard]] Rank self() const { return self_; }
+  [[nodiscard]] Rank nranks() const { return nranks_; }
+
+ private:
+  Rank self_;
+  Rank nranks_;
+  std::vector<std::vector<Message>>* queues_;
+  StepCounters* counters_;
+};
+
+/// Full ledger of one engine run: counters[step][rank].
+struct Ledger {
+  std::vector<std::vector<StepCounters>> steps;
+
+  [[nodiscard]] int num_supersteps() const {
+    return static_cast<int>(steps.size());
+  }
+  /// Sum of bytes sent by all ranks over the whole run.
+  [[nodiscard]] std::int64_t total_bytes() const;
+  /// Max over ranks of total compute units (the bottleneck processor).
+  [[nodiscard]] std::int64_t max_rank_compute() const;
+};
+
+class Engine {
+ public:
+  explicit Engine(Rank nranks) : nranks_(nranks) {
+    PLUM_ASSERT(nranks >= 1);
+    pending_.resize(static_cast<std::size_t>(nranks));
+  }
+
+  [[nodiscard]] Rank nranks() const { return nranks_; }
+
+  /// One superstep: fn(rank, inbox, outbox) -> bool "I want another step".
+  /// Returns true while any rank asked to continue (the usual loop driver).
+  bool superstep(
+      const std::function<bool(Rank, const Inbox&, Outbox&)>& fn);
+
+  /// Runs supersteps until no rank wants more. `max_steps` guards against
+  /// livelock in buggy programs.
+  void run(const std::function<bool(Rank, const Inbox&, Outbox&)>& fn,
+           int max_steps = 1 << 20);
+
+  [[nodiscard]] const Ledger& ledger() const { return ledger_; }
+  void reset_ledger() { ledger_.steps.clear(); }
+
+ private:
+  Rank nranks_;
+  std::vector<std::vector<Message>> pending_;  // queued for next superstep
+  Ledger ledger_;
+};
+
+}  // namespace plum::rt

@@ -1,0 +1,48 @@
+#include "solver/init_conditions.hpp"
+
+#include <cmath>
+
+namespace plum::solver {
+
+namespace {
+
+State quiescent(double rho, double p, double gamma) {
+  return State{rho, 0.0, 0.0, 0.0, p / (gamma - 1.0)};
+}
+
+}  // namespace
+
+void init_blast(const mesh::TetMesh& mesh, std::vector<State>& u,
+                const BlastSpec& spec) {
+  u.assign(static_cast<std::size_t>(mesh.num_vertices()),
+           quiescent(spec.density, spec.outer_pressure, spec.gamma));
+  for (Index v = 0; v < mesh.num_vertices(); ++v) {
+    const auto d = mesh.vertex(v).pos - spec.center;
+    if (norm(d) < spec.radius) {
+      u[static_cast<std::size_t>(v)] =
+          quiescent(spec.density, spec.inner_pressure, spec.gamma);
+    }
+  }
+}
+
+void init_pulse(const mesh::TetMesh& mesh, std::vector<State>& u,
+                const PulseSpec& spec) {
+  u.assign(static_cast<std::size_t>(mesh.num_vertices()),
+           quiescent(1.0, 1.0, spec.gamma));
+  for (Index v = 0; v < mesh.num_vertices(); ++v) {
+    const auto d = mesh.vertex(v).pos - spec.center;
+    const double r2 = dot(d, d);
+    const double bump =
+        spec.amplitude * std::exp(-r2 / (2.0 * spec.width * spec.width));
+    u[static_cast<std::size_t>(v)] =
+        quiescent(1.0 + bump, 1.0 + spec.gamma * bump, spec.gamma);
+  }
+}
+
+void init_uniform(const mesh::TetMesh& mesh, std::vector<State>& u,
+                  double rho, double p, double gamma) {
+  u.assign(static_cast<std::size_t>(mesh.num_vertices()),
+           quiescent(rho, p, gamma));
+}
+
+}  // namespace plum::solver

@@ -1,0 +1,39 @@
+#pragma once
+// Initial conditions for the Euler substrate. The blast case plays the role
+// of the paper's rotor acoustics problem: a strong localized feature whose
+// motion concentrates the error indicator in a subregion of the domain,
+// which is exactly what drives nontrivial load imbalance.
+
+#include "solver/euler.hpp"
+
+namespace plum::solver {
+
+struct BlastSpec {
+  mesh::Vec3 center{0.5, 0.5, 0.5};
+  double radius = 0.15;
+  double inner_pressure = 10.0;
+  double outer_pressure = 1.0;
+  double density = 1.0;
+  double gamma = 1.4;
+};
+
+/// Spherical high-pressure region (Sod-like radial blast).
+void init_blast(const mesh::TetMesh& mesh, std::vector<State>& u,
+                const BlastSpec& spec = {});
+
+struct PulseSpec {
+  mesh::Vec3 center{0.3, 0.5, 0.5};
+  double width = 0.12;
+  double amplitude = 0.3;
+  double gamma = 1.4;
+};
+
+/// Smooth Gaussian density/pressure pulse (acoustic benchmark).
+void init_pulse(const mesh::TetMesh& mesh, std::vector<State>& u,
+                const PulseSpec& spec = {});
+
+/// Uniform quiescent state.
+void init_uniform(const mesh::TetMesh& mesh, std::vector<State>& u,
+                  double rho = 1.0, double p = 1.0, double gamma = 1.4);
+
+}  // namespace plum::solver

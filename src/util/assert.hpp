@@ -1,0 +1,30 @@
+#pragma once
+// Always-on invariant checking. Unlike <cassert> these fire in release
+// builds too: the adaption/remapping data structures are intricate enough
+// that silent corruption is far more expensive than the branch.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace plum::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "plum assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace plum::detail
+
+#define PLUM_ASSERT(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::plum::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);     \
+  } while (0)
+
+#define PLUM_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::plum::detail::assert_fail(#expr, __FILE__, __LINE__, msg);         \
+  } while (0)

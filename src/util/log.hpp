@@ -1,0 +1,23 @@
+#pragma once
+// Minimal leveled logging to stderr. Off by default above `warn` so tests
+// and benches stay quiet; benches flip to `info` for progress lines.
+
+#include <cstdarg>
+
+namespace plum {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global threshold; messages above it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace plum
+
+#define PLUM_LOG_INFO(...) ::plum::logf(::plum::LogLevel::kInfo, __VA_ARGS__)
+#define PLUM_LOG_WARN(...) ::plum::logf(::plum::LogLevel::kWarn, __VA_ARGS__)
+#define PLUM_LOG_DEBUG(...) ::plum::logf(::plum::LogLevel::kDebug, __VA_ARGS__)

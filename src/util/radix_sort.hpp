@@ -1,0 +1,55 @@
+#pragma once
+// LSD radix sort on 64-bit keys. The paper's heuristic reassignment
+// algorithm (§4.4) sorts similarity-matrix entries in descending order with
+// a radix sort to stay within its O(E) bound; we provide the same tool.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace plum {
+
+/// Sorts `items` ascending by `key(item)` (a uint64). Stable.
+template <typename T, typename KeyFn>
+void radix_sort_by_key(std::vector<T>& items, KeyFn key) {
+  constexpr int kBits = 8;
+  constexpr int kBuckets = 1 << kBits;
+  constexpr std::uint64_t kMask = kBuckets - 1;
+
+  std::vector<T> scratch(items.size());
+  for (int pass = 0; pass < 8; ++pass) {
+    const int shift = pass * kBits;
+    std::array<std::size_t, kBuckets> count{};
+    bool any_nonzero = false;
+    for (const T& it : items) {
+      const std::uint64_t k = (key(it) >> shift) & kMask;
+      any_nonzero |= (k != 0);
+      ++count[k];
+    }
+    // All remaining digits zero once an entire pass lands in bucket 0.
+    if (!any_nonzero && count[0] == items.size()) {
+      if (pass == 0) continue;  // keys may still have higher digits
+      break;
+    }
+    std::size_t offset = 0;
+    std::array<std::size_t, kBuckets> start{};
+    for (int b = 0; b < kBuckets; ++b) {
+      start[b] = offset;
+      offset += count[b];
+    }
+    for (T& it : items) scratch[start[(key(it) >> shift) & kMask]++] = it;
+    items.swap(scratch);
+  }
+}
+
+/// Sorts descending by key (the order the greedy mapper consumes entries).
+/// Ascending sort + reverse: complementing keys would set the high bits and
+/// force all eight radix passes even for small keys.
+template <typename T, typename KeyFn>
+void radix_sort_descending(std::vector<T>& items, KeyFn key) {
+  radix_sort_by_key(items, key);
+  std::reverse(items.begin(), items.end());
+}
+
+}  // namespace plum

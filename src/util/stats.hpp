@@ -1,0 +1,36 @@
+#pragma once
+// Small numeric helpers for load statistics (imbalance factors, maxima).
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace plum {
+
+/// Sum of a vector of arithmetic values.
+template <typename T>
+[[nodiscard]] T vec_sum(const std::vector<T>& v) {
+  return std::accumulate(v.begin(), v.end(), T{});
+}
+
+/// Maximum element; requires non-empty input.
+template <typename T>
+[[nodiscard]] T vec_max(const std::vector<T>& v) {
+  PLUM_ASSERT(!v.empty());
+  return *std::max_element(v.begin(), v.end());
+}
+
+/// Load imbalance = max / mean. 1.0 is perfectly balanced.
+/// Returns 1.0 for an all-zero load vector (an empty machine is balanced).
+template <typename T>
+[[nodiscard]] double imbalance(const std::vector<T>& loads) {
+  PLUM_ASSERT(!loads.empty());
+  const double sum = static_cast<double>(vec_sum(loads));
+  if (sum == 0) return 1.0;
+  const double mean = sum / static_cast<double>(loads.size());
+  return static_cast<double>(vec_max(loads)) / mean;
+}
+
+}  // namespace plum

@@ -1,0 +1,4 @@
+#include "util/timer.hpp"
+
+// Header-only today; this TU anchors the library and keeps the option of
+// adding platform-specific high-resolution counters without touching users.

@@ -1,0 +1,54 @@
+#pragma once
+// Wall-clock timing used for the genuinely-measured results (e.g. Table 2
+// reassignment times are real wall-clock of our matchers, as in the paper).
+
+#include <chrono>
+#include <string>
+
+namespace plum {
+
+/// Monotonic stopwatch. start() resets; seconds() reads without stopping.
+class Timer {
+ public:
+  Timer() { start(); }
+
+  void start() { t0_ = Clock::now(); }
+
+  /// Elapsed seconds since the last start().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - t0_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point t0_;
+};
+
+/// Accumulates named phase timings (adaption / partitioning / remapping...).
+class PhaseTimer {
+ public:
+  void begin() { timer_.start(); }
+
+  /// Ends the current measurement and adds it to `total_`.
+  double end() {
+    const double s = timer_.seconds();
+    total_ += s;
+    ++count_;
+    return s;
+  }
+
+  [[nodiscard]] double total() const { return total_; }
+  [[nodiscard]] long count() const { return count_; }
+
+  void reset() {
+    total_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  Timer timer_;
+  double total_ = 0;
+  long count_ = 0;
+};
+
+}  // namespace plum

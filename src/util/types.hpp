@@ -1,0 +1,31 @@
+#pragma once
+// Fundamental index and id types shared across all plum subsystems.
+//
+// Mesh entities (vertices, edges, elements, faces) and graph vertices are
+// addressed with 32-bit indices: the paper's largest grid is ~392k edges,
+// and the dual graph is bounded by the *initial* mesh size by design
+// (DESIGN.md #4), so 32 bits leave three orders of magnitude of headroom
+// while halving the memory traffic of adjacency structures.
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+
+namespace plum {
+
+using Index = std::int32_t;   ///< Local index of a mesh/graph entity.
+using GlobalIndex = std::int64_t;  ///< Globally unique id across ranks.
+using Rank = std::int32_t;    ///< Logical processor number.
+using Weight = std::int64_t;  ///< Integer weight (Wcomp / Wremap sums).
+
+/// Sentinel for "no entity" / "unassigned".
+inline constexpr Index kInvalidIndex = -1;
+inline constexpr GlobalIndex kInvalidGlobal = -1;
+inline constexpr Rank kNoRank = -1;
+
+/// Number of edges / faces / vertices of a tetrahedron.
+inline constexpr int kTetEdges = 6;
+inline constexpr int kTetFaces = 4;
+inline constexpr int kTetVerts = 4;
+
+}  // namespace plum

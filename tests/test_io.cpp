@@ -1,0 +1,146 @@
+// Tests for mesh I/O round-tripping, VTK export structure, and the table /
+// similarity printers.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "adapt/adaptor.hpp"
+#include "io/mesh_io.hpp"
+#include "io/snapshot.hpp"
+#include "io/table.hpp"
+#include "io/vtk.hpp"
+#include "mesh/box_mesh.hpp"
+#include "remap/mapping.hpp"
+
+namespace plum::io {
+namespace {
+
+TEST(MeshIo, RoundTripPreservesTopologyAndGeometry) {
+  const auto m = mesh::make_box_mesh(mesh::small_box(2));
+  std::stringstream ss;
+  write_mesh(ss, m);
+  const auto back = read_mesh(ss);
+  EXPECT_EQ(back.num_vertices(), m.num_vertices());
+  EXPECT_EQ(back.num_initial_elements(), m.num_initial_elements());
+  EXPECT_EQ(back.num_edges(), m.num_edges());
+  EXPECT_EQ(back.num_active_bfaces(), m.num_active_bfaces());
+  EXPECT_NEAR(back.total_volume(), m.total_volume(), 1e-12);
+  for (Index v = 0; v < m.num_vertices(); ++v) {
+    EXPECT_NEAR(norm(back.vertex(v).pos - m.vertex(v).pos), 0.0, 1e-15);
+  }
+}
+
+TEST(MeshIo, RejectsBadMagic) {
+  std::stringstream ss("gibberish 7\n");
+  EXPECT_DEATH(read_mesh(ss), "plum-tet");
+}
+
+TEST(Vtk, ExportContainsLeafCellsAndFields) {
+  const auto m = mesh::make_box_mesh(mesh::small_box(1));
+  VtkFields f;
+  f.vertex_scalar.assign(static_cast<std::size_t>(m.num_vertices()), 2.5);
+  f.root_partition.assign(
+      static_cast<std::size_t>(m.num_initial_elements()), 3);
+  std::stringstream ss;
+  write_vtk(ss, m, f);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("DATASET UNSTRUCTURED_GRID"), std::string::npos);
+  EXPECT_NE(out.find("CELLS 6 30"), std::string::npos);
+  EXPECT_NE(out.find("SCALARS density double 1"), std::string::npos);
+  EXPECT_NE(out.find("SCALARS processor int 1"), std::string::npos);
+}
+
+TEST(Table, AlignsColumnsAndFormats) {
+  Table t({"P", "time"});
+  t.add_row({"2", Table::fmt(0.12345, 3)});
+  t.add_row({"64", Table::fmt(std::int64_t{42})});
+  std::stringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("P"), std::string::npos);
+  EXPECT_NE(out.find("0.123"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(SimilarityPrinter, MarksAssignedEntries) {
+  remap::SimilarityMatrix S(2, 2);
+  S.at(0, 0) = 7;
+  S.at(1, 1) = 9;
+  const auto a = remap::map_identity(S);
+  std::stringstream ss;
+  print_similarity(ss, S, &a.part_to_proc);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("[7]"), std::string::npos);
+  EXPECT_NE(out.find("[9]"), std::string::npos);
+  EXPECT_NE(out.find("R=7"), std::string::npos);
+}
+
+TEST(Snapshot, RoundTripsAdaptedMeshWithForest) {
+  auto m = mesh::make_box_mesh(mesh::small_box(2));
+  adapt::MeshAdaptor ad(&m);
+  std::vector<char> marks(static_cast<std::size_t>(m.num_edges()), 0);
+  for (Index e = 0; e < m.num_edges(); e += 4) marks[e] = 1;
+  ad.mark(marks);
+  ad.refine();
+
+  std::stringstream ss;
+  write_snapshot(ss, m);
+  const auto snap = read_snapshot(ss);
+  snap.mesh.validate();
+  EXPECT_EQ(snap.mesh.num_vertices(), m.num_vertices());
+  EXPECT_EQ(snap.mesh.num_edges(), m.num_edges());
+  EXPECT_EQ(snap.mesh.num_elements(), m.num_elements());
+  EXPECT_EQ(snap.mesh.num_active_elements(), m.num_active_elements());
+  EXPECT_EQ(snap.mesh.num_active_bfaces(), m.num_active_bfaces());
+  EXPECT_EQ(snap.mesh.num_initial_elements(), m.num_initial_elements());
+  const auto wa = snap.mesh.root_weights();
+  const auto wb = m.root_weights();
+  EXPECT_EQ(wa.wcomp, wb.wcomp);
+  EXPECT_EQ(wa.wremap, wb.wremap);
+  EXPECT_TRUE(snap.solution.empty());
+}
+
+TEST(Snapshot, RestartedMeshCanCoarsenBelowSnapshotLevel) {
+  // The whole point of storing the forest: a restart can coarsen back.
+  auto m = mesh::make_box_mesh(mesh::small_box(1));
+  adapt::MeshAdaptor ad(&m);
+  std::vector<char> all(static_cast<std::size_t>(m.num_edges()), 1);
+  ad.mark(all);
+  ad.refine();
+
+  std::stringstream ss;
+  write_snapshot(ss, m);
+  auto snap = read_snapshot(ss);
+
+  adapt::MeshAdaptor ad2(&snap.mesh);
+  std::vector<char> cm(static_cast<std::size_t>(snap.mesh.num_edges()), 1);
+  ad2.coarsen(cm);
+  snap.mesh.validate();
+  EXPECT_EQ(snap.mesh.num_active_elements(), 6);
+}
+
+TEST(Snapshot, CarriesSolutionBlock) {
+  auto m = mesh::make_box_mesh(mesh::small_box(1));
+  std::vector<std::array<double, 5>> sol(
+      static_cast<std::size_t>(m.num_vertices()));
+  for (std::size_t v = 0; v < sol.size(); ++v) {
+    sol[v] = {1.0 + v, 0.5, -0.25, 0.125, 2.0};
+  }
+  std::stringstream ss;
+  write_snapshot(ss, m, sol);
+  const auto snap = read_snapshot(ss);
+  ASSERT_EQ(snap.solution.size(), sol.size());
+  for (std::size_t v = 0; v < sol.size(); ++v) {
+    for (int c = 0; c < 5; ++c) EXPECT_DOUBLE_EQ(snap.solution[v][c], sol[v][c]);
+  }
+}
+
+TEST(Snapshot, RejectsBadHeader) {
+  std::stringstream ss("plum-snap 99\n");
+  EXPECT_DEATH(read_snapshot(ss), "plum-snap");
+}
+
+}  // namespace
+}  // namespace plum::io

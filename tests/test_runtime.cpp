@@ -1,0 +1,173 @@
+// Unit tests for the BSP runtime: message routing, determinism, ledger
+// accounting, collectives.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "runtime/collectives.hpp"
+#include "runtime/engine.hpp"
+
+namespace plum::rt {
+namespace {
+
+TEST(Message, PackUnpackRoundTrip) {
+  std::vector<std::int32_t> v = {1, -2, 3};
+  const auto bytes = pack(v);
+  EXPECT_EQ(bytes.size(), 12u);
+  const auto back = unpack<std::int32_t>(bytes);
+  EXPECT_EQ(back, v);
+}
+
+TEST(Message, EmptyPayload) {
+  std::vector<double> v;
+  const auto back = unpack<double>(pack(v));
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(Engine, RingPassDeliversNextStep) {
+  const Rank p = 4;
+  Engine eng(p);
+  std::vector<int> received(p, -1);
+  int phase = 0;
+  eng.run([&](Rank r, const Inbox& in, Outbox& out) {
+    if (r == 0) ++phase;
+    if (phase == 1) {
+      out.send_vec<int>((r + 1) % p, 0, {static_cast<int>(r)});
+      return true;
+    }
+    for (const auto& m : in.messages()) {
+      received[r] = unpack<int>(m)[0];
+    }
+    return false;
+  });
+  for (Rank r = 0; r < p; ++r) EXPECT_EQ(received[r], (r + p - 1) % p);
+}
+
+TEST(Engine, MessagesNotVisibleSameStep) {
+  Engine eng(2);
+  bool saw_in_step0 = false;
+  int step = 0;
+  eng.run([&](Rank r, const Inbox& in, Outbox& out) {
+    if (r == 0 && step == 0) {
+      out.send_vec<int>(1, 0, {99});
+    }
+    if (r == 1 && step == 0) saw_in_step0 = !in.messages().empty();
+    if (r == 1) ++step;
+    return step < 2;
+  });
+  EXPECT_FALSE(saw_in_step0);
+}
+
+TEST(Engine, LedgerCountsBytesAndMessages) {
+  Engine eng(2);
+  int phase = 0;
+  eng.run([&](Rank r, const Inbox&, Outbox& out) {
+    if (r == 0 && phase == 0) {
+      out.send_vec<std::int64_t>(1, 0, {1, 2, 3});
+      out.charge(10);
+    }
+    if (r == 1) ++phase;
+    return phase < 2;
+  });
+  EXPECT_EQ(eng.ledger().total_bytes(), 24);
+  EXPECT_EQ(eng.ledger().max_rank_compute(), 10);
+}
+
+TEST(Engine, TagFiltering) {
+  Engine eng(2);
+  std::vector<int> got;
+  int phase = 0;
+  eng.run([&](Rank r, const Inbox& in, Outbox& out) {
+    if (r == 0) ++phase;
+    if (phase == 1) {
+      if (r == 0) {
+        out.send_vec<int>(1, 7, {70});
+        out.send_vec<int>(1, 8, {80});
+      }
+      return true;
+    }
+    if (r == 1) {
+      for (const auto* m : in.with_tag(8)) got.push_back(unpack<int>(*m)[0]);
+    }
+    return false;
+  });
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 80);
+}
+
+TEST(Collectives, AllToAll) {
+  const Rank p = 3;
+  Engine eng(p);
+  std::vector<std::vector<std::vector<int>>> input(p);
+  for (Rank r = 0; r < p; ++r) {
+    input[r].resize(p);
+    for (Rank to = 0; to < p; ++to) input[r][to] = {r * 10 + to};
+  }
+  const auto recv = all_to_all(eng, input);
+  for (Rank r = 0; r < p; ++r) {
+    for (Rank from = 0; from < p; ++from) {
+      ASSERT_EQ(recv[r][from].size(), 1u);
+      EXPECT_EQ(recv[r][from][0], from * 10 + r);
+    }
+  }
+}
+
+TEST(Collectives, GatherToRoot) {
+  const Rank p = 4;
+  Engine eng(p);
+  std::vector<std::vector<int>> input(p);
+  for (Rank r = 0; r < p; ++r) input[r] = {static_cast<int>(r * r)};
+  const auto rows = gather(eng, input, 0);
+  ASSERT_EQ(rows.size(), static_cast<std::size_t>(p));
+  for (Rank r = 0; r < p; ++r) EXPECT_EQ(rows[r][0], r * r);
+}
+
+TEST(Collectives, ScatterFromRoot) {
+  const Rank p = 3;
+  Engine eng(p);
+  std::vector<std::vector<int>> input = {{0}, {11}, {22}};
+  const auto got = scatter(eng, input, 0);
+  for (Rank r = 0; r < p; ++r) EXPECT_EQ(got[r][0], r * 11);
+}
+
+TEST(Collectives, Allgather) {
+  const Rank p = 3;
+  Engine eng(p);
+  std::vector<std::vector<int>> input = {{1}, {2}, {3}};
+  const auto all = allgather(eng, input);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0][0] + all[1][0] + all[2][0], 6);
+}
+
+TEST(Collectives, AllreduceMax) {
+  const Rank p = 5;
+  Engine eng(p);
+  std::vector<std::int64_t> vals = {3, 1, 4, 1, 5};
+  const auto m = allreduce(
+      eng, vals, [](std::int64_t a, std::int64_t b) { return std::max(a, b); },
+      std::int64_t{0});
+  EXPECT_EQ(m, 5);
+}
+
+TEST(Engine, LedgerTracksSupersteps) {
+  Engine eng(2);
+  int steps = 0;
+  eng.run([&](Rank r, const Inbox&, Outbox&) {
+    if (r == 0) ++steps;
+    return steps < 3;
+  });
+  EXPECT_EQ(eng.ledger().num_supersteps(), 3);
+  eng.reset_ledger();
+  EXPECT_EQ(eng.ledger().num_supersteps(), 0);
+}
+
+TEST(Engine, RunAbortsOnLivelock) {
+  Engine eng(1);
+  EXPECT_DEATH(
+      eng.run([](Rank, const Inbox&, Outbox&) { return true; }, 100),
+      "did not terminate");
+}
+
+}  // namespace
+}  // namespace plum::rt

@@ -1,0 +1,132 @@
+// Unit tests for src/util: radix sort, RNG determinism, stats, timers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/radix_sort.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace plum {
+namespace {
+
+TEST(RadixSort, SortsAscendingByKey) {
+  std::vector<std::uint64_t> v = {5, 3, 9, 1, 0, 7, 3};
+  radix_sort_by_key(v, [](std::uint64_t x) { return x; });
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(RadixSort, SortsDescending) {
+  std::vector<std::uint64_t> v = {5, 3, 9, 1, 0, 7, 3};
+  radix_sort_descending(v, [](std::uint64_t x) { return x; });
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<>()));
+}
+
+TEST(RadixSort, EmptyAndSingle) {
+  std::vector<std::uint64_t> empty;
+  radix_sort_by_key(empty, [](std::uint64_t x) { return x; });
+  EXPECT_TRUE(empty.empty());
+  std::vector<std::uint64_t> one = {42};
+  radix_sort_by_key(one, [](std::uint64_t x) { return x; });
+  EXPECT_EQ(one[0], 42u);
+}
+
+TEST(RadixSort, StableOnEqualKeys) {
+  struct Item {
+    std::uint64_t key;
+    int tag;
+  };
+  std::vector<Item> v = {{2, 0}, {1, 1}, {2, 2}, {1, 3}, {2, 4}};
+  radix_sort_by_key(v, [](const Item& i) { return i.key; });
+  // Equal keys keep original relative order.
+  EXPECT_EQ(v[0].tag, 1);
+  EXPECT_EQ(v[1].tag, 3);
+  EXPECT_EQ(v[2].tag, 0);
+  EXPECT_EQ(v[3].tag, 2);
+  EXPECT_EQ(v[4].tag, 4);
+}
+
+TEST(RadixSort, LargeRandomMatchesStdSort) {
+  Rng rng(7);
+  std::vector<std::uint64_t> v(10000);
+  for (auto& x : v) x = rng.next();
+  auto ref = v;
+  radix_sort_by_key(v, [](std::uint64_t x) { return x; });
+  std::sort(ref.begin(), ref.end());
+  EXPECT_EQ(v, ref);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, RangeWithinBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.range(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Stats, ImbalanceOfUniformIsOne) {
+  std::vector<long> loads = {10, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(imbalance(loads), 1.0);
+}
+
+TEST(Stats, ImbalanceOfSkewedLoad) {
+  std::vector<long> loads = {30, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(imbalance(loads), 30.0 / 15.0);
+}
+
+TEST(Stats, ImbalanceAllZeroIsOne) {
+  std::vector<long> loads = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(imbalance(loads), 1.0);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  ASSERT_GT(sink, 0.0);
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(PhaseTimer, AccumulatesAcrossPhases) {
+  PhaseTimer pt;
+  pt.begin();
+  pt.end();
+  pt.begin();
+  pt.end();
+  EXPECT_EQ(pt.count(), 2);
+  EXPECT_GE(pt.total(), 0.0);
+  pt.reset();
+  EXPECT_EQ(pt.count(), 0);
+}
+
+}  // namespace
+}  // namespace plum
