@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1.cpp" "bench/CMakeFiles/bench_table1.dir/bench_table1.cpp.o" "gcc" "bench/CMakeFiles/bench_table1.dir/bench_table1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/plum_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/plum_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/plum_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmesh/CMakeFiles/plum_pmesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/plum_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/plum_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/plum_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/plum_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/plum_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/remap/CMakeFiles/plum_remap.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/plum_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

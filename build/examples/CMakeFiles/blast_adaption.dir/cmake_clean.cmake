@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blast_adaption.dir/blast_adaption.cpp.o"
+  "CMakeFiles/blast_adaption.dir/blast_adaption.cpp.o.d"
+  "blast_adaption"
+  "blast_adaption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blast_adaption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for blast_adaption.
+# This may be replaced when dependencies are built.

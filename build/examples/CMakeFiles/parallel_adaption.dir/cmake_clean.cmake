@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_adaption.dir/parallel_adaption.cpp.o"
+  "CMakeFiles/parallel_adaption.dir/parallel_adaption.cpp.o.d"
+  "parallel_adaption"
+  "parallel_adaption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_adaption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remap_policies.dir/remap_policies.cpp.o"
+  "CMakeFiles/remap_policies.dir/remap_policies.cpp.o.d"
+  "remap_policies"
+  "remap_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remap_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restart_snapshot.dir/restart_snapshot.cpp.o"
+  "CMakeFiles/restart_snapshot.dir/restart_snapshot.cpp.o.d"
+  "restart_snapshot"
+  "restart_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restart_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

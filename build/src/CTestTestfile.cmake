@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("graph")
+subdirs("runtime")
+subdirs("mesh")
+subdirs("adapt")
+subdirs("solver")
+subdirs("partition")
+subdirs("remap")
+subdirs("pmesh")
+subdirs("sim")
+subdirs("io")
+subdirs("core")

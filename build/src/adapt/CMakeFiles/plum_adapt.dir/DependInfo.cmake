@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapt/adaptor.cpp" "src/adapt/CMakeFiles/plum_adapt.dir/adaptor.cpp.o" "gcc" "src/adapt/CMakeFiles/plum_adapt.dir/adaptor.cpp.o.d"
+  "/root/repo/src/adapt/coarsen.cpp" "src/adapt/CMakeFiles/plum_adapt.dir/coarsen.cpp.o" "gcc" "src/adapt/CMakeFiles/plum_adapt.dir/coarsen.cpp.o.d"
+  "/root/repo/src/adapt/error_indicator.cpp" "src/adapt/CMakeFiles/plum_adapt.dir/error_indicator.cpp.o" "gcc" "src/adapt/CMakeFiles/plum_adapt.dir/error_indicator.cpp.o.d"
+  "/root/repo/src/adapt/geometry_marking.cpp" "src/adapt/CMakeFiles/plum_adapt.dir/geometry_marking.cpp.o" "gcc" "src/adapt/CMakeFiles/plum_adapt.dir/geometry_marking.cpp.o.d"
+  "/root/repo/src/adapt/marking.cpp" "src/adapt/CMakeFiles/plum_adapt.dir/marking.cpp.o" "gcc" "src/adapt/CMakeFiles/plum_adapt.dir/marking.cpp.o.d"
+  "/root/repo/src/adapt/patterns.cpp" "src/adapt/CMakeFiles/plum_adapt.dir/patterns.cpp.o" "gcc" "src/adapt/CMakeFiles/plum_adapt.dir/patterns.cpp.o.d"
+  "/root/repo/src/adapt/refine.cpp" "src/adapt/CMakeFiles/plum_adapt.dir/refine.cpp.o" "gcc" "src/adapt/CMakeFiles/plum_adapt.dir/refine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/plum_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plum_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/plum_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

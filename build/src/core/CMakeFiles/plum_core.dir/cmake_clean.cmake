@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_core.dir/dist_framework.cpp.o"
+  "CMakeFiles/plum_core.dir/dist_framework.cpp.o.d"
+  "CMakeFiles/plum_core.dir/framework.cpp.o"
+  "CMakeFiles/plum_core.dir/framework.cpp.o.d"
+  "libplum_core.a"
+  "libplum_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/coloring.cpp" "src/graph/CMakeFiles/plum_graph.dir/coloring.cpp.o" "gcc" "src/graph/CMakeFiles/plum_graph.dir/coloring.cpp.o.d"
+  "/root/repo/src/graph/connect.cpp" "src/graph/CMakeFiles/plum_graph.dir/connect.cpp.o" "gcc" "src/graph/CMakeFiles/plum_graph.dir/connect.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/plum_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/plum_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/dual.cpp" "src/graph/CMakeFiles/plum_graph.dir/dual.cpp.o" "gcc" "src/graph/CMakeFiles/plum_graph.dir/dual.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/plum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_graph.dir/coloring.cpp.o"
+  "CMakeFiles/plum_graph.dir/coloring.cpp.o.d"
+  "CMakeFiles/plum_graph.dir/connect.cpp.o"
+  "CMakeFiles/plum_graph.dir/connect.cpp.o.d"
+  "CMakeFiles/plum_graph.dir/csr.cpp.o"
+  "CMakeFiles/plum_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/plum_graph.dir/dual.cpp.o"
+  "CMakeFiles/plum_graph.dir/dual.cpp.o.d"
+  "libplum_graph.a"
+  "libplum_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/mesh_io.cpp" "src/io/CMakeFiles/plum_io.dir/mesh_io.cpp.o" "gcc" "src/io/CMakeFiles/plum_io.dir/mesh_io.cpp.o.d"
+  "/root/repo/src/io/snapshot.cpp" "src/io/CMakeFiles/plum_io.dir/snapshot.cpp.o" "gcc" "src/io/CMakeFiles/plum_io.dir/snapshot.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/io/CMakeFiles/plum_io.dir/table.cpp.o" "gcc" "src/io/CMakeFiles/plum_io.dir/table.cpp.o.d"
+  "/root/repo/src/io/vtk.cpp" "src/io/CMakeFiles/plum_io.dir/vtk.cpp.o" "gcc" "src/io/CMakeFiles/plum_io.dir/vtk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/plum_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/remap/CMakeFiles/plum_remap.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plum_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/plum_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

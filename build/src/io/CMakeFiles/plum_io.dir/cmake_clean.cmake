@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_io.dir/mesh_io.cpp.o"
+  "CMakeFiles/plum_io.dir/mesh_io.cpp.o.d"
+  "CMakeFiles/plum_io.dir/snapshot.cpp.o"
+  "CMakeFiles/plum_io.dir/snapshot.cpp.o.d"
+  "CMakeFiles/plum_io.dir/table.cpp.o"
+  "CMakeFiles/plum_io.dir/table.cpp.o.d"
+  "CMakeFiles/plum_io.dir/vtk.cpp.o"
+  "CMakeFiles/plum_io.dir/vtk.cpp.o.d"
+  "libplum_io.a"
+  "libplum_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/box_mesh.cpp" "src/mesh/CMakeFiles/plum_mesh.dir/box_mesh.cpp.o" "gcc" "src/mesh/CMakeFiles/plum_mesh.dir/box_mesh.cpp.o.d"
+  "/root/repo/src/mesh/quality.cpp" "src/mesh/CMakeFiles/plum_mesh.dir/quality.cpp.o" "gcc" "src/mesh/CMakeFiles/plum_mesh.dir/quality.cpp.o.d"
+  "/root/repo/src/mesh/tet_mesh.cpp" "src/mesh/CMakeFiles/plum_mesh.dir/tet_mesh.cpp.o" "gcc" "src/mesh/CMakeFiles/plum_mesh.dir/tet_mesh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/plum_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/plum_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_mesh.dir/box_mesh.cpp.o"
+  "CMakeFiles/plum_mesh.dir/box_mesh.cpp.o.d"
+  "CMakeFiles/plum_mesh.dir/quality.cpp.o"
+  "CMakeFiles/plum_mesh.dir/quality.cpp.o.d"
+  "CMakeFiles/plum_mesh.dir/tet_mesh.cpp.o"
+  "CMakeFiles/plum_mesh.dir/tet_mesh.cpp.o.d"
+  "libplum_mesh.a"
+  "libplum_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/hem.cpp" "src/partition/CMakeFiles/plum_partition.dir/hem.cpp.o" "gcc" "src/partition/CMakeFiles/plum_partition.dir/hem.cpp.o.d"
+  "/root/repo/src/partition/initpart.cpp" "src/partition/CMakeFiles/plum_partition.dir/initpart.cpp.o" "gcc" "src/partition/CMakeFiles/plum_partition.dir/initpart.cpp.o.d"
+  "/root/repo/src/partition/multilevel.cpp" "src/partition/CMakeFiles/plum_partition.dir/multilevel.cpp.o" "gcc" "src/partition/CMakeFiles/plum_partition.dir/multilevel.cpp.o.d"
+  "/root/repo/src/partition/quality.cpp" "src/partition/CMakeFiles/plum_partition.dir/quality.cpp.o" "gcc" "src/partition/CMakeFiles/plum_partition.dir/quality.cpp.o.d"
+  "/root/repo/src/partition/rcb.cpp" "src/partition/CMakeFiles/plum_partition.dir/rcb.cpp.o" "gcc" "src/partition/CMakeFiles/plum_partition.dir/rcb.cpp.o.d"
+  "/root/repo/src/partition/refine_kway.cpp" "src/partition/CMakeFiles/plum_partition.dir/refine_kway.cpp.o" "gcc" "src/partition/CMakeFiles/plum_partition.dir/refine_kway.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/plum_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_partition.dir/hem.cpp.o"
+  "CMakeFiles/plum_partition.dir/hem.cpp.o.d"
+  "CMakeFiles/plum_partition.dir/initpart.cpp.o"
+  "CMakeFiles/plum_partition.dir/initpart.cpp.o.d"
+  "CMakeFiles/plum_partition.dir/multilevel.cpp.o"
+  "CMakeFiles/plum_partition.dir/multilevel.cpp.o.d"
+  "CMakeFiles/plum_partition.dir/quality.cpp.o"
+  "CMakeFiles/plum_partition.dir/quality.cpp.o.d"
+  "CMakeFiles/plum_partition.dir/rcb.cpp.o"
+  "CMakeFiles/plum_partition.dir/rcb.cpp.o.d"
+  "CMakeFiles/plum_partition.dir/refine_kway.cpp.o"
+  "CMakeFiles/plum_partition.dir/refine_kway.cpp.o.d"
+  "libplum_partition.a"
+  "libplum_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_pmesh.dir/dist_mesh.cpp.o"
+  "CMakeFiles/plum_pmesh.dir/dist_mesh.cpp.o.d"
+  "CMakeFiles/plum_pmesh.dir/finalize.cpp.o"
+  "CMakeFiles/plum_pmesh.dir/finalize.cpp.o.d"
+  "CMakeFiles/plum_pmesh.dir/migrate.cpp.o"
+  "CMakeFiles/plum_pmesh.dir/migrate.cpp.o.d"
+  "CMakeFiles/plum_pmesh.dir/parallel_adapt.cpp.o"
+  "CMakeFiles/plum_pmesh.dir/parallel_adapt.cpp.o.d"
+  "CMakeFiles/plum_pmesh.dir/parallel_coarsen.cpp.o"
+  "CMakeFiles/plum_pmesh.dir/parallel_coarsen.cpp.o.d"
+  "CMakeFiles/plum_pmesh.dir/parallel_solver.cpp.o"
+  "CMakeFiles/plum_pmesh.dir/parallel_solver.cpp.o.d"
+  "libplum_pmesh.a"
+  "libplum_pmesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_pmesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

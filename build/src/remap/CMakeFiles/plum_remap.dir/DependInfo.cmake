@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/remap/bmcm.cpp" "src/remap/CMakeFiles/plum_remap.dir/bmcm.cpp.o" "gcc" "src/remap/CMakeFiles/plum_remap.dir/bmcm.cpp.o.d"
+  "/root/repo/src/remap/greedy.cpp" "src/remap/CMakeFiles/plum_remap.dir/greedy.cpp.o" "gcc" "src/remap/CMakeFiles/plum_remap.dir/greedy.cpp.o.d"
+  "/root/repo/src/remap/mwbg.cpp" "src/remap/CMakeFiles/plum_remap.dir/mwbg.cpp.o" "gcc" "src/remap/CMakeFiles/plum_remap.dir/mwbg.cpp.o.d"
+  "/root/repo/src/remap/similarity.cpp" "src/remap/CMakeFiles/plum_remap.dir/similarity.cpp.o" "gcc" "src/remap/CMakeFiles/plum_remap.dir/similarity.cpp.o.d"
+  "/root/repo/src/remap/volume.cpp" "src/remap/CMakeFiles/plum_remap.dir/volume.cpp.o" "gcc" "src/remap/CMakeFiles/plum_remap.dir/volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/plum_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

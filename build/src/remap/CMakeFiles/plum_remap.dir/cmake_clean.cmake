@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_remap.dir/bmcm.cpp.o"
+  "CMakeFiles/plum_remap.dir/bmcm.cpp.o.d"
+  "CMakeFiles/plum_remap.dir/greedy.cpp.o"
+  "CMakeFiles/plum_remap.dir/greedy.cpp.o.d"
+  "CMakeFiles/plum_remap.dir/mwbg.cpp.o"
+  "CMakeFiles/plum_remap.dir/mwbg.cpp.o.d"
+  "CMakeFiles/plum_remap.dir/similarity.cpp.o"
+  "CMakeFiles/plum_remap.dir/similarity.cpp.o.d"
+  "CMakeFiles/plum_remap.dir/volume.cpp.o"
+  "CMakeFiles/plum_remap.dir/volume.cpp.o.d"
+  "libplum_remap.a"
+  "libplum_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

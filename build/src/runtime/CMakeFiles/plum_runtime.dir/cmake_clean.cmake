@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_runtime.dir/engine.cpp.o"
+  "CMakeFiles/plum_runtime.dir/engine.cpp.o.d"
+  "libplum_runtime.a"
+  "libplum_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_sim.dir/machine.cpp.o"
+  "CMakeFiles/plum_sim.dir/machine.cpp.o.d"
+  "libplum_sim.a"
+  "libplum_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

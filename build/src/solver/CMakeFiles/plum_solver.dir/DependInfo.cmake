@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/dual_metrics.cpp" "src/solver/CMakeFiles/plum_solver.dir/dual_metrics.cpp.o" "gcc" "src/solver/CMakeFiles/plum_solver.dir/dual_metrics.cpp.o.d"
+  "/root/repo/src/solver/euler.cpp" "src/solver/CMakeFiles/plum_solver.dir/euler.cpp.o" "gcc" "src/solver/CMakeFiles/plum_solver.dir/euler.cpp.o.d"
+  "/root/repo/src/solver/init_conditions.cpp" "src/solver/CMakeFiles/plum_solver.dir/init_conditions.cpp.o" "gcc" "src/solver/CMakeFiles/plum_solver.dir/init_conditions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/plum_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plum_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/plum_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

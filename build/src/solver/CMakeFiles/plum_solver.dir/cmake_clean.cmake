@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_solver.dir/dual_metrics.cpp.o"
+  "CMakeFiles/plum_solver.dir/dual_metrics.cpp.o.d"
+  "CMakeFiles/plum_solver.dir/euler.cpp.o"
+  "CMakeFiles/plum_solver.dir/euler.cpp.o.d"
+  "CMakeFiles/plum_solver.dir/init_conditions.cpp.o"
+  "CMakeFiles/plum_solver.dir/init_conditions.cpp.o.d"
+  "libplum_solver.a"
+  "libplum_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_util.dir/log.cpp.o"
+  "CMakeFiles/plum_util.dir/log.cpp.o.d"
+  "CMakeFiles/plum_util.dir/timer.cpp.o"
+  "CMakeFiles/plum_util.dir/timer.cpp.o.d"
+  "libplum_util.a"
+  "libplum_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

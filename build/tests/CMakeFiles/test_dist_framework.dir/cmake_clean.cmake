@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_framework.dir/test_dist_framework.cpp.o"
+  "CMakeFiles/test_dist_framework.dir/test_dist_framework.cpp.o.d"
+  "test_dist_framework"
+  "test_dist_framework.pdb"
+  "test_dist_framework[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

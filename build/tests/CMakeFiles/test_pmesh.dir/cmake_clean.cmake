@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmesh.dir/test_pmesh.cpp.o"
+  "CMakeFiles/test_pmesh.dir/test_pmesh.cpp.o.d"
+  "test_pmesh"
+  "test_pmesh.pdb"
+  "test_pmesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
