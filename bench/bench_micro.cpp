@@ -2,9 +2,20 @@
 // the three reassignment algorithms (dense similarity matrices — the regime
 // where the paper's Table 2 ordering heuristic << optimal MWBG << optimal
 // BMCM shows), HEM coarsening, k-way refinement, marking propagation and
-// subdivision, and the full multilevel partitioner.
+// subdivision, the full multilevel partitioner, and the BSP engines.
+//
+// `--threads N` (consumed before google-benchmark's own flags) selects the
+// engine for the BSP benchmarks: 1 = sequential reference Engine, 0 = one
+// worker per core, N > 1 = ParallelEngine with N workers. The modeled
+// ledger counters reported by those benchmarks are engine-invariant — only
+// wall-clock changes with N, which is how the speedup is measured:
+//
+//   ./bench_micro --threads 1 --benchmark_filter='Bsp|ParallelSolver'
+//   ./bench_micro --threads 8 --benchmark_filter='Bsp|ParallelSolver'
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
 
 #include "adapt/adaptor.hpp"
 #include "graph/dual.hpp"
@@ -12,12 +23,18 @@
 #include "partition/hem.hpp"
 #include "partition/multilevel.hpp"
 #include "partition/refine_kway.hpp"
+#include "pmesh/dist_mesh.hpp"
+#include "pmesh/parallel_solver.hpp"
 #include "remap/mapping.hpp"
+#include "runtime/engine.hpp"
+#include "solver/init_conditions.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using namespace plum;
+
+int g_threads = 1;  // set by --threads in main()
 
 remap::SimilarityMatrix dense_matrix(Rank P, std::uint64_t seed) {
   Rng rng(seed);
@@ -105,6 +122,90 @@ void BM_MarkPropagation(benchmark::State& state) {
 }
 BENCHMARK(BM_MarkPropagation);
 
+// Compute-bound BSP workload: each rank relaxes a private field of doubles
+// and exchanges halo values with its ring neighbours every superstep. This
+// is the pure-engine scaling probe — per-rank work is identical, so the
+// wall-clock ratio between --threads 1 and --threads N is the engine
+// speedup. The ledger counters are engine-invariant by the determinism
+// contract and are exported so a smoke run can assert they stayed put.
+void BM_BspStencilSweep(benchmark::State& state) {
+  const Rank P = static_cast<Rank>(state.range(0));
+  constexpr int kField = 1 << 14;   // doubles per rank
+  constexpr int kSweeps = 4;        // relaxation passes per superstep
+  constexpr int kSupersteps = 8;
+
+  auto eng = rt::make_engine(P, g_threads);
+  std::vector<std::vector<double>> field(static_cast<std::size_t>(P));
+  for (Rank r = 0; r < P; ++r) {
+    auto& f = field[static_cast<std::size_t>(r)];
+    f.resize(kField);
+    for (int i = 0; i < kField; ++i) f[i] = r + 0.25 * i;
+  }
+
+  for (auto _ : state) {
+    eng->run([&](Rank r, const rt::Inbox& in, rt::Outbox& out) {
+      auto& f = field[static_cast<std::size_t>(r)];
+      for (const auto& m : in.messages()) {
+        f.front() = 0.5 * (f.front() + rt::unpack<double>(m)[0]);
+      }
+      for (int s = 0; s < kSweeps; ++s) {
+        for (int i = 1; i + 1 < kField; ++i) {
+          f[i] = 0.25 * f[i - 1] + 0.5 * f[i] + 0.25 * f[i + 1];
+        }
+      }
+      out.charge(kField * kSweeps);
+      if (out.step() + 1 >= kSupersteps) return false;
+      out.send_vec<double>((r + 1) % P, 0, {f.back()});
+      return true;
+    });
+    benchmark::DoNotOptimize(field);
+  }
+
+  const auto& led = eng->ledger();
+  state.counters["threads"] = g_threads;
+  state.counters["ledger_bytes_per_run"] =
+      static_cast<double>(led.total_bytes()) /
+      static_cast<double>(state.iterations());
+  state.counters["ledger_max_compute"] =
+      static_cast<double>(led.max_rank_compute()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_BspStencilSweep)->Arg(16)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The real workload: the parallel Euler solver sweeping a distributed box
+// mesh. Residual exchange and CFL reduction go through the engine; fluxes
+// are the per-rank compute. Modeled SP2 traffic (ledger) is identical for
+// every --threads value.
+void BM_ParallelSolverSweep(benchmark::State& state) {
+  const Rank P = static_cast<Rank>(state.range(0));
+  auto global = mesh::make_box_mesh(mesh::small_box(10));
+  const auto dual = global.build_initial_dual();
+  partition::MultilevelOptions popt;
+  popt.nparts = P;
+  const auto part = partition::partition(dual, popt).part;
+  pmesh::DistMesh dm(global, part, P);
+
+  auto eng = rt::make_engine(P, g_threads);
+  pmesh::ParallelEulerSolver solver(&dm, eng.get());
+  solver::BlastSpec blast;
+  blast.radius = 0.2;
+  for (Rank r = 0; r < P; ++r) {
+    solver::init_blast(dm.local(r).mesh, solver.solution(r), blast);
+  }
+
+  for (auto _ : state) {
+    solver.run(2);
+  }
+
+  const auto& led = eng->ledger();
+  state.counters["threads"] = g_threads;
+  state.counters["ledger_bytes"] = static_cast<double>(led.total_bytes());
+  state.counters["supersteps"] = led.num_supersteps();
+}
+BENCHMARK(BM_ParallelSolverSweep)->Arg(16)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_Subdivision(benchmark::State& state) {
   // Mesh + marks rebuilt each iteration (refine mutates); time is dominated
   // by refine_mesh itself.
@@ -123,4 +224,25 @@ BENCHMARK(BM_Subdivision);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: strip our --threads flag before handing the rest to
+// google-benchmark (it rejects flags it does not know).
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_threads = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      g_threads = std::atoi(argv[i] + 10);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

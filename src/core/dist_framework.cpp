@@ -53,7 +53,7 @@ DistFramework::DistFramework(mesh::TetMesh initial_global,
                              FrameworkOptions opt)
     : opt_(opt) {
   PLUM_ASSERT(opt_.nranks >= 1);
-  eng_ = std::make_unique<rt::Engine>(opt_.nranks);
+  eng_ = rt::make_engine(opt_.nranks, opt_.threads);
 
   dual_ = initial_global.build_initial_dual();
   partition::MultilevelOptions popt;

@@ -42,6 +42,11 @@ struct FrameworkOptions {
   int solver_steps_per_cycle = 20;
   sim::MachineParams machine;
   std::uint64_t seed = 12345;
+  /// Worker threads for the BSP engine (DistFramework only): 1 = the
+  /// sequential reference engine, 0 = one worker per hardware core, N > 1 =
+  /// a ParallelEngine with N workers. Results are bit-identical across all
+  /// settings (see runtime/engine.hpp's determinism contract).
+  int threads = 1;
 };
 
 /// Everything one solve->adapt->balance cycle measured or decided.

@@ -56,10 +56,8 @@ std::vector<std::vector<Index>> number_objects(
   }
 
   // Push ids to non-owning copies (one superstep of GidMsg batches).
-  int phase = 0;
   eng.run([&](Rank r, const rt::Inbox& inbox, rt::Outbox& out) {
-    if (r == 0) ++phase;
-    if (phase == 1) {
+    if (out.step() == 0) {
       std::vector<std::vector<GidMsg>> outgoing(static_cast<std::size_t>(P));
       const Index n = count_of(r);
       for (Index i = 0; i < n; ++i) {

@@ -46,10 +46,9 @@ MigrateStats migrate(DistMesh& dm, rt::Engine& eng,
   }
 
   // --- charge the traffic through the engine ---------------------------------
-  int phase = 0;
+  // A single superstep (every rank returns false): the ledger records the
+  // sends; the payload itself is reconstructed below, not delivered.
   eng.run([&](Rank r, const rt::Inbox&, rt::Outbox& out) {
-    if (r == 0) ++phase;
-    if (phase > 1) return false;
     // One logical message per destination with the measured payload size.
     // (Payload content is reconstructed below; the ledger only needs size.)
     std::vector<std::int64_t> per_dest(static_cast<std::size_t>(P), 0);

@@ -74,14 +74,16 @@ ParallelMarkResult parallel_mark(
         static_cast<std::size_t>(dm.local(r).mesh.num_edges()), 0);
   }
 
-  int rounds = 0;
+  // Rank-safe program: rank r touches only its own slots of seeds / sent /
+  // out.per_rank / exchanged, so both engines run it identically.
+  std::vector<std::int64_t> exchanged(static_cast<std::size_t>(P), 0);
+  const int steps_before = eng.ledger().num_supersteps();
   eng.run([&](Rank r, const rt::Inbox& inbox, rt::Outbox& outbox) {
-    if (r == 0) ++rounds;
     LocalMesh& lm = dm.local(r);
     auto& my_seeds = seeds[static_cast<std::size_t>(r)];
 
     // Absorb cross-partition marks.
-    bool new_input = rounds == 1;  // first round: process initial seeds
+    bool new_input = outbox.step() == 0;  // first round: initial seeds
     for (const auto* m : inbox.with_tag(kTagMark)) {
       for (const auto& rec : rt::unpack<MarkMsg>(*m)) {
         if (!my_seeds[static_cast<std::size_t>(rec.edge)]) {
@@ -114,7 +116,7 @@ ParallelMarkResult parallel_mark(
       for (const auto& copy : it->second) {
         outgoing[static_cast<std::size_t>(copy.rank)].push_back(
             {copy.remote_id});
-        ++out.marks_exchanged;
+        ++exchanged[static_cast<std::size_t>(r)];
         sent_any = true;
       }
     }
@@ -125,7 +127,10 @@ ParallelMarkResult parallel_mark(
     }
     return sent_any;
   });
-  out.comm_rounds = rounds;
+  out.comm_rounds = eng.ledger().num_supersteps() - steps_before;
+  for (Rank r = 0; r < P; ++r) {
+    out.marks_exchanged += exchanged[static_cast<std::size_t>(r)];
+  }
 
   // Ranks that never re-ran after the last absorb still hold a fixpoint
   // result; ranks that never had marks need an (empty) result too.
@@ -160,13 +165,16 @@ ParallelRefineResult parallel_refine(DistMesh& dm, rt::Engine& eng,
     out.work_per_rank[static_cast<std::size_t>(r)] = stats.work_units();
   }
 
+  // Per-rank tallies of new shared-object records (summed after the runs;
+  // a shared counter would race under the parallel engine).
+  std::vector<std::int64_t> new_edges(static_cast<std::size_t>(P), 0);
+  std::vector<std::int64_t> new_verts(static_cast<std::size_t>(P), 0);
+
   // --- post-processing phase 1: bisected shared edges ------------------------
-  int phase = 0;
   eng.run([&](Rank r, const rt::Inbox& inbox, rt::Outbox& outbox) {
-    if (r == 0) ++phase;
     LocalMesh& lm = dm.local(r);
 
-    if (phase == 1) {
+    if (outbox.step() == 0) {
       outbox.charge(out.work_per_rank[static_cast<std::size_t>(r)]);
       std::vector<std::vector<BisectMsg>> outgoing(
           static_cast<std::size_t>(P));
@@ -207,20 +215,18 @@ ParallelRefineResult parallel_refine(DistMesh& dm, rt::Engine& eng,
         add_shared(lm.shared_edges, my_c1, m->from,
                    aligned ? msg.my_child1 : msg.my_child0);
         add_shared(lm.shared_verts, ed.mid, m->from, msg.my_mid);
-        out.new_shared_edges += 2;
-        ++out.new_shared_verts;
+        new_edges[static_cast<std::size_t>(r)] += 2;
+        ++new_verts[static_cast<std::size_t>(r)];
       }
     }
     return false;
   });
 
   // --- post-processing phase 2: face-crossing edges --------------------------
-  phase = 0;
   eng.run([&](Rank r, const rt::Inbox& inbox, rt::Outbox& outbox) {
-    if (r == 0) ++phase;
     LocalMesh& lm = dm.local(r);
 
-    if (phase == 1) {
+    if (outbox.step() == 0) {
       std::vector<std::vector<FaceEdgeMsg>> outgoing(
           static_cast<std::size_t>(P));
       for (Index e = old_ne[static_cast<std::size_t>(r)];
@@ -255,12 +261,16 @@ ParallelRefineResult parallel_refine(DistMesh& dm, rt::Engine& eng,
         const Index mine = lm.mesh.find_edge(msg.your_v0, msg.your_v1);
         if (mine == kInvalidIndex) continue;  // not shared with the sender
         add_shared(lm.shared_edges, mine, m->from, msg.my_edge);
-        ++out.new_shared_edges;
+        ++new_edges[static_cast<std::size_t>(r)];
       }
     }
     return false;
   });
 
+  for (Rank r = 0; r < P; ++r) {
+    out.new_shared_edges += new_edges[static_cast<std::size_t>(r)];
+    out.new_shared_verts += new_verts[static_cast<std::size_t>(r)];
+  }
   return out;
 }
 

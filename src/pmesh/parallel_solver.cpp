@@ -91,13 +91,11 @@ void ParallelEulerSolver::exchange_setup() {
     }
   }
 
-  int phase = 0;
   eng_->run([&](Rank r, const rt::Inbox& inbox, rt::Outbox& out) {
-    if (r == 0) ++phase;
     const auto& lm = dm_->local(r);
     auto& m = metrics_[static_cast<std::size_t>(r)];
 
-    if (phase == 1) {
+    if (out.step() == 0) {
       // Send partial vertex quantities and partial edge areas to copies.
       std::vector<std::vector<VertScalarMsg>> vout(static_cast<std::size_t>(P));
       for (const auto& [v, spl] : lm.shared_verts) {
@@ -180,11 +178,9 @@ double ParallelEulerSolver::max_wave_speed(const State& s) const {
 void ParallelEulerSolver::exchange_residuals(
     std::vector<std::vector<State>>& res) {
   const Rank P = dm_->nranks();
-  int phase = 0;
   eng_->run([&](Rank r, const rt::Inbox& inbox, rt::Outbox& out) {
-    if (r == 0) ++phase;
     const auto& lm = dm_->local(r);
-    if (phase == 1) {
+    if (out.step() == 0) {
       std::vector<std::vector<ResidualMsg>> outgoing(
           static_cast<std::size_t>(P));
       for (const auto& [v, spl] : lm.shared_verts) {

@@ -28,10 +28,10 @@ std::vector<std::vector<std::vector<T>>> all_to_all(
       static_cast<std::size_t>(p),
       std::vector<std::vector<T>>(static_cast<std::size_t>(p)));
 
-  int phase = 0;
+  // Rank-safe: each rank writes only its own received[r] row, so the
+  // program runs identically on the sequential and parallel engines.
   eng.run([&](Rank r, const Inbox& inbox, Outbox& out) {
-    if (r == 0) ++phase;  // rank 0 runs first; phase is shared driver state
-    if (phase == 1) {
+    if (out.step() == 0) {
       const auto& mine = input[static_cast<std::size_t>(r)];
       PLUM_ASSERT(static_cast<Rank>(mine.size()) == p);
       for (Rank to = 0; to < p; ++to) {

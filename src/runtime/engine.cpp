@@ -1,6 +1,7 @@
 #include "runtime/engine.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 namespace plum::rt {
 
@@ -24,19 +25,19 @@ std::int64_t Ledger::max_rank_compute() const {
   return best;
 }
 
-bool Engine::superstep(
-    const std::function<bool(Rank, const Inbox&, Outbox&)>& fn) {
+bool Engine::superstep(const StepFn& fn) {
   // Swap out the queues filled by the previous superstep; sends made during
   // this step land in fresh queues and are only visible next step.
   std::vector<std::vector<Message>> delivering(
       static_cast<std::size_t>(nranks_));
   delivering.swap(pending_);
 
+  const int step = run_step_++;
   std::vector<StepCounters> counters(static_cast<std::size_t>(nranks_));
   bool any_continue = false;
   for (Rank r = 0; r < nranks_; ++r) {
     Inbox inbox(std::move(delivering[static_cast<std::size_t>(r)]));
-    Outbox outbox(r, nranks_, &pending_,
+    Outbox outbox(r, nranks_, step, &pending_,
                   &counters[static_cast<std::size_t>(r)]);
     any_continue |= fn(r, inbox, outbox);
   }
@@ -44,12 +45,117 @@ bool Engine::superstep(
   return any_continue;
 }
 
-void Engine::run(const std::function<bool(Rank, const Inbox&, Outbox&)>& fn,
-                 int max_steps) {
+void Engine::run(const StepFn& fn, int max_steps) {
+  run_step_ = 0;
   for (int s = 0; s < max_steps; ++s) {
     if (!superstep(fn)) return;
   }
   PLUM_ASSERT_MSG(false, "BSP program did not terminate within max_steps");
+}
+
+ParallelEngine::ParallelEngine(Rank nranks, int num_threads) : Engine(nranks) {
+  int n = num_threads;
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0) n = 1;
+  }
+  n = std::min(n, static_cast<int>(nranks));
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ParallelEngine::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    // Claim ranks off the shared cursor until the superstep is drained.
+    Rank claimed = 0;
+    for (;;) {
+      const Rank r = next_rank_.fetch_add(1, std::memory_order_relaxed);
+      if (r >= nranks_) break;
+      const auto ur = static_cast<std::size_t>(r);
+      Inbox inbox(std::move((*delivering_)[ur]));
+      Outbox outbox(r, nranks_, step_index_, &(*out_queues_)[ur],
+                    &(*counters_)[ur]);
+      (*want_more_)[ur] = (*fn_)(r, inbox, outbox) ? 1 : 0;
+      ++claimed;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ranks_done_ += claimed;
+      if (ranks_done_ == nranks_) cv_done_.notify_one();
+    }
+  }
+}
+
+bool ParallelEngine::superstep(const StepFn& fn) {
+  const int step = run_step_++;
+  std::vector<std::vector<Message>> delivering(
+      static_cast<std::size_t>(nranks_));
+  delivering.swap(pending_);
+
+  std::vector<std::vector<std::vector<Message>>> out_queues(
+      static_cast<std::size_t>(nranks_),
+      std::vector<std::vector<Message>>(static_cast<std::size_t>(nranks_)));
+  std::vector<StepCounters> counters(static_cast<std::size_t>(nranks_));
+  std::vector<char> want_more(static_cast<std::size_t>(nranks_), 0);
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn_ = &fn;
+    delivering_ = &delivering;
+    out_queues_ = &out_queues;
+    counters_ = &counters;
+    want_more_ = &want_more;
+    step_index_ = step;
+    ranks_done_ = 0;
+    next_rank_.store(0, std::memory_order_relaxed);
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return ranks_done_ == nranks_; });
+  }
+
+  // Superstep barrier: merge the private per-sender queues into the next
+  // step's inboxes in sender-rank order. The sequential engine delivers in
+  // exactly this order (ranks run 0..P-1, sends append in program order),
+  // so inbox contents are identical between the engines.
+  for (Rank s = 0; s < nranks_; ++s) {
+    for (Rank q = 0; q < nranks_; ++q) {
+      auto& src = out_queues[static_cast<std::size_t>(s)]
+                            [static_cast<std::size_t>(q)];
+      auto& dst = pending_[static_cast<std::size_t>(q)];
+      dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+                 std::make_move_iterator(src.end()));
+    }
+  }
+  ledger_.steps.push_back(std::move(counters));
+  bool any_continue = false;
+  for (char c : want_more) any_continue |= (c != 0);
+  return any_continue;
+}
+
+std::unique_ptr<Engine> make_engine(Rank nranks, int threads) {
+  if (threads == 1) return std::make_unique<Engine>(nranks);
+  return std::make_unique<ParallelEngine>(nranks, threads);
 }
 
 }  // namespace plum::rt

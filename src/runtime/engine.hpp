@@ -1,18 +1,35 @@
 #pragma once
-// BSP superstep engine.
+// BSP superstep engines.
 //
 // Algorithms are written SPMD-style: a superstep function runs once per
 // logical rank, reading the messages delivered at the end of the previous
-// superstep and posting new ones. The engine executes ranks sequentially
-// and deterministically (rank 0, 1, ..., P-1), then routes all posted
-// messages for the next superstep — the synchronous model a bulk-
-// synchronous MPI code runs under, minus nondeterministic arrival order.
+// superstep and posting new ones. Two engines share that contract:
+//
+//   Engine          — the sequential reference. Ranks execute in order
+//                     (rank 0, 1, ..., P-1) on the calling thread.
+//   ParallelEngine  — ranks of one superstep execute concurrently on a
+//                     persistent std::thread pool.
+//
+// Determinism contract (both engines): a rank's inbox for superstep s+1
+// holds the messages posted during superstep s, ordered by sender rank and,
+// within one sender, by posting order. The parallel engine guarantees this
+// by giving every sender a private per-destination queue (sends never
+// contend) and merging the queues in sender-rank order at the superstep
+// barrier. Superstep functions must therefore be *rank-safe*: rank r may
+// only mutate rank-r-owned state (its inbox/outbox plus any per-rank slot
+// of caller state). Under that rule the two engines produce bit-identical
+// message streams, StepCounters ledgers, and floating-point results.
 //
 // Every send and every charge() is recorded per rank per superstep; the
 // sim::CostModel converts these ledgers into SP2-style phase times, which
 // is how the paper's Figs. 4-6 are reproduced from real executions.
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "runtime/message.hpp"
@@ -45,14 +62,20 @@ struct StepCounters {
   std::int64_t compute_units = 0;  ///< abstract work units charged
   std::int64_t msgs_sent = 0;
   std::int64_t bytes_sent = 0;
+
+  friend bool operator==(const StepCounters&, const StepCounters&) = default;
 };
 
 /// Send-side interface handed to the superstep function.
 class Outbox {
  public:
-  Outbox(Rank self, Rank nranks, std::vector<std::vector<Message>>* queues,
-         StepCounters* counters)
-      : self_(self), nranks_(nranks), queues_(queues), counters_(counters) {}
+  Outbox(Rank self, Rank nranks, int step,
+         std::vector<std::vector<Message>>* queues, StepCounters* counters)
+      : self_(self),
+        nranks_(nranks),
+        step_(step),
+        queues_(queues),
+        counters_(counters) {}
 
   void send(Rank to, int tag, std::vector<std::byte> bytes) {
     PLUM_ASSERT(to >= 0 && to < nranks_);
@@ -73,9 +96,16 @@ class Outbox {
   [[nodiscard]] Rank self() const { return self_; }
   [[nodiscard]] Rank nranks() const { return nranks_; }
 
+  /// 0-based superstep index since the enclosing run() began. This replaces
+  /// the old "rank 0 increments a captured phase counter" idiom, which
+  /// relied on sequential rank order and is a data race under the parallel
+  /// engine.
+  [[nodiscard]] int step() const { return step_; }
+
  private:
   Rank self_;
   Rank nranks_;
+  int step_;
   std::vector<std::vector<Message>>* queues_;
   StepCounters* counters_;
 };
@@ -91,34 +121,87 @@ struct Ledger {
   [[nodiscard]] std::int64_t total_bytes() const;
   /// Max over ranks of total compute units (the bottleneck processor).
   [[nodiscard]] std::int64_t max_rank_compute() const;
+
+  friend bool operator==(const Ledger&, const Ledger&) = default;
 };
 
+/// Sequential reference engine (also the base class: ParallelEngine only
+/// replaces how the ranks of one superstep are executed).
 class Engine {
  public:
+  using StepFn = std::function<bool(Rank, const Inbox&, Outbox&)>;
+
   explicit Engine(Rank nranks) : nranks_(nranks) {
     PLUM_ASSERT(nranks >= 1);
     pending_.resize(static_cast<std::size_t>(nranks));
   }
+  virtual ~Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   [[nodiscard]] Rank nranks() const { return nranks_; }
 
   /// One superstep: fn(rank, inbox, outbox) -> bool "I want another step".
   /// Returns true while any rank asked to continue (the usual loop driver).
-  bool superstep(
-      const std::function<bool(Rank, const Inbox&, Outbox&)>& fn);
+  virtual bool superstep(const StepFn& fn);
 
   /// Runs supersteps until no rank wants more. `max_steps` guards against
-  /// livelock in buggy programs.
-  void run(const std::function<bool(Rank, const Inbox&, Outbox&)>& fn,
-           int max_steps = 1 << 20);
+  /// livelock in buggy programs. Outbox::step() restarts at 0 here.
+  void run(const StepFn& fn, int max_steps = 1 << 20);
 
   [[nodiscard]] const Ledger& ledger() const { return ledger_; }
   void reset_ledger() { ledger_.steps.clear(); }
 
- private:
+ protected:
   Rank nranks_;
   std::vector<std::vector<Message>> pending_;  // queued for next superstep
   Ledger ledger_;
+  int run_step_ = 0;  // Outbox::step() of the next superstep
 };
+
+/// Runs the ranks of each superstep concurrently on a persistent thread
+/// pool while preserving the sequential engine's semantics bit-for-bit
+/// (see the determinism contract above).
+class ParallelEngine final : public Engine {
+ public:
+  /// `num_threads` == 0 picks hardware_concurrency; the pool is never
+  /// larger than nranks (extra workers could only idle).
+  explicit ParallelEngine(Rank nranks, int num_threads = 0);
+  ~ParallelEngine() override;
+
+  bool superstep(const StepFn& fn) override;
+
+  [[nodiscard]] int num_threads() const {
+    return static_cast<int>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  // Per-superstep shared state, set by superstep() under mu_ before the
+  // epoch bump and read by workers after they observe the new epoch.
+  const StepFn* fn_ = nullptr;
+  std::vector<std::vector<Message>>* delivering_ = nullptr;
+  // out_queues_[sender][receiver]: each sender writes only its own row, so
+  // sends never contend across threads.
+  std::vector<std::vector<std::vector<Message>>>* out_queues_ = nullptr;
+  std::vector<StepCounters>* counters_ = nullptr;
+  std::vector<char>* want_more_ = nullptr;
+  int step_index_ = 0;
+
+  std::atomic<Rank> next_rank_{0};  // work-stealing rank cursor
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;  // guarded by mu_
+  Rank ranks_done_ = 0;      // guarded by mu_
+  bool stop_ = false;        // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+/// Engine factory used by options-driven callers: `threads == 1` returns
+/// the sequential reference engine, anything else a ParallelEngine
+/// (0 = one worker per hardware core).
+std::unique_ptr<Engine> make_engine(Rank nranks, int threads);
 
 }  // namespace plum::rt

@@ -150,6 +150,90 @@ TEST(Collectives, AllreduceMax) {
   EXPECT_EQ(m, 5);
 }
 
+TEST(Inbox, WithTagFiltersAndKeepsDeliveryOrder) {
+  // Direct construction: with_tag must return exactly the matching
+  // messages, preserving delivery (sender-rank) order, without copying.
+  std::vector<Message> msgs;
+  for (int i = 0; i < 4; ++i) {
+    const std::vector<int> payload = {i + 1};
+    msgs.push_back(Message{i, i == 1 ? 5 : 7, pack(payload)});
+  }
+  Inbox inbox(std::move(msgs));
+
+  const auto tagged = inbox.with_tag(7);
+  ASSERT_EQ(tagged.size(), 3u);
+  EXPECT_EQ(tagged[0]->from, 0);
+  EXPECT_EQ(tagged[1]->from, 2);
+  EXPECT_EQ(tagged[2]->from, 3);
+  EXPECT_EQ(unpack<int>(*tagged[1])[0], 3);
+  EXPECT_TRUE(inbox.with_tag(99).empty());
+  // Pointers alias the inbox's own storage.
+  EXPECT_EQ(tagged[0], &inbox.messages()[0]);
+}
+
+TEST(Inbox, WithTagSenderRankOrderThroughEngine) {
+  // All ranks message rank 0 with interleaved tags; delivery and therefore
+  // with_tag order is sender-rank order regardless of tag interleaving.
+  const Rank p = 5;
+  Engine eng(p);
+  std::vector<Rank> senders;
+  eng.run([&](Rank r, const Inbox& in, Outbox& out) {
+    if (out.step() == 0) {
+      out.send_vec<int>(0, r % 2, {static_cast<int>(r)});
+      out.send_vec<int>(0, 3, {static_cast<int>(100 + r)});
+      return true;
+    }
+    if (r == 0) {
+      for (const auto* m : in.with_tag(3)) senders.push_back(m->from);
+    }
+    return false;
+  });
+  ASSERT_EQ(senders.size(), static_cast<std::size_t>(p));
+  for (Rank r = 0; r < p; ++r) EXPECT_EQ(senders[static_cast<std::size_t>(r)], r);
+}
+
+TEST(Outbox, SendAccountsMessagesAndBytesPerRankPerStep) {
+  const Rank p = 3;
+  Engine eng(p);
+  eng.run([&](Rank r, const Inbox&, Outbox& out) {
+    if (out.step() == 0) {
+      if (r == 1) {
+        out.send(0, 0, std::vector<std::byte>(10));
+        out.send(2, 0, std::vector<std::byte>(32));
+        out.charge(5);
+      }
+      return true;
+    }
+    if (out.step() == 1 && r == 2) {
+      out.send_vec<double>(0, 1, {1.0, 2.0, 3.0});
+    }
+    return false;
+  });
+
+  const auto& steps = eng.ledger().steps;
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_EQ(steps[0][1].msgs_sent, 2);
+  EXPECT_EQ(steps[0][1].bytes_sent, 42);
+  EXPECT_EQ(steps[0][1].compute_units, 5);
+  EXPECT_EQ(steps[0][0].msgs_sent, 0);
+  EXPECT_EQ(steps[0][2].bytes_sent, 0);
+  EXPECT_EQ(steps[1][2].msgs_sent, 1);
+  EXPECT_EQ(steps[1][2].bytes_sent, 24);  // 3 doubles
+  EXPECT_EQ(eng.ledger().total_bytes(), 66);
+}
+
+TEST(Outbox, StepIndexRestartsPerRun) {
+  Engine eng(2);
+  std::vector<int> seen;
+  auto fn = [&](Rank r, const Inbox&, Outbox& out) {
+    if (r == 0) seen.push_back(out.step());
+    return out.step() < 1;
+  };
+  eng.run(fn);
+  eng.run(fn);
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 0, 1}));
+}
+
 TEST(Engine, LedgerTracksSupersteps) {
   Engine eng(2);
   int steps = 0;
