@@ -169,6 +169,8 @@ class TetMesh {
   std::vector<Element> elements_;
   std::vector<BFace> bfaces_;
   std::vector<std::vector<Index>> e2elem_;  // leaf elements per edge
+  // plum-lint: allow(unordered-iteration) -- lookup-only (find/emplace by
+  // edge key); never iterated, so its order cannot reach messages or sums.
   std::unordered_map<std::uint64_t, Index> edge_map_;
   Index n_init_elems_ = 0;
   Index n_init_edges_ = 0;

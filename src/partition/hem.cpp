@@ -56,6 +56,9 @@ CoarseLevel coarsen_hem(const graph::Csr& g, Rng& rng) {
   std::vector<std::pair<Index, Index>> cedges;
   std::vector<Weight> cwts;
   {
+    // plum-lint: allow(unordered-iteration) -- dedupe index only: cedges /
+    // cwts are appended in the deterministic v = 0..n-1 scan order and the
+    // map itself is never iterated.
     std::unordered_map<std::uint64_t, std::size_t> seen;
     for (Index v = 0; v < n; ++v) {
       const auto nbrs = g.neighbors(v);

@@ -16,7 +16,7 @@
 // from the global mirror (DESIGN.md §3 documents this substitution); its
 // traffic volumes are charged from the real subtree sizes.
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "mesh/tet_mesh.hpp"
@@ -31,6 +31,14 @@ struct SharedCopy {
   Index remote_id = kInvalidIndex;
 };
 
+/// SPL map: local id -> copies on other ranks. Deliberately an *ordered*
+/// map: the parallel adaption and solver range-for these maps to build
+/// Outbox::send batches, so the iteration order is part of the engine
+/// determinism contract (runtime/engine.hpp) — an unordered_map here made
+/// message payload order depend on the standard library's hashing.
+/// plum-lint's `unordered-iteration` check enforces this.
+using SplMap = std::map<Index, std::vector<SharedCopy>>;
+
 /// Per-rank piece of the distributed mesh.
 struct LocalMesh {
   mesh::TetMesh mesh;
@@ -44,9 +52,10 @@ struct LocalMesh {
   std::vector<Index> vert_global;
   std::vector<Index> edge_global;
 
-  /// SPLs: local id -> copies on other ranks. Only boundary objects appear.
-  std::unordered_map<Index, std::vector<SharedCopy>> shared_verts;
-  std::unordered_map<Index, std::vector<SharedCopy>> shared_edges;
+  /// SPLs; only boundary objects appear. Keys iterate in ascending local
+  /// id so every traversal (message building, validation) is deterministic.
+  SplMap shared_verts;
+  SplMap shared_edges;
 
   [[nodiscard]] bool vert_is_shared(Index v) const {
     return shared_verts.count(v) > 0;

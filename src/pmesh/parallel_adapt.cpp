@@ -44,8 +44,7 @@ Index vert_on(const LocalMesh& lm, Index v, Rank q) {
   return kInvalidIndex;
 }
 
-void add_shared(std::unordered_map<Index, std::vector<SharedCopy>>& map,
-                Index local, Rank rank, Index remote) {
+void add_shared(SplMap& map, Index local, Rank rank, Index remote) {
   auto& spl = map[local];
   for (const auto& c : spl) {
     if (c.rank == rank && c.remote_id == remote) return;  // idempotent
@@ -152,8 +151,9 @@ ParallelRefineResult parallel_refine(DistMesh& dm, rt::Engine& eng,
   out.work_per_rank.assign(static_cast<std::size_t>(P), 0);
 
   std::vector<Index> old_ne(static_cast<std::size_t>(P));
-  std::vector<std::unordered_map<Index, std::vector<SharedCopy>>> old_edge_spl(
-      static_cast<std::size_t>(P));
+  // Iterated below to build BisectMsg batches: must stay an ordered map so
+  // the message payload order matches the sequential engine bit for bit.
+  std::vector<SplMap> old_edge_spl(static_cast<std::size_t>(P));
 
   // --- local subdivision ----------------------------------------------------
   for (Rank r = 0; r < P; ++r) {

@@ -20,6 +20,13 @@
 // of caller state). Under that rule the two engines produce bit-identical
 // message streams, StepCounters ledgers, and floating-point results.
 //
+// Rank-safety is statically enforced: tools/plum-lint scans superstep
+// lambdas for unguarded captured-state mutations, rank-0-guarded writes
+// (the historical `if (r == 0) ++phase` bug), unordered-container
+// iteration on paths that feed sends or sums, and wall-clock/entropy
+// calls. It runs as the `plum_lint` ctest and as a CI job; see
+// tools/plum-lint/linter.hpp and the README's "Static analysis" section.
+//
 // Every send and every charge() is recorded per rank per superstep; the
 // sim::CostModel converts these ledgers into SP2-style phase times, which
 // is how the paper's Figs. 4-6 are reproduced from real executions.

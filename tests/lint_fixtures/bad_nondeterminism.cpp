@@ -1,0 +1,21 @@
+// plum-lint fixture (lint-only, never compiled): banned nondeterminism
+// sources — wall-clock and entropy calls vary run to run, and hashing a
+// pointer keys on the allocation address (ASLR). Expected:
+// 4x nondeterminism-source.
+#include <cstdlib>
+#include <ctime>
+#include <functional>
+#include <random>
+
+namespace plum::fixture {
+
+struct Node;
+
+unsigned bad_nondeterminism(const Node* node) {
+  std::srand(static_cast<unsigned>(time(nullptr)));    // BAD x2: srand, time
+  unsigned seed = static_cast<unsigned>(std::rand());  // BAD: rand
+  std::hash<Node*> addr_hash;                          // BAD: pointer hash
+  return seed ^ static_cast<unsigned>(addr_hash(node));
+}
+
+}  // namespace plum::fixture

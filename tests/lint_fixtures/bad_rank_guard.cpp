@@ -1,0 +1,23 @@
+// plum-lint fixture (lint-only, never compiled): the historical PR-1 bug
+// class, verbatim — rank 0 increments a captured phase counter inside a
+// superstep body. Correct only when ranks run in sequential order; a data
+// race under ParallelEngine. Expected: 2x rank-guard-mutation.
+#include "runtime/engine.hpp"
+
+namespace plum::fixture {
+
+void bad_rank_guard(rt::Engine& eng, int nphases) {
+  int phase = 0;
+  eng.run([&](Rank r, const rt::Inbox& inbox, rt::Outbox& outbox) {
+    if (r == 0) ++phase;  // BAD: shared mutation behind a rank guard
+    if (phase == 0) {
+      outbox.send(0, 7, {});
+    }
+    if (r == 0) {
+      phase = phase + static_cast<int>(inbox.messages().size());  // BAD too
+    }
+    return phase < nphases;
+  });
+}
+
+}  // namespace plum::fixture

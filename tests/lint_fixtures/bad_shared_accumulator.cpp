@@ -1,0 +1,29 @@
+// plum-lint fixture (lint-only, never compiled): captured accumulators
+// written from a superstep without per-rank indexing — a data race under
+// ParallelEngine, and even sequentially the result depends on rank
+// execution order. The rank-indexed writes below must NOT be flagged.
+// Expected: 3x shared-accumulator.
+#include <cstdint>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace plum::fixture {
+
+void bad_shared_accumulator(rt::Engine& eng) {
+  std::int64_t total = 0;
+  double norm = 0.0;
+  int rounds = 0;
+  std::vector<std::int64_t> per_rank(static_cast<std::size_t>(eng.nranks()));
+  eng.run([&](Rank rank, const rt::Inbox& inbox, rt::Outbox& outbox) {
+    outbox.charge(1);
+    total += static_cast<std::int64_t>(inbox.messages().size());  // BAD
+    norm = norm + 0.5;                                            // BAD
+    ++rounds;                                                     // BAD
+    // OK: rank-owned slot, summed by the caller after the run.
+    per_rank[static_cast<std::size_t>(rank)] += 1;
+    return false;
+  });
+}
+
+}  // namespace plum::fixture

@@ -1,0 +1,23 @@
+// plum-lint fixture (lint-only, never compiled): suppression hygiene.
+// A suppression without a justification does not suppress (and is itself
+// flagged), an unknown check name is flagged, and a suppression matching
+// nothing is flagged stale. Expected: 2x bad-suppression,
+// 1x unused-suppression, 1x nondeterminism-source (unsuppressed).
+#include <cstdlib>
+
+namespace plum::fixture {
+
+int bad_suppression() {
+  // plum-lint: allow(nondeterminism-source)
+  int a = std::rand();  // stays flagged: no justification given
+
+  // plum-lint: allow(determinism-vibes) -- no such check
+  int b = 0;
+
+  // plum-lint: allow(unordered-iteration) -- stale: nothing unordered here
+  int c = 0;
+
+  return a + b + c;
+}
+
+}  // namespace plum::fixture

@@ -1,0 +1,32 @@
+// plum-lint fixture (lint-only, never compiled): range-for over an
+// unordered_map inside a superstep body — the visit order decides the
+// Outbox::send payload order, which breaks the bit-identical message
+// stream guarantee. Expected: 3x unordered-iteration (two declarations +
+// one range-for).
+#include <unordered_map>
+#include <unordered_set>
+
+#include "runtime/engine.hpp"
+
+namespace plum::fixture {
+
+struct Mesh {
+  std::unordered_map<Index, std::vector<Index>> shared;  // BAD declaration
+};
+
+void bad_unordered_iter(rt::Engine& eng, Mesh& mesh) {
+  std::unordered_set<Index> dirty;  // BAD declaration
+  eng.run([&](Rank r, const rt::Inbox& inbox, rt::Outbox& outbox) {
+    (void)r;
+    (void)inbox;
+    std::vector<Index> payload;
+    for (const auto& [edge, copies] : mesh.shared) {  // BAD: hash order
+      payload.push_back(edge);
+    }
+    outbox.send_vec(0, 1, payload);
+    return false;
+  });
+  (void)dirty;
+}
+
+}  // namespace plum::fixture

@@ -1,0 +1,44 @@
+// plum-lint fixture (lint-only, never compiled): a rank-safe superstep
+// program using the idioms the real code uses — per-rank slots, lambda
+// locals, Outbox::step() instead of a shared phase counter, ordered maps,
+// and rank guards that only *send*. Expected: 0 diagnostics.
+#include <map>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace plum::fixture {
+
+void clean_superstep(rt::Engine& eng,
+                     const std::map<Index, std::vector<Index>>& shared) {
+  const Rank P = eng.nranks();
+  std::vector<std::int64_t> exchanged(static_cast<std::size_t>(P), 0);
+  eng.run([&](Rank r, const rt::Inbox& inbox, rt::Outbox& outbox) {
+    // Locals are rank-private; mutate freely.
+    std::vector<Index> batch;
+    for (const auto& [edge, copies] : shared) {  // ordered: deterministic
+      batch.push_back(edge);
+    }
+    // Per-rank slot of caller state: rank r owns exchanged[r].
+    exchanged[static_cast<std::size_t>(r)] +=
+        static_cast<std::int64_t>(batch.size());
+    if (outbox.step() == 0) {  // logical time, not a captured counter
+      for (Rank q = 0; q < P; ++q) {
+        outbox.send_vec(q, 3, batch);
+      }
+      return true;
+    }
+    if (r == 0) {
+      // A guarded *send* is fine — only mutations race.
+      outbox.send(0, 4, {});
+    }
+    std::int64_t seen = 0;
+    for (const auto& m : inbox.messages()) {
+      seen += static_cast<std::int64_t>(m.bytes.size());
+    }
+    exchanged[static_cast<std::size_t>(r)] += seen;
+    return false;
+  });
+}
+
+}  // namespace plum::fixture

@@ -1,0 +1,175 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace plumlint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-char punctuation, longest first. `>>`/`>>=` are intentionally
+/// absent (see header); `>=` is kept because it cannot open a template list.
+constexpr std::string_view kPuncts[] = {
+    "<<=", "...", "::", "->", "++", "--", "==", "!=", "<=", ">=",
+    "+=",  "-=",  "*=", "/=", "%=", "&=", "|=", "^=", "&&", "||",
+    "<<",
+};
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  std::size_t i = 0;
+  int line = 1;
+  bool line_has_token = false;  // any non-ws content so far on this line
+  bool in_preproc = false;
+
+  auto newline = [&](bool continued) {
+    ++line;
+    line_has_token = false;
+    if (!continued) in_preproc = false;
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      // A preprocessor directive extends across `\`-continued lines; the
+      // backslash case is consumed where the backslash is seen below.
+      newline(false);
+      ++i;
+      continue;
+    }
+    if (c == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
+      newline(in_preproc);
+      i += 2;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < src.size() && src[j] != '\n') ++j;
+      out.comments.push_back(
+          {std::string(src.substr(i + 2, j - i - 2)), line});
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      std::string text;
+      while (j + 1 < src.size() && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        text.push_back(src[j]);
+        ++j;
+      }
+      out.comments.push_back({std::move(text), start_line});
+      i = (j + 1 < src.size()) ? j + 2 : src.size();
+      continue;
+    }
+
+    // Preprocessor directive start: `#` as first non-ws char on the line.
+    if (c == '#' && !line_has_token) {
+      in_preproc = true;
+      out.tokens.push_back({Tok::Punct, "#", line, true});
+      line_has_token = true;
+      ++i;
+      continue;
+    }
+
+    line_has_token = true;
+
+    // Raw strings: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < src.size() && src[j] != '(') delim.push_back(src[j++]);
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = src.find(closer, j);
+      const int start_line = line;
+      if (end == std::string_view::npos) {
+        end = src.size();
+      } else {
+        end += closer.size();
+      }
+      for (std::size_t k = i; k < end && k < src.size(); ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      out.tokens.push_back({Tok::String, "\"\"", start_line, in_preproc});
+      i = end;
+      continue;
+    }
+
+    // String / char literals (escapes honored, content discarded).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < src.size() && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < src.size()) ++j;
+        if (src[j] == '\n') ++line;  // unterminated; stay resilient
+        ++j;
+      }
+      out.tokens.push_back({Tok::String, quote == '"' ? "\"\"" : "''", line,
+                            in_preproc});
+      i = (j < src.size()) ? j + 1 : src.size();
+      continue;
+    }
+
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < src.size() && is_ident_char(src[j])) ++j;
+      out.tokens.push_back(
+          {Tok::Ident, std::string(src.substr(i, j - i)), line, in_preproc});
+      i = j;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t j = i + 1;
+      while (j < src.size() &&
+             (is_ident_char(src[j]) || src[j] == '.' ||
+              ((src[j] == '+' || src[j] == '-') &&
+               (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+                src[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back(
+          {Tok::Number, std::string(src.substr(i, j - i)), line, in_preproc});
+      i = j;
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (std::string_view p : kPuncts) {
+      if (src.substr(i, p.size()) == p) {
+        out.tokens.push_back({Tok::Punct, std::string(p), line, in_preproc});
+        i += p.size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.tokens.push_back({Tok::Punct, std::string(1, c), line, in_preproc});
+      ++i;
+    }
+  }
+
+  out.tokens.push_back({Tok::End, "", line, false});
+  return out;
+}
+
+}  // namespace plumlint

@@ -1,0 +1,47 @@
+#pragma once
+// Minimal C++ lexer for plum-lint. It is not a conforming C++ tokenizer —
+// it produces exactly the token stream the determinism checks need:
+// identifiers, numbers, string/char literals (content discarded), and
+// punctuation, with line numbers. Comments are collected separately so the
+// suppression parser can see them. Preprocessor lines (including `\`
+// continuations) are tokenized but flagged, so checks can skip e.g.
+// `#include <unordered_map>`.
+//
+// One deliberate deviation: `>>` is emitted as two `>` tokens so template
+// argument lists nest with simple depth counting (`std::vector<
+// std::unordered_map<K, V>>`). The checks never need right-shift.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plumlint {
+
+enum class Tok {
+  Ident,   ///< identifier or keyword
+  Number,  ///< numeric literal (integer or floating)
+  String,  ///< string or char literal (text not preserved)
+  Punct,   ///< operator / punctuation, possibly multi-char
+  End,     ///< sentinel appended at end of stream
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;
+  int line = 0;
+  bool preproc = false;  ///< token belongs to a preprocessor directive
+};
+
+struct Comment {
+  std::string text;  ///< without the // or /* */ markers
+  int line = 0;      ///< line the comment starts on
+};
+
+struct LexResult {
+  std::vector<Token> tokens;  ///< ends with a Tok::End sentinel
+  std::vector<Comment> comments;
+};
+
+LexResult lex(std::string_view src);
+
+}  // namespace plumlint

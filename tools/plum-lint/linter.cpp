@@ -1,0 +1,759 @@
+#include "linter.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "lexer.hpp"
+
+namespace plumlint {
+
+namespace {
+
+constexpr const char* kRankGuard = "rank-guard-mutation";
+constexpr const char* kUnordered = "unordered-iteration";
+constexpr const char* kSharedAcc = "shared-accumulator";
+constexpr const char* kNondet = "nondeterminism-source";
+constexpr const char* kBadSuppress = "bad-suppression";
+constexpr const char* kUnusedSuppress = "unused-suppression";
+
+bool is_meta_check(const std::string& c) {
+  return c == kBadSuppress || c == kUnusedSuppress;
+}
+
+const std::set<std::string>& type_keywords() {
+  static const std::set<std::string> kw = {
+      "auto",   "bool",   "char",   "double",   "float",  "int",
+      "long",   "short",  "signed", "unsigned", "void",   "size_t",
+      "int8_t", "int16_t", "int32_t", "int64_t", "uint8_t", "uint16_t",
+      "uint32_t", "uint64_t"};
+  return kw;
+}
+
+const std::set<std::string>& stmt_keywords() {
+  static const std::set<std::string> kw = {
+      "return",   "if",     "for",    "while",  "switch", "case",
+      "break",    "continue", "else", "do",     "delete", "new",
+      "throw",    "goto",   "using",  "typedef", "template", "public",
+      "private",  "protected", "namespace", "struct", "class", "enum",
+      "sizeof",   "static_assert"};
+  return kw;
+}
+
+using Tokens = std::vector<Token>;
+
+bool is(const Token& t, const char* text) { return t.text == text; }
+
+/// i at "<": index just past the matching ">", or i + 1 if this `<` does
+/// not look like a template list (no match before ; { }).
+std::size_t skip_template(const Tokens& t, std::size_t i) {
+  std::size_t depth = 0;
+  for (std::size_t j = i; j < t.size() && t[j].kind != Tok::End; ++j) {
+    const std::string& x = t[j].text;
+    if (x == "<") {
+      ++depth;
+    } else if (x == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (x == ";" || x == "{") {
+      break;
+    }
+  }
+  return i + 1;
+}
+
+/// i at an opening bracket: index of the matching closer (or end).
+std::size_t match_forward(const Tokens& t, std::size_t i, const char* open,
+                          const char* close) {
+  std::size_t depth = 0;
+  for (std::size_t j = i; j < t.size() && t[j].kind != Tok::End; ++j) {
+    if (t[j].text == open) ++depth;
+    if (t[j].text == close && --depth == 0) return j;
+  }
+  return t.size() - 1;
+}
+
+/// Names declared with an unordered container type anywhere in `t`
+/// (locals, members, parameters): `std::unordered_map<...> name`,
+/// including when nested inside another template.
+void collect_unordered_names(const Tokens& t, std::set<std::string>& names) {
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::Ident || t[i].preproc) continue;
+    if (!is(t[i], "unordered_map") && !is(t[i], "unordered_set")) continue;
+    std::size_t j = i + 1;
+    if (!is(t[j], "<")) continue;
+    j = skip_template(t, j);
+    while (is(t[j], ">") || is(t[j], "&") || is(t[j], "*") ||
+           is(t[j], "const")) {
+      ++j;
+    }
+    if (t[j].kind != Tok::Ident) continue;
+    const std::string& nx = t[j + 1].text;
+    if (nx == "=" || nx == "(" || nx == "{" || nx == ";" || nx == "," ||
+        nx == ")" || nx == ":") {
+      names.insert(t[j].text);
+    }
+  }
+}
+
+// --- check: unordered-iteration ---------------------------------------------
+
+void check_unordered(const std::string& file, const Tokens& t,
+                     const std::set<std::string>& local_names,
+                     const std::set<std::string>& member_names,
+                     std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::Ident || t[i].preproc) continue;
+    if (is(t[i], "unordered_map") || is(t[i], "unordered_set")) {
+      out.push_back(
+          {file, t[i].line, kUnordered,
+           "std::" + t[i].text +
+               " in a deterministic path: its iteration order is "
+               "unspecified and can feed Outbox::send, ledger counters, or "
+               "floating-point accumulation; use std::map / a sorted vector, "
+               "or suppress with a justification if it is never iterated",
+           false,
+           ""});
+      continue;
+    }
+    if (!is(t[i], "for") || !is(t[i + 1], "(")) continue;
+    const std::size_t open = i + 1;
+    const std::size_t close = match_forward(t, open, "(", ")");
+    // Locate the range-for ':' at nesting depth 0 inside the parens.
+    std::size_t colon = 0;
+    int depth = 0;
+    for (std::size_t j = open + 1; j < close; ++j) {
+      const std::string& x = t[j].text;
+      if (x == "(" || x == "[" || x == "{") ++depth;
+      if (x == ")" || x == "]" || x == "}") --depth;
+      if (x == ";") break;  // classic for loop
+      if (x == ":" && depth == 0) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (t[j].kind != Tok::Ident) continue;
+      // Bare identifiers must be declared unordered in this file; names
+      // collected from *other* files (e.g. LocalMesh::shared_verts) only
+      // match member accesses, so an unrelated local that happens to reuse
+      // the name elsewhere is not flagged.
+      const bool member_access = is(t[j - 1], ".") || is(t[j - 1], "->");
+      if (local_names.count(t[j].text) ||
+          (member_access && member_names.count(t[j].text))) {
+        out.push_back(
+            {file, t[i].line, kUnordered,
+             "range-for over unordered container '" + t[j].text +
+                 "': visit order differs across standard-library "
+                 "implementations and runs; iterate sorted keys instead",
+             false,
+             ""});
+        break;
+      }
+    }
+  }
+}
+
+// --- check: nondeterminism-source --------------------------------------------
+
+void check_nondeterminism(const std::string& file, const Tokens& t,
+                          std::vector<Diagnostic>& out) {
+  static const std::set<std::string> banned_calls = {
+      "rand",    "srand",   "rand_r", "drand48",      "lrand48",
+      "mrand48", "random",  "time",   "gettimeofday", "clock"};
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::Ident || t[i].preproc) continue;
+    const Token& prev = t[i - 1];
+    if (is(t[i], "random_device")) {
+      out.push_back({file, t[i].line, kNondet,
+                     "std::random_device: draws from the OS entropy pool; "
+                     "use the seeded plum::Rng so runs are reproducible",
+                     false,
+                     ""});
+      continue;
+    }
+    if (is(t[i], "hash") && is(prev, "::") && i >= 2 && is(t[i - 2], "std") &&
+        is(t[i + 1], "<")) {
+      const std::size_t end = skip_template(t, i + 1);
+      for (std::size_t j = i + 2; j + 1 < end; ++j) {
+        if (is(t[j], "*")) {
+          out.push_back({file, t[i].line, kNondet,
+                         "std::hash over a pointer type: hashes the address, "
+                         "which differs between runs (ASLR); key on a stable "
+                         "id instead",
+                         false,
+                         ""});
+          break;
+        }
+      }
+      continue;
+    }
+    if (!banned_calls.count(t[i].text)) continue;
+    if (!is(t[i + 1], "(")) continue;
+    // Member calls (timer.time()) and declarations (Timer time(...)) are
+    // other people's names, not the libc functions.
+    if (is(prev, ".") || is(prev, "->") || prev.kind == Tok::Ident) continue;
+    if (is(prev, "::") && i >= 2 && !is(t[i - 2], "std")) continue;
+    out.push_back({file, t[i].line, kNondet,
+                   "'" + t[i].text +
+                       "()' is a nondeterminism source (varies run to run); "
+                       "use the seeded plum::Rng / logical superstep time",
+                   false,
+                   ""});
+  }
+}
+
+// --- checks: rank-guard-mutation & shared-accumulator ------------------------
+
+struct DeclNames {
+  std::vector<std::string> names;
+  bool matched = false;
+};
+
+/// Tries to parse a declaration starting at `i` (statement start). Handles
+/// `const T& x = ...`, `std::vector<T> x(...)`, `auto it = ...`,
+/// structured bindings `const auto& [a, b] : ...`, and multi-keyword
+/// fundamentals. Does not need to be complete — misses only make the
+/// mutation checks slightly stricter, never looser.
+DeclNames try_parse_decl(const Tokens& t, std::size_t i) {
+  DeclNames out;
+  std::size_t j = i;
+  while (is(t[j], "const") || is(t[j], "constexpr") || is(t[j], "static") ||
+         is(t[j], "mutable")) {
+    ++j;
+  }
+  if (t[j].kind != Tok::Ident) return out;
+  const std::string& first = t[j].text;
+  if (stmt_keywords().count(first)) return out;
+  ++j;
+  if (first == "unsigned" || first == "signed" || first == "long" ||
+      first == "short") {
+    while (t[j].kind == Tok::Ident && type_keywords().count(t[j].text)) ++j;
+  }
+  while (true) {
+    if (is(t[j], "::") && t[j + 1].kind == Tok::Ident) {
+      j += 2;
+    } else if (is(t[j], "<")) {
+      const std::size_t k = skip_template(t, j);
+      if (k == j + 1) return out;  // comparison, not a template list
+      j = k;
+    } else {
+      break;
+    }
+  }
+  while (is(t[j], "&") || is(t[j], "*") || is(t[j], "const")) ++j;
+  if (is(t[j], "[")) {  // structured binding
+    std::size_t k = j + 1;
+    std::vector<std::string> names;
+    while (!is(t[k], "]") && t[k].kind != Tok::End) {
+      if (t[k].kind == Tok::Ident) names.push_back(t[k].text);
+      ++k;
+    }
+    if (is(t[k + 1], "=") || is(t[k + 1], ":")) {
+      out.names = std::move(names);
+      out.matched = true;
+    }
+    return out;
+  }
+  if (t[j].kind != Tok::Ident) return out;
+  const std::string& nx = t[j + 1].text;
+  if (nx == "=" || nx == "(" || nx == "{" || nx == ";" || nx == ":" ||
+      nx == ",") {
+    out.names.push_back(t[j].text);
+    out.matched = true;
+  }
+  return out;
+}
+
+struct LhsInfo {
+  std::string base;
+  bool rank_indexed = false;
+  bool ok = false;
+};
+
+/// Walks an lvalue access path backward from `j` (inclusive) to its base
+/// identifier, noting whether any subscript on the path mentions the rank
+/// variable: `counts[size_t(r)] += ..` is per-rank state, `counts[i] += ..`
+/// is not.
+LhsInfo parse_lhs_backward(const Tokens& t, std::size_t j, std::size_t begin,
+                           const std::string& rank_var) {
+  LhsInfo out;
+  while (j > begin) {
+    if (is(t[j], "]")) {
+      std::size_t depth = 1;
+      std::size_t k = j;
+      while (k > begin && depth > 0) {
+        --k;
+        if (is(t[k], "]")) ++depth;
+        if (is(t[k], "[")) --depth;
+        if (depth > 0 && t[k].kind == Tok::Ident && !rank_var.empty() &&
+            t[k].text == rank_var) {
+          out.rank_indexed = true;
+        }
+      }
+      if (depth != 0 || k == begin) return out;
+      j = k - 1;
+      continue;
+    }
+    if (t[j].kind == Tok::Ident) {
+      const Token& prev = t[j - 1];
+      if (is(prev, ".") || is(prev, "->") || is(prev, "::")) {
+        j -= 2;
+        continue;
+      }
+      out.base = t[j].text;
+      out.ok = true;
+      return out;
+    }
+    return out;  // ")" etc: call results and casts are not analyzable
+  }
+  return out;
+}
+
+/// Forward variant for prefix ++/--: ++x, ++x.y[r].
+LhsInfo parse_lhs_forward(const Tokens& t, std::size_t j,
+                          const std::string& rank_var) {
+  LhsInfo out;
+  if (t[j].kind != Tok::Ident) return out;
+  out.base = t[j].text;
+  out.ok = true;
+  std::size_t k = j + 1;
+  while (true) {
+    if ((is(t[k], ".") || is(t[k], "->") || is(t[k], "::")) &&
+        t[k + 1].kind == Tok::Ident) {
+      k += 2;
+    } else if (is(t[k], "[")) {
+      const std::size_t close = match_forward(t, k, "[", "]");
+      for (std::size_t m = k + 1; m < close; ++m) {
+        if (t[m].kind == Tok::Ident && !rank_var.empty() &&
+            t[m].text == rank_var) {
+          out.rank_indexed = true;
+        }
+      }
+      k = close + 1;
+    } else {
+      break;
+    }
+  }
+  return out;
+}
+
+bool is_assign_op(const Token& t) {
+  static const std::set<std::string> ops = {"=",  "+=", "-=",  "*=", "/=",
+                                            "%=", "&=", "|=",  "^=", "<<="};
+  return t.kind == Tok::Punct && ops.count(t.text) > 0;
+}
+
+struct SuperstepLambda {
+  std::size_t body_begin = 0;  ///< index of the opening '{'
+  std::size_t body_end = 0;    ///< index of the matching '}'
+  std::string rank_var;        ///< may be empty (unnamed Rank param)
+  std::vector<std::string> param_names;
+};
+
+/// Finds lambdas whose parameter list mentions both Rank and Outbox — the
+/// rt::Engine::StepFn shape all superstep programs use.
+std::vector<SuperstepLambda> find_superstep_lambdas(const Tokens& t) {
+  std::vector<SuperstepLambda> out;
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (!is(t[i], "[") || t[i].preproc) continue;
+    const Token& prev = t[i - 1];
+    const bool lambda_position =
+        is(prev, "(") || is(prev, ",") || is(prev, "{") || is(prev, ";") ||
+        is(prev, "=") || is(prev, "return") || is(prev, "&&") ||
+        is(prev, "||") || is(prev, ":");
+    if (!lambda_position) continue;
+    const std::size_t cap_end = match_forward(t, i, "[", "]");
+    if (!is(t[cap_end + 1], "(")) continue;
+    const std::size_t popen = cap_end + 1;
+    const std::size_t pclose = match_forward(t, popen, "(", ")");
+
+    SuperstepLambda lam;
+    bool has_rank = false, has_outbox = false;
+    // Split parameters at depth-0 commas.
+    std::size_t start = popen + 1;
+    int depth = 0;
+    for (std::size_t j = popen + 1; j <= pclose; ++j) {
+      const std::string& x = t[j].text;
+      if (x == "(" || x == "[" || x == "{") ++depth;
+      if (x == "]" || x == "}") --depth;
+      if ((x == "," && depth == 0) || j == pclose) {
+        bool p_rank = false, p_outbox = false;
+        std::string last_ident;
+        for (std::size_t k = start; k < j; ++k) {
+          if (t[k].kind != Tok::Ident) continue;
+          if (t[k].text == "Rank") p_rank = true;
+          if (t[k].text == "Outbox") p_outbox = true;
+          last_ident = t[k].text;
+        }
+        has_rank |= p_rank;
+        has_outbox |= p_outbox;
+        if (!last_ident.empty() && last_ident != "Rank" &&
+            last_ident != "Inbox" && last_ident != "Outbox") {
+          lam.param_names.push_back(last_ident);
+          if (p_rank) lam.rank_var = last_ident;
+        }
+        start = j + 1;
+      }
+      if (x == ")" && j != pclose) --depth;
+    }
+    if (!has_rank || !has_outbox) continue;
+
+    // Skip mutable / noexcept / -> trailing-return to the body.
+    std::size_t b = pclose + 1;
+    while (t[b].kind != Tok::End && !is(t[b], "{") && !is(t[b], ";") &&
+           !is(t[b], ")")) {
+      ++b;
+    }
+    if (!is(t[b], "{")) continue;
+    lam.body_begin = b;
+    lam.body_end = match_forward(t, b, "{", "}");
+    out.push_back(std::move(lam));
+  }
+  return out;
+}
+
+void check_superstep_body(const std::string& file, const Tokens& t,
+                          const SuperstepLambda& lam,
+                          std::vector<Diagnostic>& out) {
+  // Locals: (name, brace depth at declaration). Params live at depth 0.
+  std::vector<std::pair<std::string, int>> locals;
+  for (const auto& p : lam.param_names) locals.emplace_back(p, 0);
+  auto is_local = [&](const std::string& n) {
+    return std::any_of(locals.begin(), locals.end(),
+                       [&](const auto& l) { return l.first == n; });
+  };
+
+  // Active `if (r == 0)` style guards, as end-token indices (innermost last).
+  std::vector<std::size_t> guard_ends;
+
+  int depth = 0;
+  for (std::size_t i = lam.body_begin; i <= lam.body_end; ++i) {
+    while (!guard_ends.empty() && i > guard_ends.back()) guard_ends.pop_back();
+    const Token& tk = t[i];
+
+    if (is(tk, "{")) {
+      ++depth;
+      continue;
+    }
+    if (is(tk, "}")) {
+      std::erase_if(locals, [&](const auto& l) { return l.second == depth; });
+      --depth;
+      continue;
+    }
+
+    // Declarations at statement starts (and in for-loop headers).
+    const bool stmt_start =
+        i > lam.body_begin &&
+        (is(t[i - 1], ";") || is(t[i - 1], "{") || is(t[i - 1], "}"));
+    if (stmt_start) {
+      DeclNames d = try_parse_decl(t, i);
+      for (auto& n : d.names) locals.emplace_back(std::move(n), depth);
+    }
+    if (is(tk, "for") && is(t[i + 1], "(")) {
+      DeclNames d = try_parse_decl(t, i + 2);
+      for (auto& n : d.names) locals.emplace_back(std::move(n), depth);
+      continue;
+    }
+
+    // Rank guards: if (<rank> == <literal>) — including `r == 0 && ...`.
+    if (is(tk, "if") && is(t[i + 1], "(") && !lam.rank_var.empty()) {
+      const std::size_t close = match_forward(t, i + 1, "(", ")");
+      bool guarded = false;
+      for (std::size_t j = i + 2; j + 1 < close; ++j) {
+        if (!is(t[j], "==")) continue;
+        const Token& a = t[j - 1];
+        const Token& b = t[j + 1];
+        const bool a_rank = a.kind == Tok::Ident && a.text == lam.rank_var &&
+                            !is(t[j - 2], ".") && !is(t[j - 2], "->");
+        const bool b_rank = b.kind == Tok::Ident && b.text == lam.rank_var;
+        if ((a_rank && b.kind == Tok::Number) ||
+            (b_rank && a.kind == Tok::Number)) {
+          guarded = true;
+          break;
+        }
+      }
+      if (guarded) {
+        std::size_t end;
+        if (is(t[close + 1], "{")) {
+          end = match_forward(t, close + 1, "{", "}");
+        } else {
+          end = close + 1;
+          while (t[end].kind != Tok::End && !is(t[end], ";")) ++end;
+        }
+        guard_ends.push_back(end);
+      }
+      continue;
+    }
+
+    // Mutations.
+    LhsInfo lhs;
+    int op_line = tk.line;
+    if (is_assign_op(tk) && i > lam.body_begin) {
+      lhs = parse_lhs_backward(t, i - 1, lam.body_begin, lam.rank_var);
+    } else if ((is(tk, "++") || is(tk, "--"))) {
+      if (t[i + 1].kind == Tok::Ident) {
+        lhs = parse_lhs_forward(t, i + 1, lam.rank_var);
+      } else if (i > lam.body_begin &&
+                 (t[i - 1].kind == Tok::Ident || is(t[i - 1], "]"))) {
+        lhs = parse_lhs_backward(t, i - 1, lam.body_begin, lam.rank_var);
+      }
+    } else {
+      continue;
+    }
+    if (!lhs.ok || lhs.base.empty()) continue;
+    if (lhs.rank_indexed) continue;
+    if (is_local(lhs.base)) continue;
+    if (!lam.rank_var.empty() && lhs.base == lam.rank_var) continue;
+
+    if (!guard_ends.empty()) {
+      out.push_back(
+          {file, op_line, kRankGuard,
+           "captured '" + lhs.base +
+               "' is mutated under a rank==constant guard inside a "
+               "superstep: this relies on sequential rank order and races "
+               "under ParallelEngine (the `if (r == 0) ++phase` bug class); "
+               "use Outbox::step() or a per-rank slot",
+           false,
+           ""});
+    } else {
+      out.push_back(
+          {file, op_line, kSharedAcc,
+           "captured '" + lhs.base +
+               "' is written from a superstep without per-rank indexing: "
+               "rank r may only mutate rank-r-owned state; index the write "
+               "with the rank (e.g. acc[r]) and reduce after the run",
+           false,
+           ""});
+    }
+  }
+}
+
+// --- suppressions -------------------------------------------------------------
+
+struct Suppression {
+  int line = 0;
+  std::string check;
+  std::string justification;
+  bool used = false;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t");
+  if (a == std::string::npos) return "";
+  std::size_t b = s.find_last_not_of(" \t");
+  return s.substr(a, b - a + 1);
+}
+
+void parse_suppressions(const std::string& file,
+                        const std::vector<Comment>& comments,
+                        std::vector<Suppression>& sups,
+                        std::vector<Diagnostic>& out) {
+  for (std::size_t ci = 0; ci < comments.size(); ++ci) {
+    const Comment& c = comments[ci];
+    const std::size_t tag = c.text.find("plum-lint:");
+    if (tag == std::string::npos) continue;
+    const std::string rest = trim(c.text.substr(tag + 10));
+    const std::size_t open = rest.find("allow(");
+    const std::size_t close = rest.find(')');
+    if (open != 0 || close == std::string::npos || close < 6) {
+      out.push_back({file, c.line, kBadSuppress,
+                     "malformed plum-lint comment; expected "
+                     "`plum-lint: allow(<check>) -- <justification>`",
+                     false,
+                     ""});
+      continue;
+    }
+    const std::string check = trim(rest.substr(6, close - 6));
+    bool known = false;
+    for (const auto& ci : checks()) known |= (check == ci.name);
+    if (!known || is_meta_check(check)) {
+      out.push_back({file, c.line, kBadSuppress,
+                     "unknown or unsuppressable check '" + check +
+                         "' in plum-lint suppression",
+                     false,
+                     ""});
+      continue;
+    }
+    std::string just;
+    const std::size_t dash = rest.find("--", close);
+    if (dash != std::string::npos) just = trim(rest.substr(dash + 2));
+    // A justification may wrap onto directly following comment lines; the
+    // suppression then anchors at the end of the comment block.
+    int anchor = c.line;
+    for (std::size_t k = ci + 1; k < comments.size(); ++k) {
+      if (comments[k].line != anchor + 1 ||
+          comments[k].text.find("plum-lint:") != std::string::npos) {
+        break;
+      }
+      anchor = comments[k].line;
+      if (!just.empty()) just += " " + trim(comments[k].text);
+    }
+    if (just.empty()) {
+      out.push_back({file, c.line, kBadSuppress,
+                     "plum-lint suppression for '" + check +
+                         "' lacks a justification; write "
+                         "`allow(" + check + ") -- <why this is safe>`",
+                     false,
+                     ""});
+      continue;
+    }
+    sups.push_back({anchor, check, just, false});
+  }
+}
+
+}  // namespace
+
+const std::vector<CheckInfo>& checks() {
+  static const std::vector<CheckInfo> kChecks = {
+      {kRankGuard,
+       "rank==0-guarded writes to captured state inside superstep lambdas"},
+      {kUnordered,
+       "unordered_map/set declarations and range-for loops in deterministic "
+       "paths"},
+      {kSharedAcc,
+       "captured state written from superstep lambdas without per-rank "
+       "indexing"},
+      {kNondet,
+       "rand()/time()/std::random_device/pointer-hash and friends"},
+      {kBadSuppress, "malformed or unjustified plum-lint suppressions"},
+      {kUnusedSuppress, "suppressions that no longer match any diagnostic"},
+  };
+  return kChecks;
+}
+
+int LintResult::unsuppressed_count() const {
+  return static_cast<int>(std::count_if(
+      diagnostics.begin(), diagnostics.end(),
+      [](const Diagnostic& d) { return !d.suppressed; }));
+}
+
+int LintResult::suppressed_count() const {
+  return static_cast<int>(diagnostics.size()) - unsuppressed_count();
+}
+
+int LintResult::count_of(const std::string& check,
+                         bool include_suppressed) const {
+  return static_cast<int>(std::count_if(
+      diagnostics.begin(), diagnostics.end(), [&](const Diagnostic& d) {
+        return d.check == check && (include_suppressed || !d.suppressed);
+      }));
+}
+
+LintResult lint_files(const std::vector<FileInput>& files) {
+  LintResult result;
+  result.files_scanned = static_cast<int>(files.size());
+
+  std::vector<LexResult> lexed;
+  lexed.reserve(files.size());
+  std::vector<std::set<std::string>> per_file_names(files.size());
+  std::set<std::string> all_names;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    lexed.push_back(lex(files[fi].content));
+    collect_unordered_names(lexed.back().tokens, per_file_names[fi]);
+    all_names.insert(per_file_names[fi].begin(), per_file_names[fi].end());
+  }
+
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const std::string& path = files[fi].path;
+    const Tokens& t = lexed[fi].tokens;
+    std::vector<Diagnostic> diags;
+
+    check_unordered(path, t, per_file_names[fi], all_names, diags);
+    check_nondeterminism(path, t, diags);
+    for (const auto& lam : find_superstep_lambdas(t)) {
+      check_superstep_body(path, t, lam, diags);
+    }
+
+    std::vector<Suppression> sups;
+    parse_suppressions(path, lexed[fi].comments, sups, diags);
+    for (auto& d : diags) {
+      if (is_meta_check(d.check)) continue;
+      for (auto& s : sups) {
+        if (s.check == d.check && (s.line == d.line || s.line == d.line - 1)) {
+          d.suppressed = true;
+          d.justification = s.justification;
+          s.used = true;
+          break;
+        }
+      }
+    }
+    for (const auto& s : sups) {
+      if (!s.used) {
+        diags.push_back({path, s.line, kUnusedSuppress,
+                         "suppression for '" + s.check +
+                             "' matches no diagnostic on this or the next "
+                             "line; remove it so suppressions stay honest",
+                         false,
+                         ""});
+      }
+    }
+    result.diagnostics.insert(result.diagnostics.end(), diags.begin(),
+                              diags.end());
+  }
+
+  std::sort(result.diagnostics.begin(), result.diagnostics.end());
+  return result;
+}
+
+LintResult lint_source(const std::string& path, const std::string& content) {
+  return lint_files({{path, content}});
+}
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string to_json(const LintResult& result) {
+  std::ostringstream os;
+  os << "{\n  \"files_scanned\": " << result.files_scanned
+     << ",\n  \"unsuppressed\": " << result.unsuppressed_count()
+     << ",\n  \"suppressed\": " << result.suppressed_count()
+     << ",\n  \"counts\": {";
+  bool first = true;
+  for (const auto& c : checks()) {
+    if (!first) os << ", ";
+    first = false;
+    json_escape(os, c.name);
+    os << ": " << result.count_of(c.name, /*include_suppressed=*/true);
+  }
+  os << "},\n  \"diagnostics\": [";
+  for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const auto& d = result.diagnostics[i];
+    os << (i ? ",\n    {" : "\n    {") << "\"file\": ";
+    json_escape(os, d.file);
+    os << ", \"line\": " << d.line << ", \"check\": ";
+    json_escape(os, d.check);
+    os << ", \"suppressed\": " << (d.suppressed ? "true" : "false");
+    if (d.suppressed) {
+      os << ", \"justification\": ";
+      json_escape(os, d.justification);
+    }
+    os << ", \"message\": ";
+    json_escape(os, d.message);
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace plumlint
