@@ -7,12 +7,15 @@
 // processors": no phase's bottleneck grows with P.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
 #include "common.hpp"
 #include "core/dist_framework.hpp"
 #include "io/table.hpp"
+#include "json_report.hpp"
+#include "obs/chrome_trace.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -37,6 +40,8 @@ int main(int argc, char** argv) {
   io::Table table({"P", "elems_after", "imb_old", "imb_new", "migrated",
                    "refine_work_imb", "msgs", "MB_sent", "supersteps",
                    "wall_s"});
+  bench::JsonReport report("bench_distributed");
+  bool trace_written = false;
 
   for (Rank P : {4, 8, 16, 32}) {
     core::FrameworkOptions opt;
@@ -82,6 +87,34 @@ int main(int argc, char** argv) {
          io::Table::fmt(
              std::int64_t{fw.engine().ledger().num_supersteps()}),
          io::Table::fmt(wall_s, 3)});
+
+    report.add_run("box" + std::to_string(boxn), P)
+        .metric("wall_s", wall_s)
+        .metric("imbalance_old", rep.imbalance_old)
+        .metric("imbalance_new",
+                rep.accepted ? rep.imbalance_new : rep.imbalance_old)
+        .metric("refine_work_imbalance", work_imb)
+        .metric_int("elements_after", rep.elements_after)
+        .metric_int("elements_migrated", rep.elements_migrated)
+        .metric_int("msgs_sent", msgs)
+        .metric_int("bytes_sent", fw.engine().ledger().total_bytes())
+        .metric_int("supersteps", fw.engine().ledger().num_supersteps())
+        .metric_int("accepted", rep.accepted ? 1 : 0)
+        .phases_from(fw.trace());
+
+    // One Chrome trace (largest P last wins would also be fine; take the
+    // first so the artifact exists even if a later size fails).
+    if (!trace_written) {
+      const char* dir = std::getenv("PLUM_BENCH_JSON_DIR");
+      const std::string path =
+          std::string((dir && dir[0]) ? dir : ".") +
+          "/TRACE_bench_distributed.json";
+      trace_written = obs::write_chrome_trace(
+          fw.trace(), "bench_distributed P=" + std::to_string(P), path);
+      if (!trace_written) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      }
+    }
   }
 
   std::cout << "Distributed Fig. 1 cycle at " << 6 * boxn * boxn * boxn
@@ -92,5 +125,6 @@ int main(int argc, char** argv) {
   std::cout << "\nViability check: subdivision-work imbalance stays near 1 "
                "after an accepted remap,\nand ledger traffic grows with P "
                "far slower than the per-rank work shrinks.\n";
+  if (report.write().empty() || !trace_written) return 1;
   return 0;
 }

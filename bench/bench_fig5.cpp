@@ -7,6 +7,7 @@
 
 #include "figures_common.hpp"
 #include "io/table.hpp"
+#include "json_report.hpp"
 
 int main() {
   using namespace plum;
@@ -14,6 +15,7 @@ int main() {
   const sim::CostModel cm;
 
   io::Table table({"case", "P", "remap_after_s", "remap_before_s", "ratio"});
+  bench::JsonReport report("bench_fig5");
   for (const auto& c : bench::kRealCases) {
     const auto cd = bench::evaluate_case(w, c);
     for (const auto& pt : cd.points) {
@@ -22,11 +24,17 @@ int main() {
       table.add_row({cd.name, io::Table::fmt(std::int64_t{pt.nprocs}),
                      io::Table::fmt(ta, 3), io::Table::fmt(tb, 3),
                      io::Table::fmt(tb > 0 ? ta / tb : 0.0, 2)});
+      report.add_run(cd.name, pt.nprocs)
+          .metric("remap_after_s", ta)
+          .metric("remap_before_s", tb)
+          .metric("ratio", tb > 0 ? ta / tb : 0.0)
+          .metric_int("total_elems_before", pt.vol_before.total_elems)
+          .metric_int("total_elems_after", pt.vol_after.total_elems);
     }
   }
   std::cout << "Fig. 5: remapping time, after vs before subdivision\n";
   table.print(std::cout);
   std::cout << "\npaper anchor: Real_3 at P=64 drops 3.71s -> 1.03s "
                "(~3.6x); times fall with P\n";
-  return 0;
+  return report.write().empty() ? 1 : 0;
 }

@@ -19,6 +19,7 @@
 
 #include "common.hpp"
 #include "io/table.hpp"
+#include "json_report.hpp"
 #include "partition/multilevel.hpp"
 #include "remap/mapping.hpp"
 #include "remap/volume.hpp"
@@ -37,6 +38,7 @@ int main() {
   io::Table table({"P", "Max(Sent,Recd)", "OptMWBG elems", "OptMWBG s",
                    "HeuMWBG elems", "HeuMWBG s", "OptBMCM elems",
                    "OptBMCM s"});
+  bench::JsonReport report("bench_table2");
 
   for (Rank P : bench::kProcCounts) {
     // Old partitioning: balanced on the pre-adaption mesh.
@@ -67,6 +69,15 @@ int main() {
                    io::Table::fmt(heu.solve_seconds, 6),
                    io::Table::fmt(std::int64_t{v_bm.total_elems}),
                    io::Table::fmt(bm.solve_seconds, 6)});
+
+    report.add_run("Real_2", P)
+        .metric_int("bmcm_max_sent_or_recv", v_bm.max_sent_or_recv)
+        .metric_int("opt_mwbg_total_elems", v_opt.total_elems)
+        .metric("opt_mwbg_solve_s", opt.solve_seconds)
+        .metric_int("heu_mwbg_total_elems", v_heu.total_elems)
+        .metric("heu_mwbg_solve_s", heu.solve_seconds)
+        .metric_int("opt_bmcm_total_elems", v_bm.total_elems)
+        .metric("opt_bmcm_solve_s", bm.solve_seconds);
   }
 
   std::cout << "Table 2: mapper comparison on Real_2 (remap before "
@@ -75,5 +86,5 @@ int main() {
   std::cout << "\nShape checks vs paper: HeuMWBG total ~= OptMWBG total; "
                "OptBMCM total larger;\nHeuMWBG time ~10x under OptMWBG; "
                "OptBMCM time largest and growing fastest in P.\n";
-  return 0;
+  return report.write().empty() ? 1 : 0;
 }

@@ -54,6 +54,7 @@ DistFramework::DistFramework(mesh::TetMesh initial_global,
     : opt_(opt) {
   PLUM_ASSERT(opt_.nranks >= 1);
   eng_ = rt::make_engine(opt_.nranks, opt_.threads);
+  eng_->set_observer(&trace_);
 
   dual_ = initial_global.build_initial_dual();
   partition::MultilevelOptions popt;
@@ -82,12 +83,21 @@ DistCycleReport DistFramework::cycle() {
   const Rank P = opt_.nranks;
   DistCycleReport rep;
   rep.elements_before = dm_->total_active_elements();
+  const sim::CostModel cost_model(opt_.machine);
 
   // --- 1. parallel flow solver ------------------------------------------------
-  solver_->run(opt_.solver_steps_per_cycle);
+  {
+    obs::PhaseScope ph(trace_, "solve");
+    solver_->run(opt_.solver_steps_per_cycle);
+    const auto epr = dm_->active_elements_per_rank();
+    ph.set_modeled_seconds(opt_.machine.t_iter *
+                           static_cast<double>(opt_.solver_steps_per_cycle) *
+                           static_cast<double>(vec_max(epr)));
+  }
 
   // --- 1b. distributed coarsening phase (Fig. 1) -------------------------------
   if (opt_.coarsen_fraction > 0) {
+    obs::PhaseScope ph(trace_, "coarsen");
     const auto cerr = rank_errors(*dm_, *solver_);
     // Bottom-fraction threshold over owned active edges (host quantile).
     std::vector<std::vector<double>> owned(static_cast<std::size_t>(P));
@@ -131,6 +141,9 @@ DistCycleReport DistFramework::cycle() {
   // Each rank contributes the error values of the edges it owns (lowest SPL
   // rank) so the host's quantile sees every edge exactly once — the same
   // gather pattern as the similarity matrix (§4.3).
+  // (err/seeds/pm outlive the phase — the remap path re-derives them — so
+  // this phase uses the explicit begin/end API rather than a scope.)
+  const std::size_t mark_phase = trace_.begin_phase("mark");
   auto err = rank_errors(*dm_, *solver_);
   std::vector<std::vector<double>> owned_errs(static_cast<std::size_t>(P));
   for (Rank r = 0; r < P; ++r) {
@@ -162,6 +175,11 @@ DistCycleReport DistFramework::cycle() {
   auto seeds = threshold_marks(*dm_, err, threshold);
   auto pm = pmesh::parallel_mark(*dm_, *eng_, seeds);
   rep.mark_comm_rounds = pm.comm_rounds;
+  trace_.set_modeled_seconds(
+      mark_phase,
+      opt_.machine.t_mark * static_cast<double>(rep.elements_before) *
+          static_cast<double>(1 + pm.comm_rounds));
+  trace_.end_phase(mark_phase);
 
   // --- 4. predicted weights gathered per global root ---------------------------
   struct RootW {
@@ -215,21 +233,32 @@ DistCycleReport DistFramework::cycle() {
 
   if (rep.imbalance_old > opt_.imbalance_trigger) {
     rep.evaluated_repartition = true;
+    obs::PhaseScope gate(trace_, "gate");
     dual_.set_weights(wcomp_pred, wremap_pred);
     partition::MultilevelOptions popt;
     popt.nparts = P;
     popt.seed = opt_.seed;
-    const auto repart = partition::repartition(dual_, root_part_, popt);
+    partition::MultilevelResult repart;
+    {
+      obs::PhaseScope ph(trace_, "repartition");
+      repart = partition::repartition(dual_, root_part_, popt);
+      ph.set_modeled_seconds(cost_model.partition_seconds(
+          nroots, static_cast<int>(repart.levels.size()), P));
+    }
 
     const auto& move_w =
         opt_.remap_before_subdivision ? wremap_cur : wremap_pred;
     const auto S = remap::SimilarityMatrix::build(root_part_, repart.part,
                                                   move_w, P, P);
-    const auto assign = opt_.mapper == MapperKind::kOptimalMwbg
-                            ? remap::map_optimal_mwbg(S)
-                        : opt_.mapper == MapperKind::kOptimalBmcm
-                            ? remap::map_optimal_bmcm(S)
-                            : remap::map_heuristic_greedy(S);
+    remap::Assignment assign;
+    {
+      obs::PhaseScope ph(trace_, "reassign");
+      assign = opt_.mapper == MapperKind::kOptimalMwbg
+                   ? remap::map_optimal_mwbg(S)
+               : opt_.mapper == MapperKind::kOptimalBmcm
+                   ? remap::map_optimal_bmcm(S)
+                   : remap::map_heuristic_greedy(S);
+    }
     rep.volume = remap::evaluate_assignment(S, assign);
 
     std::vector<Weight> loads_new(static_cast<std::size_t>(P), 0);
@@ -255,14 +284,15 @@ DistCycleReport DistFramework::cycle() {
       ref_new[static_cast<std::size_t>(new_part[v])] +=
           growth[static_cast<std::size_t>(v)];
     }
-    const sim::CostModel cm(opt_.machine);
-    rep.gain_seconds = cm.computational_gain(
+    rep.gain_seconds = cost_model.computational_gain(
         vec_max(loads_old), vec_max(loads_new), vec_max(ref_old),
         vec_max(ref_new));
-    rep.cost_seconds = cm.redistribution_cost(rep.volume, opt_.metric);
+    rep.cost_seconds = cost_model.redistribution_cost(rep.volume, opt_.metric);
 
-    if (cm.accept_remap(rep.gain_seconds, rep.cost_seconds)) {
+    if (cost_model.accept_remap(rep.gain_seconds, rep.cost_seconds)) {
       rep.accepted = true;
+      obs::PhaseScope ph(trace_, "remap");
+      ph.set_modeled_seconds(rep.cost_seconds);
       // --- 6. migrate subtrees + solution (remap before subdivision) -------
       states_.clear();
       for (Rank r = 0; r < P; ++r) states_.push_back(solver_->solution(r));
@@ -280,6 +310,7 @@ DistCycleReport DistFramework::cycle() {
   }
 
   // --- 7. parallel subdivision ---------------------------------------------------
+  obs::PhaseScope subdivide(trace_, "subdivide");
   for (Rank r = 0; r < P; ++r) {
     auto& lm = dm_->local(r);
     lm.mesh.on_bisect = [this, r](Index e, Index mid) {
@@ -297,6 +328,8 @@ DistCycleReport DistFramework::cycle() {
   }
   const auto pf = pmesh::parallel_refine(*dm_, *eng_, pm);
   rep.refine_work_per_rank = pf.work_per_rank;
+  subdivide.set_modeled_seconds(opt_.machine.t_refine *
+                                static_cast<double>(vec_max(pf.work_per_rank)));
   for (Rank r = 0; r < P; ++r) dm_->local(r).mesh.on_bisect = nullptr;
 
   // Rebind with the grown solution arrays.

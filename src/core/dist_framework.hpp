@@ -58,12 +58,22 @@ class DistFramework {
     return dm_->active_elements_per_rank();
   }
 
+  /// plum-trace recorder. Attached to the engine as a SuperstepObserver at
+  /// construction, so it holds one SuperstepRecord per engine superstep
+  /// (per-rank counters + wall times) in addition to the Fig. 1 phase
+  /// scopes opened by cycle().
+  [[nodiscard]] obs::TraceRecorder& trace() { return trace_; }
+  [[nodiscard]] const obs::TraceRecorder& trace() const { return trace_; }
+
  private:
   /// Rebinds the parallel solver to the current distribution, keeping the
   /// per-rank states in `states_`.
   void rebind_solver();
 
   FrameworkOptions opt_;
+  // Declared before eng_: the engine holds a raw observer pointer to the
+  // recorder, so the recorder must be destroyed after the engine.
+  obs::TraceRecorder trace_;
   std::unique_ptr<rt::Engine> eng_;
   std::unique_ptr<pmesh::DistMesh> dm_;
   std::unique_ptr<pmesh::ParallelEulerSolver> solver_;

@@ -69,14 +69,23 @@ std::vector<Weight> Framework::processor_loads() const {
 CycleReport Framework::cycle() {
   CycleReport rep;
   rep.elements_before = mesh_->num_active_elements();
+  const sim::CostModel cm(opt_.machine);
 
   // --- 1. flow solver -------------------------------------------------------
-  rep.solver_work = solver_->run(opt_.solver_steps_per_cycle);
+  {
+    obs::PhaseScope ph(trace_, "solve");
+    rep.solver_work = solver_->run(opt_.solver_steps_per_cycle);
+    // Modeled SP2 time: iterations on the bottleneck processor.
+    ph.set_modeled_seconds(opt_.machine.t_iter *
+                           static_cast<double>(opt_.solver_steps_per_cycle) *
+                           static_cast<double>(vec_max(processor_loads())));
+  }
 
   // --- 1b. coarsening phase (Fig. 1: the old mesh shrinks before the
   //         refinement bookkeeping; compaction renumbers everything, so the
   //         solver state follows the vertex map) -----------------------------
   if (opt_.coarsen_fraction > 0) {
+    obs::PhaseScope ph(trace_, "coarsen");
     const auto cerr_field =
         adapt::edge_error(*mesh_, solver_->density_field(), 1.0);
     // Lowest-error fraction: invert the ranking used for refinement.
@@ -93,9 +102,16 @@ CycleReport Framework::cycle() {
   }
 
   // --- 2. edge marking from the flow solution -------------------------------
-  const auto err = adapt::edge_error(*mesh_, solver_->density_field(), 1.0);
-  const auto& marks = adaptor_->mark_fraction(err, opt_.refine_fraction);
-  rep.mark_propagation_rounds = marks.propagation_rounds;
+  {
+    obs::PhaseScope ph(trace_, "mark");
+    const auto err = adapt::edge_error(*mesh_, solver_->density_field(), 1.0);
+    const auto& marks = adaptor_->mark_fraction(err, opt_.refine_fraction);
+    rep.mark_propagation_rounds = marks.propagation_rounds;
+    // One marking sweep plus one per propagation round.
+    ph.set_modeled_seconds(
+        opt_.machine.t_mark * static_cast<double>(mesh_->num_active_elements()) *
+        static_cast<double>(1 + marks.propagation_rounds));
+  }
 
   // --- 3. balance evaluation on the *predicted* weights ----------------------
   const auto current = mesh_->root_weights();
@@ -107,18 +123,25 @@ CycleReport Framework::cycle() {
 
   if (rep.imbalance_old > opt_.imbalance_trigger) {
     rep.evaluated_repartition = true;
+    obs::PhaseScope gate(trace_, "gate");
 
     // --- 4. repartition the dual graph (warm start, paper §4.2) ------------
     dual_.set_weights(predicted.wcomp, predicted.wremap);
     partition::MultilevelOptions popt;
     popt.nparts = opt_.nranks * opt_.partitions_per_proc;
     popt.seed = opt_.seed;
-    // Warm start only applies when partition count matches the current
-    // mapping's granularity (F = 1); otherwise partition from scratch.
-    const auto repart =
-        opt_.partitions_per_proc == 1
-            ? partition::repartition(dual_, root_part_, popt)
-            : partition::partition(dual_, popt);
+    partition::MultilevelResult repart;
+    {
+      obs::PhaseScope ph(trace_, "repartition");
+      // Warm start only applies when partition count matches the current
+      // mapping's granularity (F = 1); otherwise partition from scratch.
+      repart = opt_.partitions_per_proc == 1
+                   ? partition::repartition(dual_, root_part_, popt)
+                   : partition::partition(dual_, popt);
+      ph.set_modeled_seconds(cm.partition_seconds(
+          dual_.num_vertices(), static_cast<int>(repart.levels.size()),
+          opt_.nranks));
+    }
     rep.used_previous_partition = repart.used_previous;
 
     // --- 5. processor reassignment (similarity matrix + mapper) ------------
@@ -128,8 +151,12 @@ CycleReport Framework::cycle() {
         opt_.remap_before_subdivision ? current.wremap : predicted.wremap;
     const auto S = remap::SimilarityMatrix::build(
         root_part_, repart.part, move_w, opt_.nranks, popt.nparts);
-    const auto assign = run_mapper(opt_.mapper, S, opt_.machine.alpha,
-                                   opt_.machine.beta);
+    remap::Assignment assign;
+    {
+      obs::PhaseScope ph(trace_, "reassign");
+      assign = run_mapper(opt_.mapper, S, opt_.machine.alpha,
+                          opt_.machine.beta);
+    }
     rep.mapper_seconds = assign.solve_seconds;
     rep.volume = remap::evaluate_assignment(S, assign, opt_.machine.alpha,
                                             opt_.machine.beta);
@@ -151,7 +178,6 @@ CycleReport Framework::cycle() {
     const Weight ref_new = vec_max(
         proc_sums(repart.part, growth, opt_.nranks, &assign.part_to_proc));
 
-    const sim::CostModel cm(opt_.machine);
     rep.gain_seconds =
         cm.computational_gain(rep.wmax_old, rep.wmax_new, ref_old, ref_new);
     rep.cost_seconds = cm.redistribution_cost(rep.volume, opt_.metric);
@@ -159,6 +185,8 @@ CycleReport Framework::cycle() {
     if (cm.accept_remap(rep.gain_seconds, rep.cost_seconds)) {
       rep.accepted = true;
       // --- 7. remap: install the new element->processor ownership ---------
+      obs::PhaseScope ph(trace_, "remap");
+      ph.set_modeled_seconds(rep.cost_seconds);
       for (std::size_t v = 0; v < root_part_.size(); ++v) {
         root_part_[v] =
             assign.part_to_proc[static_cast<std::size_t>(repart.part[v])];
@@ -167,8 +195,21 @@ CycleReport Framework::cycle() {
   }
 
   // --- 8. subdivision ---------------------------------------------------------
-  adaptor_->refine();
-  solver_->rebuild();
+  {
+    obs::PhaseScope ph(trace_, "subdivide");
+    adaptor_->refine();
+    solver_->rebuild();
+    // Modeled SP2 time: bottleneck processor's tree growth under the final
+    // ownership (matches the gate's ref_old/ref_new arithmetic).
+    std::vector<Weight> growth(current.wremap.size());
+    for (std::size_t v = 0; v < growth.size(); ++v) {
+      growth[v] = predicted.wremap[v] - current.wremap[v];
+    }
+    ph.set_modeled_seconds(
+        opt_.machine.t_refine *
+        static_cast<double>(
+            vec_max(proc_sums(root_part_, growth, opt_.nranks, nullptr))));
+  }
   rep.elements_after = mesh_->num_active_elements();
   return rep;
 }

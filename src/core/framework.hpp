@@ -15,6 +15,7 @@
 
 #include "adapt/adaptor.hpp"
 #include "mesh/tet_mesh.hpp"
+#include "obs/trace.hpp"
 #include "partition/multilevel.hpp"
 #include "remap/mapping.hpp"
 #include "remap/volume.hpp"
@@ -96,6 +97,12 @@ class Framework {
   /// Per-processor solver load (current wcomp) under the current partition.
   [[nodiscard]] std::vector<Weight> processor_loads() const;
 
+  /// plum-trace recorder: every cycle() wraps the Fig. 1 phases in named
+  /// scopes (solve, coarsen, mark, gate/repartition/reassign/remap,
+  /// subdivide) with wall seconds and sim::CostModel modeled seconds.
+  [[nodiscard]] obs::TraceRecorder& trace() { return trace_; }
+  [[nodiscard]] const obs::TraceRecorder& trace() const { return trace_; }
+
  private:
   FrameworkOptions opt_;
   // unique_ptr: the solver and adaptor hold stable pointers to the mesh.
@@ -104,6 +111,7 @@ class Framework {
   std::unique_ptr<adapt::MeshAdaptor> adaptor_;
   graph::Csr dual_;
   partition::PartVec root_part_;  ///< initial element -> processor
+  obs::TraceRecorder trace_;
 };
 
 }  // namespace plum::core

@@ -1,0 +1,92 @@
+#include "obs/bench_schema.hpp"
+
+namespace plum::obs {
+
+namespace {
+
+std::string run_error(std::size_t i, const std::string& what) {
+  return "runs[" + std::to_string(i) + "]: " + what;
+}
+
+std::string check_run(const Json& run, std::size_t i) {
+  if (!run.is_object()) return run_error(i, "not an object");
+
+  const Json* c = run.find("case");
+  if (!c || !c->is_string() || c->as_string().empty()) {
+    return run_error(i, "missing or empty string field \"case\"");
+  }
+
+  const Json* p = run.find("P");
+  if (!p || p->kind() != Json::Kind::kInt || p->as_int() < 1) {
+    return run_error(i, "field \"P\" must be an integer >= 1");
+  }
+
+  const Json* metrics = run.find("metrics");
+  if (!metrics || !metrics->is_object()) {
+    return run_error(i, "missing object field \"metrics\"");
+  }
+  for (const auto& [name, value] : metrics->items()) {
+    if (!value.is_number()) {
+      return run_error(i, "metric \"" + name + "\" is not a number");
+    }
+  }
+
+  const Json* phases = run.find("phases");
+  if (!phases || !phases->is_array()) {
+    return run_error(i, "missing array field \"phases\"");
+  }
+  for (std::size_t k = 0; k < phases->size(); ++k) {
+    const Json& ph = phases->at(k);
+    const std::string where = "phases[" + std::to_string(k) + "]";
+    if (!ph.is_object()) return run_error(i, where + " is not an object");
+    const Json* name = ph.find("name");
+    if (!name || !name->is_string() || name->as_string().empty()) {
+      return run_error(i, where + " missing string field \"name\"");
+    }
+    for (const char* field : {"wall_s", "modeled_s"}) {
+      const Json* v = ph.find(field);
+      if (!v || !v->is_number()) {
+        return run_error(i, where + " missing numeric field \"" +
+                                std::string(field) + "\"");
+      }
+    }
+    const Json* ss = ph.find("supersteps");
+    if (!ss || ss->kind() != Json::Kind::kInt || ss->as_int() < 0) {
+      return run_error(i,
+                       where + " field \"supersteps\" must be an int >= 0");
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string validate_bench_report(const Json& doc) {
+  if (!doc.is_object()) return "top-level value is not an object";
+
+  const Json* schema = doc.find("schema");
+  if (!schema || !schema->is_string()) {
+    return "missing string field \"schema\"";
+  }
+  if (schema->as_string() != "plum-bench/1") {
+    return "unknown schema \"" + schema->as_string() +
+           "\" (expected \"plum-bench/1\")";
+  }
+
+  const Json* bench = doc.find("bench");
+  if (!bench || !bench->is_string() || bench->as_string().empty()) {
+    return "missing or empty string field \"bench\"";
+  }
+
+  const Json* runs = doc.find("runs");
+  if (!runs || !runs->is_array()) return "missing array field \"runs\"";
+  if (runs->size() == 0) return "\"runs\" is empty";
+
+  for (std::size_t i = 0; i < runs->size(); ++i) {
+    const std::string err = check_run(runs->at(i), i);
+    if (!err.empty()) return err;
+  }
+  return "";
+}
+
+}  // namespace plum::obs

@@ -1,0 +1,36 @@
+#pragma once
+// Schema validator for the machine-readable bench reports
+// (BENCH_<name>.json, schema id "plum-bench/1"). Shared by
+// tools/check_bench_json (the CI gate) and tests/test_obs.cpp so the two
+// can never drift apart.
+//
+// Expected shape:
+//   {
+//     "schema": "plum-bench/1",
+//     "bench":  "<bench name>",
+//     "runs": [
+//       {
+//         "case": "<mesh/workload id>",
+//         "P": <int >= 1>,
+//         "metrics": { "<name>": <number>, ... },
+//         "phases": [
+//           { "name": "<phase>", "wall_s": <number>,
+//             "modeled_s": <number>, "supersteps": <int>, ... }
+//         ]
+//       }, ...
+//     ]
+//   }
+// "phases" may be an empty array (benches that don't run the BSP loop);
+// every other field above is required.
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace plum::obs {
+
+/// Returns "" when `doc` is a valid plum-bench/1 report; otherwise a
+/// human-readable description of the first violation found.
+[[nodiscard]] std::string validate_bench_report(const Json& doc);
+
+}  // namespace plum::obs

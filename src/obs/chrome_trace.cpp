@@ -1,0 +1,108 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+namespace plum::obs {
+
+namespace {
+
+constexpr double kMicros = 1e6;
+
+Json complete_event(const std::string& name, int tid, double t_start_s,
+                    double dur_s) {
+  Json ev = Json::object();
+  ev.set("name", Json::str(name))
+      .set("ph", Json::str("X"))
+      .set("pid", Json::integer(1))
+      .set("tid", Json::integer(tid))
+      .set("ts", Json::number(t_start_s * kMicros))
+      .set("dur", Json::number(dur_s * kMicros));
+  return ev;
+}
+
+Json thread_name_event(int tid, const std::string& name) {
+  Json args = Json::object();
+  args.set("name", Json::str(name));
+  Json ev = Json::object();
+  ev.set("name", Json::str("thread_name"))
+      .set("ph", Json::str("M"))
+      .set("pid", Json::integer(1))
+      .set("tid", Json::integer(tid))
+      .set("args", std::move(args));
+  return ev;
+}
+
+}  // namespace
+
+Json chrome_trace_json(const TraceRecorder& rec,
+                       const std::string& process_name) {
+  Json events = Json::array();
+
+  {
+    Json args = Json::object();
+    args.set("name", Json::str(process_name));
+    Json ev = Json::object();
+    ev.set("name", Json::str("process_name"))
+        .set("ph", Json::str("M"))
+        .set("pid", Json::integer(1))
+        .set("args", std::move(args));
+    events.push(std::move(ev));
+  }
+  events.push(thread_name_event(0, "phases"));
+
+  int max_ranks = 0;
+  for (const auto& st : rec.supersteps()) {
+    max_ranks = std::max(max_ranks, static_cast<int>(st.counters.size()));
+  }
+  for (int r = 0; r < max_ranks; ++r) {
+    events.push(thread_name_event(r + 1, "rank " + std::to_string(r)));
+  }
+
+  for (const auto& ph : rec.phases()) {
+    Json ev = complete_event(ph.name, 0, ph.t_start_s, ph.wall_s);
+    Json args = Json::object();
+    args.set("depth", Json::integer(ph.depth))
+        .set("supersteps", Json::integer(ph.supersteps))
+        .set("compute_units", Json::integer(ph.compute_units))
+        .set("msgs_sent", Json::integer(ph.msgs_sent))
+        .set("bytes_sent", Json::integer(ph.bytes_sent))
+        .set("modeled_s", Json::number(ph.modeled_s));
+    ev.set("args", std::move(args));
+    events.push(std::move(ev));
+  }
+
+  for (const auto& st : rec.supersteps()) {
+    const std::string base =
+        st.phase.empty() ? "step" : st.phase + " step";
+    const std::string name = base + " " + std::to_string(st.step);
+    for (std::size_t r = 0; r < st.counters.size(); ++r) {
+      const double dur = r < st.rank_seconds.size() ? st.rank_seconds[r] : 0;
+      Json ev = complete_event(name, static_cast<int>(r) + 1, st.t_start_s,
+                               dur);
+      Json args = Json::object();
+      args.set("compute_units", Json::integer(st.counters[r].compute_units))
+          .set("msgs_sent", Json::integer(st.counters[r].msgs_sent))
+          .set("bytes_sent", Json::integer(st.counters[r].bytes_sent));
+      ev.set("args", std::move(args));
+      events.push(std::move(ev));
+    }
+  }
+
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events))
+      .set("displayTimeUnit", Json::str("ms"));
+  return doc;
+}
+
+bool write_chrome_trace(const TraceRecorder& rec,
+                        const std::string& process_name,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace_json(rec, process_name).dump(2) << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace plum::obs

@@ -1,0 +1,25 @@
+#pragma once
+// Chrome trace-event exporter: renders a TraceRecorder as the JSON object
+// format understood by chrome://tracing and https://ui.perfetto.dev —
+// {"traceEvents": [...]} with "ph":"X" complete events (ts/dur in
+// microseconds). Phases land on tid 0 ("phases"); each rank's superstep
+// spans land on tid rank+1 ("rank r"), so the per-rank load imbalance the
+// paper's balancer removes is directly visible as ragged span ends.
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace plum::obs {
+
+/// Builds the trace-event document in memory.
+[[nodiscard]] Json chrome_trace_json(const TraceRecorder& rec,
+                                     const std::string& process_name);
+
+/// Writes chrome_trace_json() to `path`. Returns false on I/O failure.
+bool write_chrome_trace(const TraceRecorder& rec,
+                        const std::string& process_name,
+                        const std::string& path);
+
+}  // namespace plum::obs

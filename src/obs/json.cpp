@@ -1,0 +1,428 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace plum::obs {
+
+// --- construction -------------------------------------------------------------
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::integer(std::int64_t v) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.kind_ = Kind::kDouble;
+  j.double_ = v;
+  return j;
+}
+
+Json Json::str(std::string s) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  PLUM_ASSERT(kind_ == Kind::kObject);
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  PLUM_ASSERT(kind_ == Kind::kArray);
+  arr_.push_back(std::move(value));
+  return *this;
+}
+
+// --- inspection ---------------------------------------------------------------
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::kArray) return arr_.size();
+  if (kind_ == Kind::kObject) return obj_.size();
+  return 0;
+}
+
+const Json& Json::at(std::size_t i) const {
+  PLUM_ASSERT(kind_ == Kind::kArray && i < arr_.size());
+  return arr_[i];
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::items() const {
+  PLUM_ASSERT(kind_ == Kind::kObject);
+  return obj_;
+}
+
+std::int64_t Json::as_int() const {
+  if (kind_ == Kind::kInt) return int_;
+  if (kind_ == Kind::kDouble) return static_cast<std::int64_t>(double_);
+  return 0;
+}
+
+double Json::as_double() const {
+  if (kind_ == Kind::kDouble) return double_;
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  return 0;
+}
+
+// --- serialization ------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Inf/NaN; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  // Shortest round-trip representation: deterministic for identical bits.
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; return;
+    case Kind::kBool: out += bool_ ? "true" : "false"; return;
+    case Kind::kInt: append_int(out, int_); return;
+    case Kind::kDouble: append_double(out, double_); return;
+    case Kind::kString: out += json_escape(str_); return;
+    case Kind::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (indent >= 0) newline_indent(out, indent, depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      if (indent >= 0) newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (indent >= 0) newline_indent(out, indent, depth + 1);
+        out += json_escape(obj_[i].first);
+        out += indent >= 0 ? ": " : ":";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (indent >= 0) newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// --- parsing ------------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  [[nodiscard]] bool at_end() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  bool fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at byte " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (!at_end() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                         peek() == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool literal(const char* word, Json value, Json* out) {
+    for (const char* p = word; *p; ++p, ++pos) {
+      if (at_end() || peek() != *p) return fail("invalid literal");
+    }
+    *out = std::move(value);
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (at_end() || peek() != '"') return fail("expected string");
+    ++pos;
+    std::string s;
+    while (!at_end() && peek() != '"') {
+      char c = text[pos++];
+      if (c != '\\') {
+        s += c;
+        continue;
+      }
+      if (at_end()) return fail("dangling escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': s += '"'; break;
+        case '\\': s += '\\'; break;
+        case '/': s += '/'; break;
+        case 'n': s += '\n'; break;
+        case 'r': s += '\r'; break;
+        case 't': s += '\t'; break;
+        case 'b': s += '\b'; break;
+        case 'f': s += '\f'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape digit");
+          }
+          // Encode the code point as UTF-8 (surrogate pairs are passed
+          // through unpaired — good enough for our machine-written files).
+          if (code < 0x80) {
+            s += static_cast<char>(code);
+          } else if (code < 0x800) {
+            s += static_cast<char>(0xC0 | (code >> 6));
+            s += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            s += static_cast<char>(0xE0 | (code >> 12));
+            s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    if (at_end()) return fail("unterminated string");
+    ++pos;  // closing quote
+    *out = std::move(s);
+    return true;
+  }
+
+  bool parse_number(Json* out) {
+    const std::size_t start = pos;
+    if (!at_end() && peek() == '-') ++pos;
+    bool integral = true;
+    while (!at_end() && ((peek() >= '0' && peek() <= '9') || peek() == '.' ||
+                         peek() == 'e' || peek() == 'E' || peek() == '+' ||
+                         peek() == '-')) {
+      if (peek() == '.' || peek() == 'e' || peek() == 'E') integral = false;
+      ++pos;
+    }
+    const std::string tok = text.substr(start, pos - start);
+    if (tok.empty() || tok == "-") return fail("expected number");
+    if (integral) {
+      std::int64_t v = 0;
+      const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (res.ec == std::errc() && res.ptr == tok.data() + tok.size()) {
+        *out = Json::integer(v);
+        return true;
+      }
+      // Out of int64 range: fall through to double.
+    }
+    double d = 0;
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (res.ec != std::errc() || res.ptr != tok.data() + tok.size()) {
+      return fail("malformed number");
+    }
+    *out = Json::number(d);
+    return true;
+  }
+
+  bool parse_value(Json* out, int depth) {
+    if (depth > 128) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case 'n': return literal("null", Json::null(), out);
+      case 't': return literal("true", Json::boolean(true), out);
+      case 'f': return literal("false", Json::boolean(false), out);
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = Json::str(std::move(s));
+        return true;
+      }
+      case '[': {
+        ++pos;
+        Json arr = Json::array();
+        skip_ws();
+        if (!at_end() && peek() == ']') {
+          ++pos;
+          *out = std::move(arr);
+          return true;
+        }
+        for (;;) {
+          Json elem;
+          if (!parse_value(&elem, depth + 1)) return false;
+          arr.push(std::move(elem));
+          skip_ws();
+          if (at_end()) return fail("unterminated array");
+          if (peek() == ',') {
+            ++pos;
+            continue;
+          }
+          if (peek() == ']') {
+            ++pos;
+            *out = std::move(arr);
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '{': {
+        ++pos;
+        Json obj = Json::object();
+        skip_ws();
+        if (!at_end() && peek() == '}') {
+          ++pos;
+          *out = std::move(obj);
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(&key)) return false;
+          skip_ws();
+          if (at_end() || peek() != ':') return fail("expected ':'");
+          ++pos;
+          Json val;
+          if (!parse_value(&val, depth + 1)) return false;
+          obj.set(key, std::move(val));
+          skip_ws();
+          if (at_end()) return fail("unterminated object");
+          if (peek() == ',') {
+            ++pos;
+            continue;
+          }
+          if (peek() == '}') {
+            ++pos;
+            *out = std::move(obj);
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      default: return parse_number(out);
+    }
+  }
+};
+
+}  // namespace
+
+bool Json::parse(const std::string& text, Json* out, std::string* error) {
+  Parser p{text, 0, {}};
+  Json v;
+  if (!p.parse_value(&v, 0)) {
+    if (error) *error = p.error;
+    return false;
+  }
+  p.skip_ws();
+  if (!p.at_end()) {
+    if (error) *error = "trailing garbage at byte " + std::to_string(p.pos);
+    return false;
+  }
+  *out = std::move(v);
+  return true;
+}
+
+}  // namespace plum::obs

@@ -1,0 +1,89 @@
+#pragma once
+// Minimal JSON document model for plum-trace: deterministic serialization
+// (insertion-ordered objects, shortest-round-trip number formatting via
+// std::to_chars) plus a strict recursive-descent parser for the validators.
+//
+// Deliberately tiny and dependency-free — the observability layer must
+// build everywhere the engine builds (the same constraint as plum-lint).
+// Determinism matters more than speed here: two runs that produced
+// bit-identical metrics must serialize to byte-identical documents, which
+// is what the cross-engine trace tests assert.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace plum::obs {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+
+  // -- construction ----------------------------------------------------------
+  static Json null() { return Json(); }
+  static Json boolean(bool b);
+  static Json integer(std::int64_t v);
+  static Json number(double v);
+  static Json str(std::string s);
+  static Json array();
+  static Json object();
+
+  // -- building --------------------------------------------------------------
+  /// Object: sets `key` (insertion order preserved; an existing key is
+  /// overwritten in place). Returns *this for chaining.
+  Json& set(const std::string& key, Json value);
+  /// Array: appends an element. Returns *this for chaining.
+  Json& push(Json value);
+
+  // -- inspection ------------------------------------------------------------
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+
+  /// Object lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Array/object element count; 0 for scalars.
+  [[nodiscard]] std::size_t size() const;
+  /// Array element (must be an array and in range).
+  [[nodiscard]] const Json& at(std::size_t i) const;
+  /// Object entries in insertion order.
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& items() const;
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+
+  // -- serialization ---------------------------------------------------------
+  /// Compact when indent < 0, pretty-printed otherwise. Deterministic:
+  /// object order is insertion order and numbers use std::to_chars.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Strict parse (UTF-8 in, no trailing garbage). Returns false and fills
+  /// `error` (with a byte offset) on malformed input.
+  static bool parse(const std::string& text, Json* out, std::string* error);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/// Escapes `s` into a quoted JSON string literal.
+std::string json_escape(const std::string& s);
+
+}  // namespace plum::obs

@@ -1,0 +1,33 @@
+#include "obs/metrics.hpp"
+
+#include "util/assert.hpp"
+
+namespace plum::obs {
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  values_[name] = Value{false, value, 0};
+}
+
+void MetricsRegistry::set_int(const std::string& name, std::int64_t value) {
+  values_[name] = Value{true, 0, value};
+}
+
+bool MetricsRegistry::contains(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+double MetricsRegistry::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  PLUM_ASSERT_MSG(it != values_.end(), "unknown metric");
+  return it->second.integral ? static_cast<double>(it->second.i) : it->second.d;
+}
+
+Json MetricsRegistry::to_json() const {
+  Json out = Json::object();
+  for (const auto& [name, v] : values_) {
+    out.set(name, v.integral ? Json::integer(v.i) : Json::number(v.d));
+  }
+  return out;
+}
+
+}  // namespace plum::obs

@@ -1,0 +1,43 @@
+#pragma once
+// MetricsRegistry: a flat, name -> scalar store for run-level results
+// (speedups, imbalance factors, modeled seconds, ...). Names are kept in
+// sorted order (std::map — unordered containers are banned on
+// deterministic paths, see plum-lint) so the JSON rendering is stable:
+// the same metric values always produce the same bytes, regardless of
+// insertion order at the call sites.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace plum::obs {
+
+class MetricsRegistry {
+ public:
+  /// Sets (or overwrites) a metric. Integer and floating flavors are kept
+  /// distinct so counts render as JSON integers.
+  void set(const std::string& name, double value);
+  void set_int(const std::string& name, std::int64_t value);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Value as double (integer metrics widen); asserts on a missing name.
+  [[nodiscard]] double get(const std::string& name) const;
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  void clear() { values_.clear(); }
+
+  /// {"name": value, ...} with names in sorted order.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  struct Value {
+    bool integral = false;
+    double d = 0;
+    std::int64_t i = 0;
+  };
+  std::map<std::string, Value> values_;
+};
+
+}  // namespace plum::obs

@@ -1,0 +1,121 @@
+#include "obs/trace.hpp"
+
+#include "util/assert.hpp"
+
+namespace plum::obs {
+
+void TraceRecorder::on_superstep(int step,
+                                 const std::vector<rt::StepCounters>& counters,
+                                 const std::vector<double>& rank_seconds,
+                                 double wall_seconds) {
+  SuperstepRecord rec;
+  rec.step = step;
+  if (!open_.empty()) rec.phase = phases_[open_.back()].name;
+  rec.counters = counters;
+  rec.rank_seconds = rank_seconds;
+  rec.wall_s = wall_seconds;
+  rec.t_start_s = epoch_.seconds() - wall_seconds;
+  supersteps_.push_back(std::move(rec));
+
+  // Charge the step's totals to every open phase (nested phases each see
+  // the supersteps that ran while they were open).
+  std::int64_t compute = 0, msgs = 0, bytes = 0;
+  for (const auto& c : counters) {
+    compute += c.compute_units;
+    msgs += c.msgs_sent;
+    bytes += c.bytes_sent;
+  }
+  for (const std::size_t idx : open_) {
+    PhaseRecord& ph = phases_[idx];
+    ph.supersteps += 1;
+    ph.compute_units += compute;
+    ph.msgs_sent += msgs;
+    ph.bytes_sent += bytes;
+  }
+}
+
+std::size_t TraceRecorder::begin_phase(const std::string& name) {
+  PhaseRecord ph;
+  ph.name = name;
+  ph.depth = static_cast<int>(open_.size());
+  ph.t_start_s = epoch_.seconds();
+  const std::size_t idx = phases_.size();
+  phases_.push_back(std::move(ph));
+  open_.push_back(idx);
+  return idx;
+}
+
+void TraceRecorder::end_phase(std::size_t idx) {
+  PLUM_ASSERT_MSG(!open_.empty() && open_.back() == idx,
+                  "phases must close innermost-first");
+  PhaseRecord& ph = phases_[idx];
+  ph.wall_s = epoch_.seconds() - ph.t_start_s;
+  ph.closed = true;
+  open_.pop_back();
+}
+
+void TraceRecorder::set_modeled_seconds(std::size_t idx, double seconds) {
+  PLUM_ASSERT(idx < phases_.size());
+  phases_[idx].modeled_s = seconds;
+}
+
+void TraceRecorder::clear() {
+  phases_.clear();
+  open_.clear();
+  supersteps_.clear();
+  epoch_.start();
+}
+
+Json TraceRecorder::to_json_impl(bool include_wall) const {
+  Json doc = Json::object();
+  Json phases = Json::array();
+  for (const auto& ph : phases_) {
+    Json p = Json::object();
+    p.set("name", Json::str(ph.name))
+        .set("depth", Json::integer(ph.depth))
+        .set("supersteps", Json::integer(ph.supersteps))
+        .set("compute_units", Json::integer(ph.compute_units))
+        .set("msgs_sent", Json::integer(ph.msgs_sent))
+        .set("bytes_sent", Json::integer(ph.bytes_sent))
+        .set("modeled_s", Json::number(ph.modeled_s));
+    if (include_wall) {
+      p.set("t_start_s", Json::number(ph.t_start_s))
+          .set("wall_s", Json::number(ph.wall_s));
+    }
+    phases.push(std::move(p));
+  }
+  doc.set("phases", std::move(phases));
+
+  Json steps = Json::array();
+  for (const auto& st : supersteps_) {
+    Json s = Json::object();
+    s.set("step", Json::integer(st.step)).set("phase", Json::str(st.phase));
+    Json ranks = Json::array();
+    for (std::size_t r = 0; r < st.counters.size(); ++r) {
+      Json c = Json::object();
+      c.set("compute_units", Json::integer(st.counters[r].compute_units))
+          .set("msgs_sent", Json::integer(st.counters[r].msgs_sent))
+          .set("bytes_sent", Json::integer(st.counters[r].bytes_sent));
+      if (include_wall && r < st.rank_seconds.size()) {
+        c.set("seconds", Json::number(st.rank_seconds[r]));
+      }
+      ranks.push(std::move(c));
+    }
+    s.set("ranks", std::move(ranks));
+    if (include_wall) {
+      s.set("t_start_s", Json::number(st.t_start_s))
+          .set("wall_s", Json::number(st.wall_s));
+    }
+    steps.push(std::move(s));
+  }
+  doc.set("supersteps", std::move(steps));
+  return doc;
+}
+
+Json TraceRecorder::to_json() const { return to_json_impl(true); }
+
+std::string TraceRecorder::deterministic_json() const {
+  return to_json_impl(false).dump();
+}
+
+}  // namespace plum::obs

@@ -1,0 +1,131 @@
+#pragma once
+// plum-trace: phase/superstep observability for PLUM runs.
+//
+// A TraceRecorder attaches to an engine as a rt::SuperstepObserver and
+// collects one SuperstepRecord per superstep (per-rank StepCounters and
+// wall times, merged in rank order at the barrier — the engine calls the
+// observer from the coordinating thread only, so recording needs no
+// locking and stays rank-safe under the parallel engine). On top of that,
+// the Fig. 1 phases (solve, mark, repartition, reassign, gate, remap,
+// subdivide) open named PhaseScopes; each phase captures its wall seconds,
+// the modeled SP2 seconds from sim::CostModel, and the superstep/compute/
+// message deltas that occurred while it was open.
+//
+// Two serializations:
+//   to_json()             — everything, including wall-clock fields; feeds
+//                           the Chrome trace exporter and human inspection.
+//   deterministic_json()  — wall-clock fields excluded. Two runs with
+//                           bit-identical ledgers serialize byte-identically,
+//                           which is what the Engine-vs-ParallelEngine trace
+//                           tests assert.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "runtime/engine.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace plum::obs {
+
+/// One completed (or still open) named phase. `depth` is the nesting level
+/// at open time (0 = outermost), so "repartition" nested inside "gate"
+/// renders as a child span.
+struct PhaseRecord {
+  std::string name;
+  int depth = 0;
+  double t_start_s = 0;   ///< wall offset from the recorder's epoch
+  double wall_s = 0;      ///< filled when the phase closes
+  double modeled_s = 0;   ///< sim::CostModel seconds (0 when not modeled)
+  // Deltas accumulated while the phase was open:
+  int supersteps = 0;
+  std::int64_t compute_units = 0;
+  std::int64_t msgs_sent = 0;
+  std::int64_t bytes_sent = 0;
+  bool closed = false;
+};
+
+/// One engine superstep as seen at the barrier.
+struct SuperstepRecord {
+  int step = 0;            ///< Outbox::step() index within the run
+  std::string phase;       ///< innermost open phase ("" outside any phase)
+  std::vector<rt::StepCounters> counters;  ///< per rank, rank order
+  std::vector<double> rank_seconds;        ///< per rank step-fn wall time
+  double t_start_s = 0;    ///< wall offset from the recorder's epoch
+  double wall_s = 0;       ///< barrier-to-barrier superstep time
+};
+
+class TraceRecorder final : public rt::SuperstepObserver {
+ public:
+  TraceRecorder() = default;
+
+  // rt::SuperstepObserver — called by the engine at the superstep barrier.
+  void on_superstep(int step, const std::vector<rt::StepCounters>& counters,
+                    const std::vector<double>& rank_seconds,
+                    double wall_seconds) override;
+
+  /// Opens a phase; returns its index (pass to end_phase). Phases nest.
+  std::size_t begin_phase(const std::string& name);
+  /// Closes the innermost open phase (which must be `idx`).
+  void end_phase(std::size_t idx);
+  /// Attaches modeled SP2 seconds to a phase (open or closed).
+  void set_modeled_seconds(std::size_t idx, double seconds);
+
+  [[nodiscard]] const std::vector<PhaseRecord>& phases() const {
+    return phases_;
+  }
+  [[nodiscard]] const std::vector<SuperstepRecord>& supersteps() const {
+    return supersteps_;
+  }
+
+  /// Drops all records and restarts the wall-clock epoch.
+  void clear();
+
+  /// Full document: {"phases": [...], "supersteps": [...]} with wall times.
+  [[nodiscard]] Json to_json() const;
+
+  /// Same structure minus every wall-clock field (phase/superstep wall
+  /// seconds and per-rank seconds). Byte-identical across engines and
+  /// thread counts for deterministic workloads.
+  [[nodiscard]] std::string deterministic_json() const;
+
+ private:
+  [[nodiscard]] Json to_json_impl(bool include_wall) const;
+
+  Timer epoch_;  // steady clock; offsets below are relative to this
+  std::vector<PhaseRecord> phases_;
+  std::vector<std::size_t> open_;  // stack of open phase indices
+  std::vector<SuperstepRecord> supersteps_;
+};
+
+/// RAII wrapper for TraceRecorder phases:
+///
+///   { obs::PhaseScope ph(trace, "repartition");
+///     ... run the phase ...
+///     ph.set_modeled_seconds(cm.partition_seconds(...)); }
+///
+/// A null recorder makes the scope a no-op, so call sites need no guards.
+class PhaseScope {
+ public:
+  PhaseScope(TraceRecorder* rec, const std::string& name)
+      : rec_(rec), idx_(rec ? rec->begin_phase(name) : 0) {}
+  PhaseScope(TraceRecorder& rec, const std::string& name)
+      : PhaseScope(&rec, name) {}
+  ~PhaseScope() {
+    if (rec_) rec_->end_phase(idx_);
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+  void set_modeled_seconds(double seconds) {
+    if (rec_) rec_->set_modeled_seconds(idx_, seconds);
+  }
+
+ private:
+  TraceRecorder* rec_;
+  std::size_t idx_;
+};
+
+}  // namespace plum::obs

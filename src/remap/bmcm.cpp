@@ -7,83 +7,14 @@
 // a Hopcroft-Karp feasibility check on the thresholded bipartite graph.
 
 #include <algorithm>
-#include <deque>
-#include <functional>
 #include <limits>
 
 #include "remap/mapping.hpp"
+#include "remap/matching.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
 namespace plum::remap {
-
-namespace {
-
-/// Hopcroft-Karp maximum matching on a P x P bipartite graph given as
-/// adjacency lists (left -> right). Returns matching size; match_l[l] = r.
-int hopcroft_karp(const std::vector<std::vector<Rank>>& adj, Rank n,
-                  std::vector<Rank>& match_l) {
-  std::vector<Rank> match_r(static_cast<std::size_t>(n), kNoRank);
-  match_l.assign(static_cast<std::size_t>(n), kNoRank);
-  std::vector<Rank> dist(static_cast<std::size_t>(n));
-  constexpr Rank kInfDist = std::numeric_limits<Rank>::max();
-
-  auto bfs = [&]() {
-    std::deque<Rank> q;
-    for (Rank l = 0; l < n; ++l) {
-      if (match_l[static_cast<std::size_t>(l)] == kNoRank) {
-        dist[static_cast<std::size_t>(l)] = 0;
-        q.push_back(l);
-      } else {
-        dist[static_cast<std::size_t>(l)] = kInfDist;
-      }
-    }
-    bool found = false;
-    while (!q.empty()) {
-      const Rank l = q.front();
-      q.pop_front();
-      for (Rank r : adj[static_cast<std::size_t>(l)]) {
-        const Rank next = match_r[static_cast<std::size_t>(r)];
-        if (next == kNoRank) {
-          found = true;
-        } else if (dist[static_cast<std::size_t>(next)] == kInfDist) {
-          dist[static_cast<std::size_t>(next)] =
-              dist[static_cast<std::size_t>(l)] + 1;
-          q.push_back(next);
-        }
-      }
-    }
-    return found;
-  };
-
-  std::function<bool(Rank)> dfs = [&](Rank l) -> bool {
-    for (Rank r : adj[static_cast<std::size_t>(l)]) {
-      const Rank next = match_r[static_cast<std::size_t>(r)];
-      if (next == kNoRank ||
-          (dist[static_cast<std::size_t>(next)] ==
-               dist[static_cast<std::size_t>(l)] + 1 &&
-           dfs(next))) {
-        match_l[static_cast<std::size_t>(l)] = r;
-        match_r[static_cast<std::size_t>(r)] = l;
-        return true;
-      }
-    }
-    dist[static_cast<std::size_t>(l)] = std::numeric_limits<Rank>::max();
-    return false;
-  };
-
-  int matched = 0;
-  while (bfs()) {
-    for (Rank l = 0; l < n; ++l) {
-      if (match_l[static_cast<std::size_t>(l)] == kNoRank && dfs(l)) {
-        ++matched;
-      }
-    }
-  }
-  return matched;
-}
-
-}  // namespace
 
 Assignment map_optimal_bmcm(const SimilarityMatrix& S, double alpha,
                             double beta) {

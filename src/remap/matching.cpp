@@ -1,0 +1,101 @@
+#include "remap/matching.hpp"
+
+#include <deque>
+#include <limits>
+
+namespace plum::remap {
+
+int hopcroft_karp(const std::vector<std::vector<Rank>>& adj, Rank n,
+                  std::vector<Rank>& match_l) {
+  std::vector<Rank> match_r(static_cast<std::size_t>(n), kNoRank);
+  match_l.assign(static_cast<std::size_t>(n), kNoRank);
+  std::vector<Rank> dist(static_cast<std::size_t>(n));
+  constexpr Rank kInfDist = std::numeric_limits<Rank>::max();
+
+  auto bfs = [&]() {
+    std::deque<Rank> q;
+    for (Rank l = 0; l < n; ++l) {
+      if (match_l[static_cast<std::size_t>(l)] == kNoRank) {
+        dist[static_cast<std::size_t>(l)] = 0;
+        q.push_back(l);
+      } else {
+        dist[static_cast<std::size_t>(l)] = kInfDist;
+      }
+    }
+    bool found = false;
+    while (!q.empty()) {
+      const Rank l = q.front();
+      q.pop_front();
+      for (Rank r : adj[static_cast<std::size_t>(l)]) {
+        const Rank next = match_r[static_cast<std::size_t>(r)];
+        if (next == kNoRank) {
+          found = true;
+        } else if (dist[static_cast<std::size_t>(next)] == kInfDist) {
+          dist[static_cast<std::size_t>(next)] =
+              dist[static_cast<std::size_t>(l)] + 1;
+          q.push_back(next);
+        }
+      }
+    }
+    return found;
+  };
+
+  // Augmenting DFS over the BFS layering, iterative with an explicit frame
+  // stack. Frames mirror the recursive formulation exactly — same neighbor
+  // order, same dead-end dist invalidation — so the matching produced is
+  // identical; only the per-vertex call overhead is gone.
+  struct Frame {
+    Rank l;
+    std::size_t ai;  ///< index into adj[l] of the edge currently tried
+  };
+  std::vector<Frame> stack;
+  auto dfs = [&](Rank root) -> bool {
+    stack.clear();
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto& nbrs = adj[static_cast<std::size_t>(f.l)];
+      bool descended = false;
+      while (f.ai < nbrs.size()) {
+        const Rank r = nbrs[f.ai];
+        const Rank next = match_r[static_cast<std::size_t>(r)];
+        if (next == kNoRank) {
+          // Free right vertex: augment along the whole stack (each frame's
+          // current edge becomes matched, deepest first as in recursion).
+          for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            const Rank rr = adj[static_cast<std::size_t>(it->l)][it->ai];
+            match_l[static_cast<std::size_t>(it->l)] = rr;
+            match_r[static_cast<std::size_t>(rr)] = it->l;
+          }
+          return true;
+        }
+        if (dist[static_cast<std::size_t>(next)] ==
+            dist[static_cast<std::size_t>(f.l)] + 1) {
+          stack.push_back({next, 0});  // invalidates f; reacquired below
+          descended = true;
+          break;
+        }
+        ++f.ai;
+      }
+      if (descended) continue;
+      // Every edge of f.l failed: mark the dead end and report the failure
+      // to the parent frame, which moves past its current edge.
+      dist[static_cast<std::size_t>(stack.back().l)] = kInfDist;
+      stack.pop_back();
+      if (!stack.empty()) ++stack.back().ai;
+    }
+    return false;
+  };
+
+  int matched = 0;
+  while (bfs()) {
+    for (Rank l = 0; l < n; ++l) {
+      if (match_l[static_cast<std::size_t>(l)] == kNoRank && dfs(l)) {
+        ++matched;
+      }
+    }
+  }
+  return matched;
+}
+
+}  // namespace plum::remap

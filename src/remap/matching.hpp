@@ -1,0 +1,25 @@
+#pragma once
+// Bipartite matching kernels shared by the reassignment mappers.
+//
+// hopcroft_karp is the feasibility oracle of the BMCM mapper's bottleneck
+// binary search (bmcm.cpp): it runs O(log P^2) times per reassignment, so
+// its constant factor shows up directly in the paper's Table 2 times. The
+// augmenting DFS is iterative with an explicit frame stack — the earlier
+// recursive std::function formulation paid a type-erased call per visited
+// vertex and O(P) stack frames per augmenting path, which dominated
+// bench_micro's large-P matcher sweeps.
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace plum::remap {
+
+/// Hopcroft-Karp maximum matching on an n x n bipartite graph given as
+/// adjacency lists (left -> right, neighbors tried in list order).
+/// Returns the matching size; match_l[l] = matched right vertex or kNoRank.
+/// Deterministic: identical inputs produce the identical matching.
+int hopcroft_karp(const std::vector<std::vector<Rank>>& adj, Rank n,
+                  std::vector<Rank>& match_l);
+
+}  // namespace plum::remap

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <iterator>
 
+#include "util/timer.hpp"
+
 namespace plum::rt {
 
 std::int64_t Ledger::total_bytes() const {
@@ -34,12 +36,24 @@ bool Engine::superstep(const StepFn& fn) {
 
   const int step = run_step_++;
   std::vector<StepCounters> counters(static_cast<std::size_t>(nranks_));
+  std::vector<double> rank_seconds;
+  if (observer_) rank_seconds.assign(static_cast<std::size_t>(nranks_), 0.0);
+  Timer wall;
   bool any_continue = false;
   for (Rank r = 0; r < nranks_; ++r) {
     Inbox inbox(std::move(delivering[static_cast<std::size_t>(r)]));
     Outbox outbox(r, nranks_, step, &pending_,
                   &counters[static_cast<std::size_t>(r)]);
-    any_continue |= fn(r, inbox, outbox);
+    if (observer_) {
+      Timer t;
+      any_continue |= fn(r, inbox, outbox);
+      rank_seconds[static_cast<std::size_t>(r)] = t.seconds();
+    } else {
+      any_continue |= fn(r, inbox, outbox);
+    }
+  }
+  if (observer_) {
+    observer_->on_superstep(step, counters, rank_seconds, wall.seconds());
   }
   ledger_.steps.push_back(std::move(counters));
   return any_continue;
@@ -93,7 +107,13 @@ void ParallelEngine::worker_loop() {
       Inbox inbox(std::move((*delivering_)[ur]));
       Outbox outbox(r, nranks_, step_index_, &(*out_queues_)[ur],
                     &(*counters_)[ur]);
-      (*want_more_)[ur] = (*fn_)(r, inbox, outbox) ? 1 : 0;
+      if (rank_seconds_ != nullptr) {
+        Timer t;
+        (*want_more_)[ur] = (*fn_)(r, inbox, outbox) ? 1 : 0;
+        (*rank_seconds_)[ur] = t.seconds();
+      } else {
+        (*want_more_)[ur] = (*fn_)(r, inbox, outbox) ? 1 : 0;
+      }
       ++claimed;
     }
     {
@@ -115,6 +135,9 @@ bool ParallelEngine::superstep(const StepFn& fn) {
       std::vector<std::vector<Message>>(static_cast<std::size_t>(nranks_)));
   std::vector<StepCounters> counters(static_cast<std::size_t>(nranks_));
   std::vector<char> want_more(static_cast<std::size_t>(nranks_), 0);
+  std::vector<double> rank_seconds;
+  if (observer_) rank_seconds.assign(static_cast<std::size_t>(nranks_), 0.0);
+  Timer wall;
 
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -123,6 +146,7 @@ bool ParallelEngine::superstep(const StepFn& fn) {
     out_queues_ = &out_queues;
     counters_ = &counters;
     want_more_ = &want_more;
+    rank_seconds_ = observer_ ? &rank_seconds : nullptr;
     step_index_ = step;
     ranks_done_ = 0;
     next_rank_.store(0, std::memory_order_relaxed);
@@ -146,6 +170,9 @@ bool ParallelEngine::superstep(const StepFn& fn) {
       dst.insert(dst.end(), std::make_move_iterator(src.begin()),
                  std::make_move_iterator(src.end()));
     }
+  }
+  if (observer_) {
+    observer_->on_superstep(step, counters, rank_seconds, wall.seconds());
   }
   ledger_.steps.push_back(std::move(counters));
   bool any_continue = false;

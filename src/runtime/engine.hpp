@@ -117,6 +117,22 @@ class Outbox {
   StepCounters* counters_;
 };
 
+/// Superstep-completion hook (the plum-trace attachment point; see
+/// src/obs/trace.hpp). Called once per superstep on the coordinating
+/// thread at the barrier, after the per-rank counters and per-rank wall
+/// times have been merged in rank order — the same pattern as the outbox
+/// queues, so observers never see mid-step state and need no locking.
+/// `counters[r]` / `rank_seconds[r]` describe rank r's step function;
+/// `wall_seconds` is the barrier-to-barrier time of the whole superstep.
+/// Everything except the wall times is deterministic across engines.
+class SuperstepObserver {
+ public:
+  virtual ~SuperstepObserver() = default;
+  virtual void on_superstep(int step, const std::vector<StepCounters>& counters,
+                            const std::vector<double>& rank_seconds,
+                            double wall_seconds) = 0;
+};
+
 /// Full ledger of one engine run: counters[step][rank].
 struct Ledger {
   std::vector<std::vector<StepCounters>> steps;
@@ -159,11 +175,18 @@ class Engine {
   [[nodiscard]] const Ledger& ledger() const { return ledger_; }
   void reset_ledger() { ledger_.steps.clear(); }
 
+  /// Attaches (or detaches, with nullptr) a per-superstep observer. The
+  /// engine does not own it; it must outlive the runs it observes. Per-rank
+  /// wall times are only measured while an observer is attached.
+  void set_observer(SuperstepObserver* obs) { observer_ = obs; }
+  [[nodiscard]] SuperstepObserver* observer() const { return observer_; }
+
  protected:
   Rank nranks_;
   std::vector<std::vector<Message>> pending_;  // queued for next superstep
   Ledger ledger_;
   int run_step_ = 0;  // Outbox::step() of the next superstep
+  SuperstepObserver* observer_ = nullptr;
 };
 
 /// Runs the ranks of each superstep concurrently on a persistent thread
@@ -194,6 +217,10 @@ class ParallelEngine final : public Engine {
   std::vector<std::vector<std::vector<Message>>>* out_queues_ = nullptr;
   std::vector<StepCounters>* counters_ = nullptr;
   std::vector<char>* want_more_ = nullptr;
+  // Per-rank wall seconds for the observer; rank-indexed slots written by
+  // whichever worker claims the rank (never contended), read at the barrier.
+  // nullptr when no observer is attached.
+  std::vector<double>* rank_seconds_ = nullptr;
   int step_index_ = 0;
 
   std::atomic<Rank> next_rank_{0};  // work-stealing rank cursor

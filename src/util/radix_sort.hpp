@@ -21,17 +21,22 @@ void radix_sort_by_key(std::vector<T>& items, KeyFn key) {
   for (int pass = 0; pass < 8; ++pass) {
     const int shift = pass * kBits;
     std::array<std::size_t, kBuckets> count{};
-    bool any_nonzero = false;
+    // Early exit must test the *remaining* (current and higher) digits, not
+    // just the current one: a pass whose digit is all zero can still be
+    // followed by nonzero higher digits (e.g. keys that are multiples of
+    // 256). Once every key's remaining bits are zero the items are already
+    // fully ordered by the processed digits, so we stop — for an all-zero
+    // input that is a single counting pass with no scatter.
+    bool any_remaining = false;
     for (const T& it : items) {
-      const std::uint64_t k = (key(it) >> shift) & kMask;
-      any_nonzero |= (k != 0);
-      ++count[k];
+      const std::uint64_t rest = key(it) >> shift;
+      any_remaining |= (rest != 0);
+      ++count[rest & kMask];
     }
-    // All remaining digits zero once an entire pass lands in bucket 0.
-    if (!any_nonzero && count[0] == items.size()) {
-      if (pass == 0) continue;  // keys may still have higher digits
-      break;
-    }
+    if (!any_remaining) break;
+    // Current digit all zero (higher digits pending): the scatter would be
+    // an identity permutation, so skip straight to the next pass.
+    if (count[0] == items.size()) continue;
     std::size_t offset = 0;
     std::array<std::size_t, kBuckets> start{};
     for (int b = 0; b < kBuckets; ++b) {
@@ -44,10 +49,16 @@ void radix_sort_by_key(std::vector<T>& items, KeyFn key) {
 }
 
 /// Sorts descending by key (the order the greedy mapper consumes entries).
-/// Ascending sort + reverse: complementing keys would set the high bits and
-/// force all eight radix passes even for small keys.
+/// Stable: equal keys keep their original relative order, matching the
+/// paper's §4.4 stable-sort pseudocode — the greedy mapper consumes tied
+/// similarity entries in enumeration order, so assignments cannot depend on
+/// how the entry list was built. Implemented as reverse + stable ascending
+/// sort + reverse (a reversed stable ascending sort of the reversed input
+/// is a stable descending sort); complementing keys instead would set the
+/// high bits and force all eight radix passes even for small keys.
 template <typename T, typename KeyFn>
 void radix_sort_descending(std::vector<T>& items, KeyFn key) {
+  std::reverse(items.begin(), items.end());
   radix_sort_by_key(items, key);
   std::reverse(items.begin(), items.end());
 }

@@ -1,0 +1,327 @@
+// plum-trace observability layer: JSON model round-trips, metric ordering
+// stability, TraceRecorder phase/superstep accounting, cross-engine
+// byte-identical deterministic traces, the plum-bench/1 schema validator,
+// and the Chrome trace exporter.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_report.hpp"
+#include "obs/bench_schema.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/engine.hpp"
+
+namespace plum {
+namespace {
+
+using obs::Json;
+
+TEST(Json, ScalarsAndRoundTrip) {
+  Json doc = Json::object();
+  doc.set("int", Json::integer(-42))
+      .set("big", Json::integer(std::int64_t{1} << 60))
+      .set("pi", Json::number(3.25))
+      .set("flag", Json::boolean(true))
+      .set("none", Json::null())
+      .set("text", Json::str("hi"));
+
+  const std::string s = doc.dump();
+  Json back;
+  std::string err;
+  ASSERT_TRUE(Json::parse(s, &back, &err)) << err;
+  EXPECT_EQ(back.find("int")->as_int(), -42);
+  EXPECT_EQ(back.find("big")->as_int(), std::int64_t{1} << 60);
+  EXPECT_EQ(back.find("pi")->as_double(), 3.25);
+  EXPECT_TRUE(back.find("flag")->as_bool());
+  EXPECT_EQ(back.find("none")->kind(), Json::Kind::kNull);
+  EXPECT_EQ(back.find("text")->as_string(), "hi");
+  // Serialization is deterministic: re-dumping the parse is byte-identical.
+  EXPECT_EQ(back.dump(), s);
+}
+
+TEST(Json, StringEscapes) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  Json doc = Json::array();
+  doc.push(Json::str(nasty));
+  Json back;
+  std::string err;
+  ASSERT_TRUE(Json::parse(doc.dump(), &back, &err)) << err;
+  EXPECT_EQ(back.at(0).as_string(), nasty);
+  // \uXXXX decoding.
+  ASSERT_TRUE(Json::parse("\"\\u0041\\u00e9\"", &back, &err)) << err;
+  EXPECT_EQ(back.as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  Json doc = Json::object();
+  doc.set("zebra", Json::integer(1))
+      .set("apple", Json::integer(2))
+      .set("mid", Json::integer(3));
+  EXPECT_EQ(doc.dump(), R"({"zebra":1,"apple":2,"mid":3})");
+  // Overwrite keeps the original slot.
+  doc.set("apple", Json::integer(9));
+  EXPECT_EQ(doc.dump(), R"({"zebra":1,"apple":9,"mid":3})");
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  Json v;
+  std::string err;
+  EXPECT_FALSE(Json::parse("", &v, &err));
+  EXPECT_FALSE(Json::parse("{", &v, &err));
+  EXPECT_FALSE(Json::parse("[1,]", &v, &err));
+  EXPECT_FALSE(Json::parse("{\"a\":1,}", &v, &err));
+  EXPECT_FALSE(Json::parse("tru", &v, &err));
+  EXPECT_FALSE(Json::parse("\"unterminated", &v, &err));
+  EXPECT_FALSE(Json::parse("1 2", &v, &err));  // trailing garbage
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Metrics, SortedAndInsertionOrderIndependent) {
+  obs::MetricsRegistry a;
+  a.set("speedup", 12.5);
+  a.set_int("elements", 61000);
+  a.set("imbalance", 1.02);
+
+  obs::MetricsRegistry b;  // same values, different insertion order
+  b.set("imbalance", 1.02);
+  b.set("speedup", 12.5);
+  b.set_int("elements", 61000);
+
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+  EXPECT_EQ(a.to_json().dump(),
+            R"({"elements":61000,"imbalance":1.02,"speedup":12.5})");
+  EXPECT_TRUE(a.contains("speedup"));
+  EXPECT_EQ(a.get("elements"), 61000.0);
+}
+
+/// Deterministic two-superstep workload: each rank sends its id to rank 0
+/// and charges r+1 units per step.
+bool tick(Rank r, const rt::Inbox& in, rt::Outbox& out) {
+  (void)in;
+  out.charge(r + 1);
+  out.send_vec<std::int32_t>(0, 7, {r});
+  return out.step() < 1;
+}
+
+TEST(TraceRecorder, PhaseAndSuperstepAccounting) {
+  rt::Engine eng(3);
+  obs::TraceRecorder rec;
+  eng.set_observer(&rec);
+
+  {
+    obs::PhaseScope outer(rec, "cycle");
+    {
+      obs::PhaseScope ph(rec, "solve");
+      ph.set_modeled_seconds(1.5);
+      eng.run(tick);
+    }
+    obs::PhaseScope idle(rec, "idle");  // no supersteps inside
+  }
+
+  ASSERT_EQ(rec.phases().size(), 3u);
+  const auto& cycle = rec.phases()[0];
+  const auto& solve = rec.phases()[1];
+  const auto& idle = rec.phases()[2];
+  EXPECT_EQ(cycle.name, "cycle");
+  EXPECT_EQ(cycle.depth, 0);
+  EXPECT_EQ(solve.depth, 1);
+  EXPECT_TRUE(solve.closed);
+
+  // Two supersteps, each charging 1+2+3 = 6 units and sending 3 msgs.
+  ASSERT_EQ(rec.supersteps().size(), 2u);
+  EXPECT_EQ(solve.supersteps, 2);
+  EXPECT_EQ(solve.compute_units, 12);
+  EXPECT_EQ(solve.msgs_sent, 6);
+  EXPECT_EQ(solve.modeled_s, 1.5);
+  // The outer phase saw the same steps; the empty phase saw none.
+  EXPECT_EQ(cycle.supersteps, 2);
+  EXPECT_EQ(cycle.compute_units, 12);
+  EXPECT_EQ(idle.supersteps, 0);
+
+  const auto& st = rec.supersteps()[0];
+  EXPECT_EQ(st.step, 0);
+  EXPECT_EQ(st.phase, "solve");  // innermost open phase
+  ASSERT_EQ(st.counters.size(), 3u);
+  EXPECT_EQ(st.counters[2].compute_units, 3);
+  ASSERT_EQ(st.rank_seconds.size(), 3u);
+
+  rec.clear();
+  EXPECT_TRUE(rec.phases().empty());
+  EXPECT_TRUE(rec.supersteps().empty());
+}
+
+TEST(TraceRecorder, DeterministicJsonIdenticalAcrossEngines) {
+  auto run = [](rt::Engine& eng) {
+    obs::TraceRecorder rec;
+    eng.set_observer(&rec);
+    obs::PhaseScope ph(rec, "storm");
+    eng.run(tick);
+    return rec;
+  };
+
+  rt::Engine seq(5);
+  const std::string want = run(seq).deterministic_json();
+  EXPECT_FALSE(want.empty());
+  // Wall-clock fields must not leak into the deterministic view.
+  EXPECT_EQ(want.find("wall_s"), std::string::npos);
+  EXPECT_EQ(want.find("seconds"), std::string::npos);
+
+  for (int threads : {1, 2, 4}) {
+    rt::ParallelEngine par(5, threads);
+    EXPECT_EQ(run(par).deterministic_json(), want) << "threads=" << threads;
+  }
+}
+
+TEST(TraceRecorder, NullRecorderScopesAreNoOps) {
+  obs::PhaseScope ph(nullptr, "nothing");
+  ph.set_modeled_seconds(3.0);  // must not crash
+}
+
+Json valid_report() {
+  Json phase = Json::object();
+  phase.set("name", Json::str("solve"))
+      .set("wall_s", Json::number(0.25))
+      .set("modeled_s", Json::number(0.5))
+      .set("supersteps", Json::integer(7));
+  Json run = Json::object();
+  run.set("case", Json::str("Real_1"))
+      .set("P", Json::integer(8))
+      .set("metrics",
+           Json::object().set("speedup", Json::number(9.3)))
+      .set("phases", Json::array().push(std::move(phase)));
+  Json doc = Json::object();
+  doc.set("schema", Json::str("plum-bench/1"))
+      .set("bench", Json::str("bench_fig4"))
+      .set("runs", Json::array().push(std::move(run)));
+  return doc;
+}
+
+TEST(BenchSchema, AcceptsValidReport) {
+  EXPECT_EQ(obs::validate_bench_report(valid_report()), "");
+}
+
+TEST(BenchSchema, RejectsViolations) {
+  EXPECT_NE(obs::validate_bench_report(Json::integer(3)), "");
+  EXPECT_NE(obs::validate_bench_report(Json::object()), "");
+
+  {
+    Json doc = valid_report();
+    doc.set("schema", Json::str("plum-bench/99"));
+    EXPECT_NE(obs::validate_bench_report(doc), "");
+  }
+  {
+    Json doc = valid_report();
+    doc.set("runs", Json::array());  // empty runs
+    EXPECT_NE(obs::validate_bench_report(doc), "");
+  }
+  {
+    Json doc = valid_report();
+    Json run = doc.find("runs")->at(0);
+    run.set("P", Json::integer(0));  // P < 1
+    doc.set("runs", Json::array().push(std::move(run)));
+    EXPECT_NE(obs::validate_bench_report(doc), "");
+  }
+  {
+    Json doc = valid_report();
+    Json run = doc.find("runs")->at(0);
+    run.set("metrics",
+            Json::object().set("oops", Json::str("not a number")));
+    doc.set("runs", Json::array().push(std::move(run)));
+    EXPECT_NE(obs::validate_bench_report(doc), "");
+  }
+  {
+    Json doc = valid_report();
+    Json run = doc.find("runs")->at(0);
+    Json phase = Json::object();
+    phase.set("name", Json::str("solve"));  // missing wall_s etc.
+    run.set("phases", Json::array().push(std::move(phase)));
+    doc.set("runs", Json::array().push(std::move(run)));
+    EXPECT_NE(obs::validate_bench_report(doc), "");
+  }
+}
+
+TEST(ChromeTrace, ParsesAndCoversPhasesAndRanks) {
+  rt::Engine eng(2);
+  obs::TraceRecorder rec;
+  eng.set_observer(&rec);
+  {
+    obs::PhaseScope ph(rec, "solve");
+    eng.run(tick);
+  }
+
+  const Json doc = obs::chrome_trace_json(rec, "unit test");
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  int phase_spans = 0, rank_spans = 0, meta = 0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const Json& ev = events->at(i);
+    const std::string ph = ev.find("ph")->as_string();
+    if (ph == "M") {
+      ++meta;
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ASSERT_NE(ev.find("ts"), nullptr);
+    ASSERT_NE(ev.find("dur"), nullptr);
+    if (ev.find("tid")->as_int() == 0) ++phase_spans;
+    else ++rank_spans;
+  }
+  EXPECT_EQ(phase_spans, 1);
+  EXPECT_EQ(rank_spans, 2 * 2);  // 2 supersteps x 2 ranks
+  EXPECT_GE(meta, 3);            // process_name + >= 2 thread_names
+
+  // Round-trips through the strict parser.
+  Json back;
+  std::string err;
+  EXPECT_TRUE(Json::parse(doc.dump(2), &back, &err)) << err;
+}
+
+TEST(JsonReport, WritesValidatedFileHonoringDirOverride) {
+  const std::string dir = testing::TempDir();
+  ASSERT_EQ(setenv("PLUM_BENCH_JSON_DIR", dir.c_str(), 1), 0);
+
+  bench::JsonReport report("unit");
+  report.add_run("caseA", 4)
+      .metric("speedup", 2.5)
+      .metric_int("elements", 123)
+      .phase("solve", 0.1, 0.2, 3);
+
+  const std::string path = report.write();
+  ASSERT_NE(unsetenv("PLUM_BENCH_JSON_DIR"), -1);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path, dir + "/BENCH_unit.json");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Json doc;
+  std::string err;
+  ASSERT_TRUE(Json::parse(buf.str(), &doc, &err)) << err;
+  EXPECT_EQ(obs::validate_bench_report(doc), "");
+  EXPECT_EQ(doc.find("bench")->as_string(), "unit");
+  const Json& run = doc.find("runs")->at(0);
+  EXPECT_EQ(run.find("case")->as_string(), "caseA");
+  EXPECT_EQ(run.find("P")->as_int(), 4);
+  EXPECT_EQ(run.find("metrics")->find("elements")->as_int(), 123);
+  EXPECT_EQ(run.find("phases")->at(0).find("supersteps")->as_int(), 3);
+}
+
+TEST(JsonReport, RefusesToWriteInvalidReport) {
+  bench::JsonReport report("empty");  // no runs -> schema violation
+  EXPECT_EQ(report.write(), "");
+}
+
+}  // namespace
+}  // namespace plum

@@ -287,7 +287,8 @@ TEST(CrossEngine, DistFrameworkCyclesIdentical) {
       rho[static_cast<std::size_t>(r)] = fw.solver().density_field(r);
     }
     return std::make_tuple(reps, fw.elements_per_rank(), std::move(rho),
-                           fw.engine().ledger());
+                           fw.engine().ledger(),
+                           fw.trace().deterministic_json());
   };
 
   const auto seq = run_cycles(1);
@@ -312,6 +313,10 @@ TEST(CrossEngine, DistFrameworkCyclesIdentical) {
   EXPECT_EQ(std::get<1>(par), std::get<1>(seq));
   EXPECT_EQ(std::get<2>(par), std::get<2>(seq));  // density bit-identical
   EXPECT_EQ(std::get<3>(par), std::get<3>(seq));  // full ledger
+  // plum-trace: the deterministic view (phases + per-rank superstep
+  // counters, wall-clock fields excluded) is byte-identical across engines.
+  EXPECT_EQ(std::get<4>(par), std::get<4>(seq));
+  EXPECT_NE(std::get<4>(seq).find("\"subdivide\""), std::string::npos);
   // Sanity: the workload actually exercised the remap machinery.
   EXPECT_TRUE(rs[0].evaluated_repartition || rs[1].evaluated_repartition);
 }

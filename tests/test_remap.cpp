@@ -5,15 +5,84 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <deque>
+#include <functional>
+#include <limits>
 #include <set>
 
 #include "remap/mapping.hpp"
+#include "remap/matching.hpp"
 #include "remap/similarity.hpp"
 #include "remap/volume.hpp"
 #include "util/rng.hpp"
 
 namespace plum::remap {
 namespace {
+
+/// The original recursive Hopcroft-Karp DFS, kept verbatim as the reference
+/// the iterative production kernel (remap/matching.cpp) must reproduce
+/// exactly — same traversal order, same matching, not just the same size.
+int hopcroft_karp_reference(const std::vector<std::vector<Rank>>& adj, Rank n,
+                            std::vector<Rank>& match_l) {
+  std::vector<Rank> match_r(static_cast<std::size_t>(n), kNoRank);
+  match_l.assign(static_cast<std::size_t>(n), kNoRank);
+  std::vector<Rank> dist(static_cast<std::size_t>(n));
+  constexpr Rank kInfDist = std::numeric_limits<Rank>::max();
+
+  auto bfs = [&]() {
+    std::deque<Rank> q;
+    for (Rank l = 0; l < n; ++l) {
+      if (match_l[static_cast<std::size_t>(l)] == kNoRank) {
+        dist[static_cast<std::size_t>(l)] = 0;
+        q.push_back(l);
+      } else {
+        dist[static_cast<std::size_t>(l)] = kInfDist;
+      }
+    }
+    bool found = false;
+    while (!q.empty()) {
+      const Rank l = q.front();
+      q.pop_front();
+      for (Rank r : adj[static_cast<std::size_t>(l)]) {
+        const Rank next = match_r[static_cast<std::size_t>(r)];
+        if (next == kNoRank) {
+          found = true;
+        } else if (dist[static_cast<std::size_t>(next)] == kInfDist) {
+          dist[static_cast<std::size_t>(next)] =
+              dist[static_cast<std::size_t>(l)] + 1;
+          q.push_back(next);
+        }
+      }
+    }
+    return found;
+  };
+
+  std::function<bool(Rank)> dfs = [&](Rank l) -> bool {
+    for (Rank r : adj[static_cast<std::size_t>(l)]) {
+      const Rank next = match_r[static_cast<std::size_t>(r)];
+      if (next == kNoRank ||
+          (dist[static_cast<std::size_t>(next)] ==
+               dist[static_cast<std::size_t>(l)] + 1 &&
+           dfs(next))) {
+        match_l[static_cast<std::size_t>(l)] = r;
+        match_r[static_cast<std::size_t>(r)] = l;
+        return true;
+      }
+    }
+    dist[static_cast<std::size_t>(l)] = std::numeric_limits<Rank>::max();
+    return false;
+  };
+
+  int matched = 0;
+  while (bfs()) {
+    for (Rank l = 0; l < n; ++l) {
+      if (match_l[static_cast<std::size_t>(l)] == kNoRank && dfs(l)) {
+        ++matched;
+      }
+    }
+  }
+  return matched;
+}
 
 bool is_permutation_assignment(const Assignment& a, Rank nprocs, Rank f) {
   std::vector<int> count(static_cast<std::size_t>(nprocs), 0);
@@ -185,6 +254,48 @@ TEST(Greedy, MatchesPaperExampleShape) {
   EXPECT_EQ(heu.objective, 140);
 }
 
+TEST(Matching, IterativeHopcroftKarpIdenticalToRecursiveReference) {
+  // The explicit-stack DFS must be observationally identical to the old
+  // recursive one: identical matching vectors on random graphs of varying
+  // density, including graphs with no perfect matching.
+  Rng rng(21);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Rank n = static_cast<Rank>(1 + rng.below(12));
+    const int density = 5 + static_cast<int>(rng.below(95));
+    std::vector<std::vector<Rank>> adj(static_cast<std::size_t>(n));
+    for (Rank l = 0; l < n; ++l) {
+      for (Rank r = 0; r < n; ++r) {
+        if (rng.below(100) < static_cast<std::uint64_t>(density)) {
+          adj[static_cast<std::size_t>(l)].push_back(r);
+        }
+      }
+    }
+    std::vector<Rank> got, want;
+    const int got_n = hopcroft_karp(adj, n, got);
+    const int want_n = hopcroft_karp_reference(adj, n, want);
+    EXPECT_EQ(got_n, want_n) << "n=" << n << " trial=" << trial;
+    EXPECT_EQ(got, want) << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST(Matching, EmptyAndCompleteGraphs) {
+  std::vector<Rank> m;
+  EXPECT_EQ(hopcroft_karp({{}, {}}, 2, m), 0);
+  EXPECT_EQ(m, (std::vector<Rank>{kNoRank, kNoRank}));
+
+  const Rank n = 40;  // deep augmenting paths exercise the explicit stack
+  std::vector<std::vector<Rank>> adj(static_cast<std::size_t>(n));
+  for (Rank l = 0; l < n; ++l) {
+    // Every left vertex prefers the same few right vertices first, forcing
+    // long alternating chains before the matching completes.
+    for (Rank r = 0; r < n; ++r) adj[static_cast<std::size_t>(l)].push_back(r % n);
+  }
+  EXPECT_EQ(hopcroft_karp(adj, n, m), n);
+  std::vector<Rank> ref;
+  EXPECT_EQ(hopcroft_karp_reference(adj, n, ref), n);
+  EXPECT_EQ(m, ref);
+}
+
 TEST(Bmcm, OptimalBottleneckMatchesBruteForce) {
   Rng rng(10);
   for (int trial = 0; trial < 30; ++trial) {
@@ -265,6 +376,30 @@ TEST(ReassignmentTimes, HeuristicFasterThanOptimalAtScale) {
 TEST(Bmcm, RejectsFGreaterThanOne) {
   SimilarityMatrix S(2, 4);  // F = 2
   EXPECT_DEATH(map_optimal_bmcm(S), "F = 1");
+}
+
+TEST(Greedy, TiesConsumedInEnumerationOrder) {
+  // Regression for the radix_sort_descending stability bug: the mapper
+  // enumerates entries row-major ((0,0), (0,1), ..., (1,0), ...), and the
+  // paper's stable descending sort must hand tied entries back in that
+  // order. With the old reverse-only sort, ties came back in *reversed*
+  // enumeration order and S(1,0) below won partition 0 instead of S(0,0).
+  SimilarityMatrix S(2, 2);
+  S.at(0, 0) = 10;
+  S.at(1, 0) = 10;
+  const auto heu = map_heuristic_greedy(S);
+  EXPECT_EQ(heu.objective, 10);
+  EXPECT_EQ(heu.part_to_proc[0], 0);  // first tied entry in row-major order
+  EXPECT_EQ(heu.part_to_proc[1], 1);  // proc 1 takes the leftover partition
+
+  // Larger tied block: row-major order assigns the diagonal of the first
+  // F-feasible entries, i.e. partition j -> processor j.
+  SimilarityMatrix T(3, 3);
+  for (Rank i = 0; i < 3; ++i) {
+    for (Rank j = 0; j < 3; ++j) T.at(i, j) = 7;
+  }
+  const auto a = map_heuristic_greedy(T);
+  for (Rank j = 0; j < 3; ++j) EXPECT_EQ(a.part_to_proc[j], j);
 }
 
 TEST(Greedy, DeterministicOnTies) {

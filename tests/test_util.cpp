@@ -50,6 +50,54 @@ TEST(RadixSort, StableOnEqualKeys) {
   EXPECT_EQ(v[4].tag, 4);
 }
 
+TEST(RadixSort, StableDescendingOnEqualKeys) {
+  // Regression: the old implementation sorted ascending then reversed the
+  // whole vector, which reversed the relative order of equal keys. A stable
+  // descending sort must keep ties in original order — the §4.4 greedy
+  // mapper consumes tied similarity entries in enumeration order.
+  struct Item {
+    std::uint64_t key;
+    int tag;
+  };
+  std::vector<Item> v = {{2, 0}, {2, 1}, {1, 2}, {1, 3}, {2, 4}};
+  radix_sort_descending(v, [](const Item& i) { return i.key; });
+  EXPECT_EQ(v[0].tag, 0);
+  EXPECT_EQ(v[1].tag, 1);
+  EXPECT_EQ(v[2].tag, 4);
+  EXPECT_EQ(v[3].tag, 2);
+  EXPECT_EQ(v[4].tag, 3);
+}
+
+TEST(RadixSort, AllZeroKeys) {
+  // All-zero inputs hit the early exit on the first pass; order (stability)
+  // and contents must be untouched.
+  struct Item {
+    std::uint64_t key;
+    int tag;
+  };
+  std::vector<Item> v = {{0, 0}, {0, 1}, {0, 2}};
+  radix_sort_by_key(v, [](const Item& i) { return i.key; });
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)].tag, i);
+
+  std::vector<std::uint64_t> empty;
+  radix_sort_by_key(empty, [](std::uint64_t x) { return x; });
+  EXPECT_TRUE(empty.empty());
+  radix_sort_descending(empty, [](std::uint64_t x) { return x; });
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(RadixSort, HighDigitsAfterZeroLowDigits) {
+  // Regression for the early-exit restructure: keys whose low bytes are all
+  // zero but whose high bytes differ must still be fully sorted (the old
+  // exit logic could break after pass 1 with higher digits pending).
+  std::vector<std::uint64_t> v = {3ull << 17, 1ull << 16, 1ull << 40,
+                                  2ull << 16, 0};
+  radix_sort_by_key(v, [](std::uint64_t x) { return x; });
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  radix_sort_descending(v, [](std::uint64_t x) { return x; });
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<>()));
+}
+
 TEST(RadixSort, LargeRandomMatchesStdSort) {
   Rng rng(7);
   std::vector<std::uint64_t> v(10000);

@@ -1,0 +1,54 @@
+// check_bench_json: CI gate for the machine-readable bench reports.
+//
+//   check_bench_json BENCH_fig4.json [BENCH_fig5.json ...]
+//
+// Each file must parse as strict JSON and validate against the
+// "plum-bench/1" schema (obs::validate_bench_report — the same validator
+// the unit tests exercise, so the gate and the tests cannot drift).
+// Exit code 0 iff every file is valid; each failure is reported on stderr.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_schema.hpp"
+#include "obs/json.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <BENCH_*.json>...\n", argv[0]);
+    return 2;
+  }
+
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* path = argv[i];
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", path);
+      ++failures;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    plum::obs::Json doc;
+    std::string err;
+    if (!plum::obs::Json::parse(buf.str(), &doc, &err)) {
+      std::fprintf(stderr, "%s: parse error: %s\n", path, err.c_str());
+      ++failures;
+      continue;
+    }
+    err = plum::obs::validate_bench_report(doc);
+    if (!err.empty()) {
+      std::fprintf(stderr, "%s: schema violation: %s\n", path, err.c_str());
+      ++failures;
+      continue;
+    }
+    const std::size_t runs = doc.find("runs")->size();
+    std::printf("%s: ok (%zu runs, bench \"%s\")\n", path, runs,
+                doc.find("bench")->as_string().c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
