@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "common.hpp"
@@ -100,19 +101,45 @@ int main(int argc, char** argv) {
         .metric_int("bytes_sent", fw.engine().ledger().total_bytes())
         .metric_int("supersteps", fw.engine().ledger().num_supersteps())
         .metric_int("accepted", rep.accepted ? 1 : 0)
+        .metrics_from(fw.metrics())
+        .comm_matrix_from(fw.engine().ledger().comm_matrix())
+        .gate_audit_from(fw.trace())
         .phases_from(fw.trace());
 
-    // One Chrome trace (largest P last wins would also be fine; take the
-    // first so the artifact exists even if a later size fails).
+    // One Chrome trace + one run document + one standalone gate-audit log
+    // (take the first P so the artifacts exist even if a later size fails).
     if (!trace_written) {
       const char* dir = std::getenv("PLUM_BENCH_JSON_DIR");
-      const std::string path =
-          std::string((dir && dir[0]) ? dir : ".") +
-          "/TRACE_bench_distributed.json";
+      const std::string base = std::string((dir && dir[0]) ? dir : ".");
+      const std::string path = base + "/TRACE_bench_distributed.json";
       trace_written = obs::write_chrome_trace(
           fw.trace(), "bench_distributed P=" + std::to_string(P), path);
       if (!trace_written) {
         std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      }
+
+      // plum-run/1: the trace+metrics document tools/plum-report renders.
+      obs::Json run_doc = obs::Json::object();
+      run_doc.set("schema", obs::Json::str("plum-run/1"))
+          .set("name", obs::Json::str("bench_distributed P=" +
+                                      std::to_string(P)))
+          .set("trace", fw.trace().to_json())
+          .set("metrics", fw.metrics().to_json());
+      std::ofstream run_out(base + "/RUN_bench_distributed.json");
+      run_out << run_doc.dump(2) << '\n';
+      if (!run_out) {
+        std::fprintf(stderr, "failed to write RUN_bench_distributed.json\n");
+        trace_written = false;
+      }
+
+      obs::Json gate_doc = obs::Json::object();
+      gate_doc.set("schema", obs::Json::str("plum-gate-audit/1"))
+          .set("records", obs::gate_audit_json(fw.trace().gate_records()));
+      std::ofstream gate_out(base + "/GATE_bench_distributed.json");
+      gate_out << gate_doc.dump(2) << '\n';
+      if (!gate_out) {
+        std::fprintf(stderr, "failed to write GATE_bench_distributed.json\n");
+        trace_written = false;
       }
     }
   }

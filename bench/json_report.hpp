@@ -1,21 +1,28 @@
 #pragma once
-// Machine-readable bench output (schema "plum-bench/1").
+// Machine-readable bench output (schema "plum-bench/2").
 //
 // Every figure/table bench builds a JsonReport alongside its io::Table and
 // writes BENCH_<name>.json so CI (and downstream plotting) can consume the
 // numbers without scraping stdout:
 //
 //   {
-//     "schema": "plum-bench/1",
+//     "schema": "plum-bench/2",
 //     "bench":  "bench_fig4",
 //     "runs": [
 //       { "case": "Real_1", "P": 8,
-//         "metrics": { "speedup_before": 12.4, ... },
+//         "metrics": { "speedup_before": 12.4,
+//                      "imbalance": [1.3, 1.05, ...], ... },
 //         "phases":  [ { "name": "solve", "wall_s": ..., "modeled_s": ...,
-//                        "supersteps": ..., ... }, ... ] },
+//                        "supersteps": ..., ... }, ... ],
+//         "comm_matrix": { "nranks": 8, "msgs": [[...]], "bytes": [[...]] },
+//         "gate_audit":  [ { "cycle": 0, "accepted": true, ... }, ... ] },
 //       ...
 //     ]
 //   }
+//
+// v2 extends plum-bench/1 with gauge series under "metrics" (arrays of
+// numbers), the per-run "comm_matrix", and the per-run "gate_audit"; all
+// three are optional per run, so v1-shaped producers keep working.
 //
 // The output directory defaults to the working directory and is overridden
 // by PLUM_BENCH_JSON_DIR. tools/check_bench_json validates the files in CI
@@ -66,6 +73,38 @@ class JsonReport {
       return *this;
     }
 
+    /// Appends one sample to a gauge series under "metrics".
+    Run& gauge(const std::string& name, double value) {
+      metrics_.add_sample(name, value);
+      return *this;
+    }
+    Run& gauge_int(const std::string& name, std::int64_t value) {
+      metrics_.add_sample_int(name, value);
+      return *this;
+    }
+
+    /// Copies every scalar and series out of a live registry (e.g. a
+    /// Framework's per-cycle gauges) into this run's "metrics".
+    Run& metrics_from(const obs::MetricsRegistry& reg) {
+      metrics_.merge_from(reg);
+      return *this;
+    }
+
+    /// Attaches the run's P-by-P comm matrix (from an engine ledger or a
+    /// TraceRecorder) as the "comm_matrix" section.
+    Run& comm_matrix_from(const rt::CommMatrix& m) {
+      comm_matrix_ = obs::comm_matrix_json(m);
+      has_comm_matrix_ = true;
+      return *this;
+    }
+
+    /// Attaches the recorder's gate-audit records as "gate_audit".
+    Run& gate_audit_from(const obs::TraceRecorder& rec) {
+      gate_audit_ = obs::gate_audit_json(rec.gate_records());
+      has_gate_audit_ = true;
+      return *this;
+    }
+
     /// Copies every closed phase out of a plum-trace recorder.
     Run& phases_from(const obs::TraceRecorder& rec) {
       for (const auto& ph : rec.phases()) {
@@ -89,6 +128,8 @@ class JsonReport {
           .set("P", obs::Json::integer(nprocs_))
           .set("metrics", metrics_.to_json())
           .set("phases", phases_);
+      if (has_comm_matrix_) r.set("comm_matrix", comm_matrix_);
+      if (has_gate_audit_) r.set("gate_audit", gate_audit_);
       return r;
     }
 
@@ -97,6 +138,10 @@ class JsonReport {
     Rank nprocs_;
     obs::MetricsRegistry metrics_;
     obs::Json phases_ = obs::Json::array();
+    obs::Json comm_matrix_;
+    obs::Json gate_audit_;
+    bool has_comm_matrix_ = false;
+    bool has_gate_audit_ = false;
   };
 
   explicit JsonReport(std::string bench_name) : bench_(std::move(bench_name)) {}
@@ -108,7 +153,7 @@ class JsonReport {
 
   [[nodiscard]] obs::Json to_json() const {
     obs::Json doc = obs::Json::object();
-    doc.set("schema", obs::Json::str("plum-bench/1"))
+    doc.set("schema", obs::Json::str("plum-bench/2"))
         .set("bench", obs::Json::str(bench_));
     obs::Json runs = obs::Json::array();
     for (const auto& r : runs_) runs.push(r.to_json());

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "adapt/error_indicator.hpp"
+#include "partition/quality.hpp"
 #include "pmesh/migrate.hpp"
 #include "pmesh/parallel_adapt.hpp"
 #include "pmesh/parallel_coarsen.hpp"
@@ -230,11 +231,18 @@ DistCycleReport DistFramework::cycle() {
         wcomp_pred[static_cast<std::size_t>(v)];
   }
   rep.imbalance_old = imbalance(loads_old);
+  // Predicted weights drive both the repartitioner and the end-of-cycle
+  // quality gauges, so install them unconditionally.
+  dual_.set_weights(wcomp_pred, wremap_pred);
+
+  obs::GateRecord gate_rec;
+  gate_rec.cycle = cycle_index_;
+  gate_rec.metric = sim::cost_metric_name(opt_.metric);
+  gate_rec.imbalance_old = rep.imbalance_old;
 
   if (rep.imbalance_old > opt_.imbalance_trigger) {
     rep.evaluated_repartition = true;
     obs::PhaseScope gate(trace_, "gate");
-    dual_.set_weights(wcomp_pred, wremap_pred);
     partition::MultilevelOptions popt;
     popt.nparts = P;
     popt.seed = opt_.seed;
@@ -289,6 +297,13 @@ DistCycleReport DistFramework::cycle() {
         vec_max(ref_new));
     rep.cost_seconds = cost_model.redistribution_cost(rep.volume, opt_.metric);
 
+    gate_rec.evaluated = true;
+    gate_rec.imbalance_new = rep.imbalance_new;
+    gate_rec.gain_s = rep.gain_seconds;
+    gate_rec.cost_s = rep.cost_seconds;
+    gate_rec.predicted_move_bytes =
+        cost_model.predicted_move_bytes(rep.volume, opt_.metric);
+
     if (cost_model.accept_remap(rep.gain_seconds, rep.cost_seconds)) {
       rep.accepted = true;
       obs::PhaseScope ph(trace_, "remap");
@@ -301,6 +316,13 @@ DistCycleReport DistFramework::cycle() {
       root_part_ = new_part;
       rebind_solver();
 
+      // Measured data movement: the bytes the migration really packed and
+      // sent through the engine, vs the cost model's prediction.
+      gate_rec.accepted = true;
+      gate_rec.measured_move_bytes = vec_sum(ms.bytes_sent);
+      gate_rec.drift = obs::gate_drift(gate_rec.predicted_move_bytes,
+                                       gate_rec.measured_move_bytes);
+
       // Re-derive the marks on the new distribution (deterministic: same
       // states, same threshold => the same global mark set).
       err = rank_errors(*dm_, *solver_);
@@ -308,6 +330,18 @@ DistCycleReport DistFramework::cycle() {
       pm = pmesh::parallel_mark(*dm_, *eng_, seeds);
     }
   }
+  trace_.add_gate_record(gate_rec);
+
+  // --- live paper-metric gauges (one sample per series per cycle) -----------
+  {
+    const auto q = partition::evaluate_quality(dual_, root_part_, P);
+    metrics_.add_sample("imbalance", q.imbalance);
+    metrics_.add_sample_int("edge_cut", q.edge_cut);
+    for (const auto& [name, value] : remap::volume_fields(rep.volume)) {
+      metrics_.add_sample_int(name, value);
+    }
+  }
+  ++cycle_index_;
 
   // --- 7. parallel subdivision ---------------------------------------------------
   obs::PhaseScope subdivide(trace_, "subdivide");

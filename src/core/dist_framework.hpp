@@ -65,6 +65,14 @@ class DistFramework {
   [[nodiscard]] obs::TraceRecorder& trace() { return trace_; }
   [[nodiscard]] const obs::TraceRecorder& trace() const { return trace_; }
 
+  /// Live paper-metric gauges, one sample per cycle per series ("imbalance",
+  /// "edge_cut", remap_* volume breakdown) — same names as core::Framework
+  /// and the bench reports. Host-side only; see obs/metrics.hpp.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+
  private:
   /// Rebinds the parallel solver to the current distribution, keeping the
   /// per-rank states in `states_`.
@@ -80,6 +88,8 @@ class DistFramework {
   std::vector<std::vector<solver::State>> states_;
   graph::Csr dual_;  ///< dual of the initial global mesh (host side)
   partition::PartVec root_part_;  ///< global initial element -> rank
+  obs::MetricsRegistry metrics_;
+  int cycle_index_ = 0;  ///< cycles completed; keys the gate-audit records
 };
 
 }  // namespace plum::core

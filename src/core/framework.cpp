@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "partition/quality.hpp"
 #include "util/assert.hpp"
 #include "util/stats.hpp"
 
@@ -116,17 +117,24 @@ CycleReport Framework::cycle() {
   // --- 3. balance evaluation on the *predicted* weights ----------------------
   const auto current = mesh_->root_weights();
   const auto predicted = adaptor_->predicted_weights();
+  // Predicted weights drive both the repartitioner (below) and the
+  // end-of-cycle quality gauges, so install them unconditionally.
+  dual_.set_weights(predicted.wcomp, predicted.wremap);
   const auto loads_old =
       proc_sums(root_part_, predicted.wcomp, opt_.nranks, nullptr);
   rep.imbalance_old = imbalance(loads_old);
   rep.wmax_old = vec_max(loads_old);
+
+  obs::GateRecord gate_rec;
+  gate_rec.cycle = cycle_index_;
+  gate_rec.metric = sim::cost_metric_name(opt_.metric);
+  gate_rec.imbalance_old = rep.imbalance_old;
 
   if (rep.imbalance_old > opt_.imbalance_trigger) {
     rep.evaluated_repartition = true;
     obs::PhaseScope gate(trace_, "gate");
 
     // --- 4. repartition the dual graph (warm start, paper §4.2) ------------
-    dual_.set_weights(predicted.wcomp, predicted.wremap);
     partition::MultilevelOptions popt;
     popt.nparts = opt_.nranks * opt_.partitions_per_proc;
     popt.seed = opt_.seed;
@@ -182,17 +190,50 @@ CycleReport Framework::cycle() {
         cm.computational_gain(rep.wmax_old, rep.wmax_new, ref_old, ref_new);
     rep.cost_seconds = cm.redistribution_cost(rep.volume, opt_.metric);
 
+    gate_rec.evaluated = true;
+    gate_rec.imbalance_new = rep.imbalance_new;
+    gate_rec.gain_s = rep.gain_seconds;
+    gate_rec.cost_s = rep.cost_seconds;
+    gate_rec.predicted_move_bytes =
+        cm.predicted_move_bytes(rep.volume, opt_.metric);
+
     if (cm.accept_remap(rep.gain_seconds, rep.cost_seconds)) {
       rep.accepted = true;
       // --- 7. remap: install the new element->processor ownership ---------
       obs::PhaseScope ph(trace_, "remap");
       ph.set_modeled_seconds(rep.cost_seconds);
+      // Measured data movement: this framework keeps everything in one
+      // address space, so "moved" is the remap weight of every root whose
+      // owner changed, in the same bytes the cost model prices (matches the
+      // prediction exactly under TotalV; diverges under MaxV, which prices
+      // only the bottleneck processor).
+      Weight moved_w = 0;
       for (std::size_t v = 0; v < root_part_.size(); ++v) {
-        root_part_[v] =
+        const Rank owner =
             assign.part_to_proc[static_cast<std::size_t>(repart.part[v])];
+        if (owner != root_part_[v]) moved_w += move_w[v];
+        root_part_[v] = owner;
       }
+      gate_rec.accepted = true;
+      gate_rec.measured_move_bytes =
+          static_cast<std::int64_t>(opt_.machine.words_per_element) * moved_w *
+          8;
+      gate_rec.drift = obs::gate_drift(gate_rec.predicted_move_bytes,
+                                       gate_rec.measured_move_bytes);
     }
   }
+  trace_.add_gate_record(gate_rec);
+
+  // --- live paper-metric gauges (one sample per series per cycle) -----------
+  {
+    const auto q = partition::evaluate_quality(dual_, root_part_, opt_.nranks);
+    metrics_.add_sample("imbalance", q.imbalance);
+    metrics_.add_sample_int("edge_cut", q.edge_cut);
+    for (const auto& [name, value] : remap::volume_fields(rep.volume)) {
+      metrics_.add_sample_int(name, value);
+    }
+  }
+  ++cycle_index_;
 
   // --- 8. subdivision ---------------------------------------------------------
   {

@@ -15,6 +15,7 @@
 
 #include "adapt/adaptor.hpp"
 #include "mesh/tet_mesh.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "partition/multilevel.hpp"
 #include "remap/mapping.hpp"
@@ -103,6 +104,17 @@ class Framework {
   [[nodiscard]] obs::TraceRecorder& trace() { return trace_; }
   [[nodiscard]] const obs::TraceRecorder& trace() const { return trace_; }
 
+  /// Live paper-metric gauges: every cycle() appends one sample per series
+  /// — "imbalance" (load-imbalance factor under the predicted weights),
+  /// "edge_cut", and the remap::volume_fields() breakdown
+  /// (remap_total_elems ... remap_max_sent_or_recv, zero on cycles whose
+  /// gate never fired). Recorded host-side between supersteps; never write
+  /// to this from inside a superstep lambda (see obs/metrics.hpp).
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+
  private:
   FrameworkOptions opt_;
   // unique_ptr: the solver and adaptor hold stable pointers to the mesh.
@@ -112,6 +124,8 @@ class Framework {
   graph::Csr dual_;
   partition::PartVec root_part_;  ///< initial element -> processor
   obs::TraceRecorder trace_;
+  obs::MetricsRegistry metrics_;
+  int cycle_index_ = 0;  ///< cycles completed; keys the gate-audit records
 };
 
 }  // namespace plum::core

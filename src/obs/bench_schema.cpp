@@ -8,7 +8,82 @@ std::string run_error(std::size_t i, const std::string& what) {
   return "runs[" + std::to_string(i) + "]: " + what;
 }
 
-std::string check_run(const Json& run, std::size_t i) {
+bool is_int_matrix(const Json& m, std::int64_t nranks) {
+  if (!m.is_array() || static_cast<std::int64_t>(m.size()) != nranks) {
+    return false;
+  }
+  for (std::size_t r = 0; r < m.size(); ++r) {
+    const Json& row = m.at(r);
+    if (!row.is_array() || static_cast<std::int64_t>(row.size()) != nranks) {
+      return false;
+    }
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row.at(c).kind() != Json::Kind::kInt || row.at(c).as_int() < 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string check_comm_matrix(const Json& cm, std::size_t i) {
+  if (!cm.is_object()) return run_error(i, "\"comm_matrix\" is not an object");
+  const Json* nranks = cm.find("nranks");
+  if (!nranks || nranks->kind() != Json::Kind::kInt || nranks->as_int() < 1) {
+    return run_error(i, "comm_matrix field \"nranks\" must be an int >= 1");
+  }
+  for (const char* field : {"msgs", "bytes"}) {
+    const Json* m = cm.find(field);
+    if (!m || !is_int_matrix(*m, nranks->as_int())) {
+      return run_error(i, "comm_matrix field \"" + std::string(field) +
+                              "\" must be an nranks x nranks matrix of "
+                              "non-negative ints");
+    }
+  }
+  return "";
+}
+
+std::string check_gate_audit(const Json& ga, std::size_t i) {
+  if (!ga.is_array()) return run_error(i, "\"gate_audit\" is not an array");
+  for (std::size_t k = 0; k < ga.size(); ++k) {
+    const Json& rec = ga.at(k);
+    const std::string where = "gate_audit[" + std::to_string(k) + "]";
+    if (!rec.is_object()) return run_error(i, where + " is not an object");
+    const Json* cycle = rec.find("cycle");
+    if (!cycle || cycle->kind() != Json::Kind::kInt || cycle->as_int() < 0) {
+      return run_error(i, where + " field \"cycle\" must be an int >= 0");
+    }
+    for (const char* field : {"evaluated", "accepted"}) {
+      const Json* v = rec.find(field);
+      if (!v || v->kind() != Json::Kind::kBool) {
+        return run_error(i, where + " missing bool field \"" +
+                                std::string(field) + "\"");
+      }
+    }
+    const Json* metric = rec.find("metric");
+    if (!metric || !metric->is_string()) {
+      return run_error(i, where + " missing string field \"metric\"");
+    }
+    for (const char* field :
+         {"imbalance_old", "imbalance_new", "gain_s", "cost_s", "drift"}) {
+      const Json* v = rec.find(field);
+      if (!v || !v->is_number()) {
+        return run_error(i, where + " missing numeric field \"" +
+                                std::string(field) + "\"");
+      }
+    }
+    for (const char* field : {"predicted_move_bytes", "measured_move_bytes"}) {
+      const Json* v = rec.find(field);
+      if (!v || v->kind() != Json::Kind::kInt || v->as_int() < 0) {
+        return run_error(i, where + " field \"" + std::string(field) +
+                                "\" must be an int >= 0");
+      }
+    }
+  }
+  return "";
+}
+
+std::string check_run(const Json& run, std::size_t i, int version) {
   if (!run.is_object()) return run_error(i, "not an object");
 
   const Json* c = run.find("case");
@@ -26,9 +101,26 @@ std::string check_run(const Json& run, std::size_t i) {
     return run_error(i, "missing object field \"metrics\"");
   }
   for (const auto& [name, value] : metrics->items()) {
-    if (!value.is_number()) {
-      return run_error(i, "metric \"" + name + "\" is not a number");
+    if (value.is_number()) continue;
+    // v2 additionally allows gauge series: arrays of numbers.
+    if (version >= 2 && value.is_array()) {
+      bool ok = true;
+      for (std::size_t k = 0; k < value.size(); ++k) {
+        if (!value.at(k).is_number()) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) continue;
+      return run_error(i, "metric \"" + name +
+                              "\" series contains a non-number sample");
     }
+    if (version < 2 && value.is_array()) {
+      return run_error(i, "metric \"" + name +
+                              "\" is a series, which requires schema "
+                              "\"plum-bench/2\"");
+    }
+    return run_error(i, "metric \"" + name + "\" is not a number");
   }
 
   const Json* phases = run.find("phases");
@@ -56,6 +148,24 @@ std::string check_run(const Json& run, std::size_t i) {
                        where + " field \"supersteps\" must be an int >= 0");
     }
   }
+
+  if (version >= 2) {
+    if (const Json* cm = run.find("comm_matrix")) {
+      const std::string err = check_comm_matrix(*cm, i);
+      if (!err.empty()) return err;
+    }
+    if (const Json* ga = run.find("gate_audit")) {
+      const std::string err = check_gate_audit(*ga, i);
+      if (!err.empty()) return err;
+    }
+  } else {
+    for (const char* field : {"comm_matrix", "gate_audit"}) {
+      if (run.find(field)) {
+        return run_error(i, "field \"" + std::string(field) +
+                                "\" requires schema plum-bench/2");
+      }
+    }
+  }
   return "";
 }
 
@@ -68,9 +178,14 @@ std::string validate_bench_report(const Json& doc) {
   if (!schema || !schema->is_string()) {
     return "missing string field \"schema\"";
   }
-  if (schema->as_string() != "plum-bench/1") {
+  int version = 0;
+  if (schema->as_string() == "plum-bench/1") {
+    version = 1;
+  } else if (schema->as_string() == "plum-bench/2") {
+    version = 2;
+  } else {
     return "unknown schema \"" + schema->as_string() +
-           "\" (expected \"plum-bench/1\")";
+           "\" (expected \"plum-bench/1\" or \"plum-bench/2\")";
   }
 
   const Json* bench = doc.find("bench");
@@ -83,7 +198,7 @@ std::string validate_bench_report(const Json& doc) {
   if (runs->size() == 0) return "\"runs\" is empty";
 
   for (std::size_t i = 0; i < runs->size(); ++i) {
-    const std::string err = check_run(runs->at(i), i);
+    const std::string err = check_run(runs->at(i), i, version);
     if (!err.empty()) return err;
   }
   return "";

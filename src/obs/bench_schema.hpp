@@ -1,27 +1,39 @@
 #pragma once
 // Schema validator for the machine-readable bench reports
-// (BENCH_<name>.json, schema id "plum-bench/1"). Shared by
-// tools/check_bench_json (the CI gate) and tests/test_obs.cpp so the two
-// can never drift apart.
+// (BENCH_<name>.json, schema ids "plum-bench/1" and "plum-bench/2").
+// Shared by tools/check_bench_json (the CI gate) and tests/test_obs.cpp so
+// the two can never drift apart.
 //
-// Expected shape:
+// Expected shape (v2; v1 is the same minus the three starred extensions):
 //   {
-//     "schema": "plum-bench/1",
+//     "schema": "plum-bench/2",
 //     "bench":  "<bench name>",
 //     "runs": [
 //       {
 //         "case": "<mesh/workload id>",
 //         "P": <int >= 1>,
-//         "metrics": { "<name>": <number>, ... },
+//         "metrics": { "<name>": <number> | [<number>, ...]*, ... },
 //         "phases": [
 //           { "name": "<phase>", "wall_s": <number>,
 //             "modeled_s": <number>, "supersteps": <int>, ... }
+//         ],
+//         "comm_matrix"*: { "nranks": <int >= 1>,
+//                           "msgs":  [[<int>, ...], ...],   // nranks rows
+//                           "bytes": [[<int>, ...], ...] },
+//         "gate_audit"*: [
+//           { "cycle": <int >= 0>, "evaluated": <bool>, "accepted": <bool>,
+//             "metric": "<CostMetric>", "imbalance_old": <number>,
+//             "imbalance_new": <number>, "gain_s": <number>,
+//             "cost_s": <number>, "predicted_move_bytes": <int >= 0>,
+//             "measured_move_bytes": <int >= 0>, "drift": <number> }, ...
 //         ]
 //       }, ...
 //     ]
 //   }
-// "phases" may be an empty array (benches that don't run the BSP loop);
-// every other field above is required.
+// Starred fields are v2-only: array-valued metrics (gauge time series) and
+// the optional "comm_matrix" / "gate_audit" run sections. "phases" may be
+// an empty array (benches that don't run the BSP loop); every non-starred
+// field above is required. v1 documents stay valid forever.
 
 #include <string>
 
@@ -29,8 +41,8 @@
 
 namespace plum::obs {
 
-/// Returns "" when `doc` is a valid plum-bench/1 report; otherwise a
-/// human-readable description of the first violation found.
+/// Returns "" when `doc` is a valid plum-bench/1 or plum-bench/2 report;
+/// otherwise a human-readable description of the first violation found.
 [[nodiscard]] std::string validate_bench_report(const Json& doc);
 
 }  // namespace plum::obs

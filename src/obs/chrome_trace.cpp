@@ -90,6 +90,25 @@ Json chrome_trace_json(const TraceRecorder& rec,
     }
   }
 
+  // Counter track: per-superstep traffic (messages / bytes posted across
+  // all ranks), rendered by the trace viewer as a stacked timeline.
+  for (const auto& st : rec.supersteps()) {
+    std::int64_t msgs = 0, bytes = 0;
+    for (const auto& c : st.counters) {
+      msgs += c.msgs_sent;
+      bytes += c.bytes_sent;
+    }
+    Json args = Json::object();
+    args.set("msgs", Json::integer(msgs)).set("bytes", Json::integer(bytes));
+    Json ev = Json::object();
+    ev.set("name", Json::str("traffic"))
+        .set("ph", Json::str("C"))
+        .set("pid", Json::integer(1))
+        .set("ts", Json::number(st.t_start_s * kMicros))
+        .set("args", std::move(args));
+    events.push(std::move(ev));
+  }
+
   Json doc = Json::object();
   doc.set("traceEvents", std::move(events))
       .set("displayTimeUnit", Json::str("ms"));

@@ -1,0 +1,34 @@
+#include "obs/gate_audit.hpp"
+
+namespace plum::obs {
+
+double gate_drift(std::int64_t predicted_bytes, std::int64_t measured_bytes) {
+  if (predicted_bytes == 0) return 0.0;
+  return (static_cast<double>(measured_bytes) -
+          static_cast<double>(predicted_bytes)) /
+         static_cast<double>(predicted_bytes);
+}
+
+Json gate_record_json(const GateRecord& rec) {
+  Json j = Json::object();
+  j.set("cycle", Json::integer(rec.cycle))
+      .set("evaluated", Json::boolean(rec.evaluated))
+      .set("accepted", Json::boolean(rec.accepted))
+      .set("metric", Json::str(rec.metric))
+      .set("imbalance_old", Json::number(rec.imbalance_old))
+      .set("imbalance_new", Json::number(rec.imbalance_new))
+      .set("gain_s", Json::number(rec.gain_s))
+      .set("cost_s", Json::number(rec.cost_s))
+      .set("predicted_move_bytes", Json::integer(rec.predicted_move_bytes))
+      .set("measured_move_bytes", Json::integer(rec.measured_move_bytes))
+      .set("drift", Json::number(rec.drift));
+  return j;
+}
+
+Json gate_audit_json(const std::vector<GateRecord>& records) {
+  Json arr = Json::array();
+  for (const auto& rec : records) arr.push(gate_record_json(rec));
+  return arr;
+}
+
+}  // namespace plum::obs

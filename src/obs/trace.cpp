@@ -1,8 +1,40 @@
 #include "obs/trace.hpp"
 
+#include "runtime/collectives.hpp"
 #include "util/assert.hpp"
 
 namespace plum::obs {
+
+std::string tag_class_name(int tag) {
+  // Keep in sync with the tag conventions of the sending subsystems:
+  // pmesh/migrate.cpp + pmesh/finalize.cpp use tag 0 for bulk payloads,
+  // pmesh/parallel_adapt.cpp uses 1..3, solver/parallel_solver.cpp 11/12
+  // and 111 (metric reply).
+  if (tag == rt::detail::kCollectiveTag) return "collective";
+  if (tag == 0) return "bulk";
+  if (tag >= 1 && tag <= 3) return "adapt";
+  if (tag == 11 || tag == 12 || tag == 111) return "solver";
+  return "tag" + std::to_string(tag);
+}
+
+Json comm_matrix_json(const rt::CommMatrix& m) {
+  Json j = Json::object();
+  j.set("nranks", Json::integer(m.nranks));
+  Json msgs = Json::array();
+  Json bytes = Json::array();
+  for (Rank from = 0; from < m.nranks; ++from) {
+    Json mrow = Json::array();
+    Json brow = Json::array();
+    for (Rank to = 0; to < m.nranks; ++to) {
+      mrow.push(Json::integer(m.msgs_at(from, to)));
+      brow.push(Json::integer(m.bytes_at(from, to)));
+    }
+    msgs.push(std::move(mrow));
+    bytes.push(std::move(brow));
+  }
+  j.set("msgs", std::move(msgs)).set("bytes", std::move(bytes));
+  return j;
+}
 
 void TraceRecorder::on_superstep(int step,
                                  const std::vector<rt::StepCounters>& counters,
@@ -31,6 +63,17 @@ void TraceRecorder::on_superstep(int step,
     ph.compute_units += compute;
     ph.msgs_sent += msgs;
     ph.bytes_sent += bytes;
+  }
+
+  // Fold the per-rank comm cells into the run-wide sender-by-receiver
+  // matrix and the per-tag-class totals.
+  comm_.accumulate(counters);
+  for (const auto& c : counters) {
+    for (const auto& cell : c.sends) {
+      CommTotals& t = by_class_[tag_class_name(cell.tag)];
+      t.msgs += cell.msgs;
+      t.bytes += cell.bytes;
+    }
   }
 }
 
@@ -63,6 +106,9 @@ void TraceRecorder::clear() {
   phases_.clear();
   open_.clear();
   supersteps_.clear();
+  comm_ = rt::CommMatrix{};
+  by_class_.clear();
+  gates_.clear();
   epoch_.start();
 }
 
@@ -109,6 +155,20 @@ Json TraceRecorder::to_json_impl(bool include_wall) const {
     steps.push(std::move(s));
   }
   doc.set("supersteps", std::move(steps));
+
+  // Everything below is counted or modeled, never wall-clock, so the three
+  // sections appear in both serializations and stay inside the
+  // deterministic_json() byte-identity contract.
+  doc.set("comm_matrix", comm_matrix_json(comm_));
+  Json by_class = Json::object();
+  for (const auto& [cls, t] : by_class_) {
+    Json entry = Json::object();
+    entry.set("msgs", Json::integer(t.msgs))
+        .set("bytes", Json::integer(t.bytes));
+    by_class.set(cls, std::move(entry));
+  }
+  doc.set("comm_by_class", std::move(by_class));
+  doc.set("gate_audit", gate_audit_json(gates_));
   return doc;
 }
 

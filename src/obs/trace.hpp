@@ -20,15 +20,37 @@
 //                           tests assert.
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "obs/gate_audit.hpp"
 #include "obs/json.hpp"
 #include "runtime/engine.hpp"
 #include "util/timer.hpp"
 #include "util/types.hpp"
 
 namespace plum::obs {
+
+/// Aggregate (msgs, bytes) pair for one tag or tag class.
+struct CommTotals {
+  std::int64_t msgs = 0;
+  std::int64_t bytes = 0;
+
+  friend bool operator==(const CommTotals&, const CommTotals&) = default;
+};
+
+/// Maps a message tag to its subsystem class for reporting. The values
+/// mirror the senders' conventions: rt::detail::kCollectiveTag for
+/// collectives, tag 0 for bulk element/ghost payloads (pmesh migrate +
+/// finalize), 1-3 for the parallel adaption handshakes, 11/12/111 for the
+/// solver halo exchange. Unknown tags render as "tag<N>" rather than
+/// asserting, so traces from future subsystems stay loadable.
+[[nodiscard]] std::string tag_class_name(int tag);
+
+/// {"nranks": P, "msgs": [[...],...], "bytes": [[...],...]} — row-major
+/// sender-by-receiver matrices as arrays of row arrays.
+[[nodiscard]] Json comm_matrix_json(const rt::CommMatrix& m);
 
 /// One completed (or still open) named phase. `depth` is the nesting level
 /// at open time (0 = outermost), so "repartition" nested inside "gate"
@@ -73,11 +95,26 @@ class TraceRecorder final : public rt::SuperstepObserver {
   /// Attaches modeled SP2 seconds to a phase (open or closed).
   void set_modeled_seconds(std::size_t idx, double seconds);
 
+  /// Appends one repartition-gate record (see obs/gate_audit.hpp). Called
+  /// by Framework/DistFramework from the coordinating thread between
+  /// supersteps, never from inside a superstep function.
+  void add_gate_record(const GateRecord& rec) { gates_.push_back(rec); }
+
   [[nodiscard]] const std::vector<PhaseRecord>& phases() const {
     return phases_;
   }
   [[nodiscard]] const std::vector<SuperstepRecord>& supersteps() const {
     return supersteps_;
+  }
+  /// P-by-P who-sent-to-whom totals accumulated over every observed
+  /// superstep (identical to the engine ledger's comm_matrix()).
+  [[nodiscard]] const rt::CommMatrix& comm_matrix() const { return comm_; }
+  /// Per-tag-class totals, keyed by tag_class_name(), sorted.
+  [[nodiscard]] const std::map<std::string, CommTotals>& comm_by_class() const {
+    return by_class_;
+  }
+  [[nodiscard]] const std::vector<GateRecord>& gate_records() const {
+    return gates_;
   }
 
   /// Drops all records and restarts the wall-clock epoch.
@@ -98,6 +135,9 @@ class TraceRecorder final : public rt::SuperstepObserver {
   std::vector<PhaseRecord> phases_;
   std::vector<std::size_t> open_;  // stack of open phase indices
   std::vector<SuperstepRecord> supersteps_;
+  rt::CommMatrix comm_;
+  std::map<std::string, CommTotals> by_class_;
+  std::vector<GateRecord> gates_;
 };
 
 /// RAII wrapper for TraceRecorder phases:

@@ -29,6 +29,15 @@ double load_imbalance(const graph::Csr& g, const PartVec& part, Rank nparts) {
   return imbalance(part_loads(g, part, nparts));
 }
 
+QualityReport evaluate_quality(const graph::Csr& g, const PartVec& part,
+                               Rank nparts) {
+  QualityReport q;
+  q.edge_cut = edge_cut(g, part);
+  q.loads = part_loads(g, part, nparts);
+  q.imbalance = imbalance(q.loads);
+  return q;
+}
+
 bool is_valid_partition(const graph::Csr& g, const PartVec& part,
                         Rank nparts) {
   if (static_cast<Index>(part.size()) != g.num_vertices()) return false;

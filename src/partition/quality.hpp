@@ -25,4 +25,16 @@ double load_imbalance(const graph::Csr& g, const PartVec& part, Rank nparts);
 bool is_valid_partition(const graph::Csr& g, const PartVec& part,
                         Rank nparts);
 
+/// Bundled partition-quality snapshot, computed once per Framework cycle
+/// for the live gauges (and by benches, so both emit identical fields).
+struct QualityReport {
+  Weight edge_cut = 0;         ///< paper's communication-volume proxy
+  double imbalance = 1.0;      ///< load-imbalance factor (max/mean)
+  std::vector<Weight> loads;   ///< per-part total wcomp
+};
+
+/// edge_cut + load_imbalance + part_loads in one pass over the inputs.
+QualityReport evaluate_quality(const graph::Csr& g, const PartVec& part,
+                               Rank nparts);
+
 }  // namespace plum::partition

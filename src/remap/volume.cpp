@@ -59,4 +59,17 @@ RemapVolume evaluate_assignment(const SimilarityMatrix& S,
   return out;
 }
 
+std::vector<std::pair<const char*, Weight>> volume_fields(
+    const RemapVolume& vol) {
+  return {
+      {"remap_total_elems", vol.total_elems},
+      {"remap_total_sets", static_cast<Weight>(vol.total_sets)},
+      {"remap_bottleneck_elems", vol.bottleneck_elems},
+      {"remap_bottleneck_sets", static_cast<Weight>(vol.bottleneck_sets)},
+      {"remap_max_sent", vol.max_sent},
+      {"remap_max_recv", vol.max_recv},
+      {"remap_max_sent_or_recv", vol.max_sent_or_recv},
+  };
+}
+
 }  // namespace plum::remap

@@ -7,6 +7,9 @@
 //   max(Sent, Recd) — the per-processor bottleneck Table 2's 2nd column
 //                     reports.
 
+#include <utility>
+#include <vector>
+
 #include "remap/mapping.hpp"
 #include "remap/similarity.hpp"
 
@@ -30,5 +33,12 @@ struct RemapVolume {
 RemapVolume evaluate_assignment(const SimilarityMatrix& S,
                                 const Assignment& assign, double alpha = 1.0,
                                 double beta = 1.0);
+
+/// The volume broken out as (name, value) pairs under the canonical gauge
+/// names ("remap_total_elems", ..., "remap_max_sent_or_recv"). Live gauges
+/// (Framework cycles) and bench reports both emit exactly these names, so
+/// the two can be joined without a translation table.
+std::vector<std::pair<const char*, Weight>> volume_fields(
+    const RemapVolume& vol);
 
 }  // namespace plum::remap

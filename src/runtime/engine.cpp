@@ -7,6 +7,114 @@
 
 namespace plum::rt {
 
+namespace {
+
+// Per-superstep send/receive conservation: for every receiver q, the sum of
+// the senders' comm-cell rows destined to q must equal what actually landed
+// in q's queue this step, both in message count and in bytes. Both engines
+// check this at the barrier, where `delivered[q]` holds exactly the messages
+// posted to q during the step that just finished.
+void check_send_receive_conservation(
+    const std::vector<StepCounters>& counters,
+    const std::vector<std::vector<Message>>& delivered) {
+  const std::size_t nranks = delivered.size();
+  std::vector<std::int64_t> claimed_msgs(nranks, 0);
+  std::vector<std::int64_t> claimed_bytes(nranks, 0);
+  for (const auto& c : counters) {
+    for (const auto& cell : c.sends) {
+      claimed_msgs[static_cast<std::size_t>(cell.to)] += cell.msgs;
+      claimed_bytes[static_cast<std::size_t>(cell.to)] += cell.bytes;
+    }
+  }
+  for (std::size_t q = 0; q < nranks; ++q) {
+    std::int64_t got_bytes = 0;
+    for (const auto& m : delivered[q]) {
+      got_bytes += static_cast<std::int64_t>(m.bytes.size());
+    }
+    PLUM_ASSERT_MSG(
+        claimed_msgs[q] == static_cast<std::int64_t>(delivered[q].size()),
+        "superstep conservation violated: sender rows != receiver msg count");
+    PLUM_ASSERT_MSG(
+        claimed_bytes[q] == got_bytes,
+        "superstep conservation violated: sender rows != receiver bytes");
+  }
+}
+
+}  // namespace
+
+void CommMatrix::resize(Rank n) {
+  PLUM_ASSERT(n >= nranks);
+  if (n == nranks) return;
+  std::vector<std::int64_t> new_msgs(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> new_bytes(new_msgs.size(), 0);
+  for (Rank i = 0; i < nranks; ++i) {
+    for (Rank j = 0; j < nranks; ++j) {
+      const auto old_at = static_cast<std::size_t>(i) *
+                              static_cast<std::size_t>(nranks) +
+                          static_cast<std::size_t>(j);
+      const auto new_at = static_cast<std::size_t>(i) *
+                              static_cast<std::size_t>(n) +
+                          static_cast<std::size_t>(j);
+      new_msgs[new_at] = msgs[old_at];
+      new_bytes[new_at] = bytes[old_at];
+    }
+  }
+  nranks = n;
+  msgs = std::move(new_msgs);
+  bytes = std::move(new_bytes);
+}
+
+void CommMatrix::accumulate(const std::vector<StepCounters>& counters) {
+  const auto n = static_cast<Rank>(counters.size());
+  if (n > nranks) resize(n);
+  for (std::size_t r = 0; r < counters.size(); ++r) {
+    for (const auto& cell : counters[r].sends) {
+      const auto at = r * static_cast<std::size_t>(nranks) +
+                      static_cast<std::size_t>(cell.to);
+      msgs[at] += cell.msgs;
+      bytes[at] += cell.bytes;
+    }
+  }
+}
+
+std::int64_t CommMatrix::msgs_at(Rank from, Rank to) const {
+  PLUM_ASSERT(from >= 0 && from < nranks && to >= 0 && to < nranks);
+  return msgs[static_cast<std::size_t>(from) * static_cast<std::size_t>(nranks) +
+              static_cast<std::size_t>(to)];
+}
+
+std::int64_t CommMatrix::bytes_at(Rank from, Rank to) const {
+  PLUM_ASSERT(from >= 0 && from < nranks && to >= 0 && to < nranks);
+  return bytes[static_cast<std::size_t>(from) *
+                   static_cast<std::size_t>(nranks) +
+               static_cast<std::size_t>(to)];
+}
+
+std::int64_t CommMatrix::row_bytes(Rank from) const {
+  std::int64_t sum = 0;
+  for (Rank to = 0; to < nranks; ++to) sum += bytes_at(from, to);
+  return sum;
+}
+
+std::int64_t CommMatrix::col_bytes(Rank to) const {
+  std::int64_t sum = 0;
+  for (Rank from = 0; from < nranks; ++from) sum += bytes_at(from, to);
+  return sum;
+}
+
+std::int64_t CommMatrix::total_msgs() const {
+  std::int64_t sum = 0;
+  for (const auto v : msgs) sum += v;
+  return sum;
+}
+
+std::int64_t CommMatrix::total_bytes() const {
+  std::int64_t sum = 0;
+  for (const auto v : bytes) sum += v;
+  return sum;
+}
+
 std::int64_t Ledger::total_bytes() const {
   std::int64_t sum = 0;
   for (const auto& step : steps) {
@@ -25,6 +133,12 @@ std::int64_t Ledger::max_rank_compute() const {
     best = std::max(best, sum);
   }
   return best;
+}
+
+CommMatrix Ledger::comm_matrix() const {
+  CommMatrix m;
+  for (const auto& step : steps) m.accumulate(step);
+  return m;
 }
 
 bool Engine::superstep(const StepFn& fn) {
@@ -52,6 +166,7 @@ bool Engine::superstep(const StepFn& fn) {
       any_continue |= fn(r, inbox, outbox);
     }
   }
+  check_send_receive_conservation(counters, pending_);
   if (observer_) {
     observer_->on_superstep(step, counters, rank_seconds, wall.seconds());
   }
@@ -171,6 +286,7 @@ bool ParallelEngine::superstep(const StepFn& fn) {
                  std::make_move_iterator(src.end()));
     }
   }
+  check_send_receive_conservation(counters, pending_);
   if (observer_) {
     observer_->on_superstep(step, counters, rank_seconds, wall.seconds());
   }

@@ -64,11 +64,40 @@ class Inbox {
   std::vector<Message> msgs_;
 };
 
+/// One (receiver, tag) cell of a sender's per-superstep communication row.
+/// Cells appear in first-send order, which is deterministic because both
+/// engines run bit-identical rank programs (see the contract above), so
+/// ledgers still compare with plain ==.
+struct CommCell {
+  Rank to = kNoRank;
+  int tag = 0;
+  std::int64_t msgs = 0;
+  std::int64_t bytes = 0;
+
+  friend bool operator==(const CommCell&, const CommCell&) = default;
+};
+
 /// Per-superstep accounting for one rank.
 struct StepCounters {
   std::int64_t compute_units = 0;  ///< abstract work units charged
   std::int64_t msgs_sent = 0;
   std::int64_t bytes_sent = 0;
+  /// This rank's comm-matrix row for the step, attributed per (receiver,
+  /// tag). Only the owning rank appends (inside Outbox::send), so the
+  /// accounting is rank-safe by construction; rows are merged at the
+  /// barrier like everything else in the ledger.
+  std::vector<CommCell> sends;
+
+  void account_send(Rank to, int tag, std::int64_t nbytes) {
+    for (auto& c : sends) {
+      if (c.to == to && c.tag == tag) {
+        c.msgs += 1;
+        c.bytes += nbytes;
+        return;
+      }
+    }
+    sends.push_back(CommCell{to, tag, 1, nbytes});
+  }
 
   friend bool operator==(const StepCounters&, const StepCounters&) = default;
 };
@@ -86,8 +115,10 @@ class Outbox {
 
   void send(Rank to, int tag, std::vector<std::byte> bytes) {
     PLUM_ASSERT(to >= 0 && to < nranks_);
+    const auto nbytes = static_cast<std::int64_t>(bytes.size());
     counters_->msgs_sent += 1;
-    counters_->bytes_sent += static_cast<std::int64_t>(bytes.size());
+    counters_->bytes_sent += nbytes;
+    counters_->account_send(to, tag, nbytes);
     (*queues_)[static_cast<std::size_t>(to)].push_back(
         Message{self_, tag, std::move(bytes)});
   }
@@ -133,6 +164,30 @@ class SuperstepObserver {
                             double wall_seconds) = 0;
 };
 
+/// Dense P-by-P communication matrix: row = sender, column = receiver,
+/// stored row-major. Built from StepCounters comm cells, so every invariant
+/// of the ledger carries over (sum of all entries == Ledger::total_bytes()).
+struct CommMatrix {
+  Rank nranks = 0;
+  std::vector<std::int64_t> msgs;   ///< nranks*nranks, row-major
+  std::vector<std::int64_t> bytes;  ///< nranks*nranks, row-major
+
+  /// Grows the matrix to `n` ranks, preserving existing entries.
+  void resize(Rank n);
+  /// Adds one superstep's per-rank counters (counters[r] is row r).
+  void accumulate(const std::vector<StepCounters>& counters);
+
+  [[nodiscard]] std::int64_t msgs_at(Rank from, Rank to) const;
+  [[nodiscard]] std::int64_t bytes_at(Rank from, Rank to) const;
+  /// Bytes sent by `from` (row sum) / received by `to` (column sum).
+  [[nodiscard]] std::int64_t row_bytes(Rank from) const;
+  [[nodiscard]] std::int64_t col_bytes(Rank to) const;
+  [[nodiscard]] std::int64_t total_msgs() const;
+  [[nodiscard]] std::int64_t total_bytes() const;
+
+  friend bool operator==(const CommMatrix&, const CommMatrix&) = default;
+};
+
 /// Full ledger of one engine run: counters[step][rank].
 struct Ledger {
   std::vector<std::vector<StepCounters>> steps;
@@ -144,6 +199,8 @@ struct Ledger {
   [[nodiscard]] std::int64_t total_bytes() const;
   /// Max over ranks of total compute units (the bottleneck processor).
   [[nodiscard]] std::int64_t max_rank_compute() const;
+  /// Who-sent-what-to-whom over the whole run, summed across tags.
+  [[nodiscard]] CommMatrix comm_matrix() const;
 
   friend bool operator==(const Ledger&, const Ledger&) = default;
 };

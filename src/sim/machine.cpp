@@ -8,6 +8,10 @@
 
 namespace plum::sim {
 
+const char* cost_metric_name(CostMetric metric) {
+  return metric == CostMetric::kTotalV ? "TotalV" : "MaxV";
+}
+
 double CostModel::computational_gain(Weight wmax_old, Weight wmax_new,
                                      Weight refine_work_max_old,
                                      Weight refine_work_max_new) const {
@@ -29,6 +33,13 @@ double CostModel::redistribution_cost(const remap::RemapVolume& vol,
                        ? static_cast<double>(vol.total_sets)
                        : static_cast<double>(vol.bottleneck_sets);
   return p_.words_per_element * C * p_.t_lat + N * p_.t_setup;
+}
+
+std::int64_t CostModel::predicted_move_bytes(const remap::RemapVolume& vol,
+                                             CostMetric metric) const {
+  const Weight elems = metric == CostMetric::kTotalV ? vol.total_elems
+                                                     : vol.bottleneck_elems;
+  return static_cast<std::int64_t>(p_.words_per_element) * elems * 8;
 }
 
 double CostModel::adaption_seconds(

@@ -40,6 +40,10 @@ struct MachineParams {
 
 enum class CostMetric { kTotalV, kMaxV };
 
+/// Paper name of the metric ("TotalV" / "MaxV"), as reported in Table 2 and
+/// recorded in obs::GateRecord::metric.
+[[nodiscard]] const char* cost_metric_name(CostMetric metric);
+
 class CostModel {
  public:
   explicit CostModel(MachineParams p = {}) : p_(p) {}
@@ -59,6 +63,13 @@ class CostModel {
   /// for TotalV and (Cmax, Nmax) for MaxV (paper §4.5).
   [[nodiscard]] double redistribution_cost(const remap::RemapVolume& vol,
                                            CostMetric metric) const;
+
+  /// Bytes the cost model expects the remap to move: M words per element
+  /// times C elements (per `metric`, like redistribution_cost) times 8
+  /// bytes per word. The gate-audit log compares this prediction against
+  /// the bytes the migration actually sent ("drift", obs/gate_audit.hpp).
+  [[nodiscard]] std::int64_t predicted_move_bytes(
+      const remap::RemapVolume& vol, CostMetric metric) const;
 
   /// The framework's gate: accept the new partitioning iff gain > cost.
   [[nodiscard]] bool accept_remap(double gain, double cost) const {

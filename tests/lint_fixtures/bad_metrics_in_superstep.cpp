@@ -1,0 +1,36 @@
+// plum-lint fixture (lint-only, never compiled): metric recording from
+// inside a superstep lambda. obs::MetricsRegistry is host-side state: every
+// rank calling add_sample / set_int on a captured registry races under
+// ParallelEngine, and even sequentially the sample order depends on rank
+// execution order. The rank-safe pattern — per-rank slots reduced and
+// recorded after Engine::run returns — must NOT be flagged.
+// Expected: 3x shared-accumulator.
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "runtime/engine.hpp"
+
+namespace plum::fixture {
+
+void bad_metrics_in_superstep(rt::Engine& eng,
+                              obs::MetricsRegistry& registry) {
+  const Rank P = eng.nranks();
+  std::vector<std::int64_t> seen(static_cast<std::size_t>(P), 0);
+  eng.run([&](Rank r, const rt::Inbox& inbox, rt::Outbox& outbox) {
+    outbox.charge(1);
+    registry.add_sample("imbalance", 1.25);                        // BAD
+    registry.add_sample_int(
+        "msgs_seen", static_cast<std::int64_t>(inbox.messages().size()));  // BAD
+    registry.set_int("last_rank", static_cast<std::int64_t>(r));   // BAD
+    // OK: rank-owned slot; the caller reduces and records after the run.
+    seen[static_cast<std::size_t>(r)] +=
+        static_cast<std::int64_t>(inbox.messages().size());
+    return false;
+  });
+  std::int64_t total = 0;
+  for (Rank r = 0; r < P; ++r) total += seen[static_cast<std::size_t>(r)];
+  registry.set_int("msgs_seen_total", total);  // OK: outside the superstep
+}
+
+}  // namespace plum::fixture

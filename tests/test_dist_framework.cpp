@@ -4,8 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "core/dist_framework.hpp"
 #include "mesh/box_mesh.hpp"
+#include "obs/gate_audit.hpp"
+#include "runtime/engine.hpp"
 #include "solver/init_conditions.hpp"
 #include "util/stats.hpp"
 
@@ -75,6 +80,77 @@ TEST(DistFramework, TwoCyclesWithMigrationKeepSolutionPhysical) {
   }
   // With the aggressive trigger the blast case must remap at least once.
   EXPECT_GE(accepted, 1);
+}
+
+// plum-meter acceptance: a >= 4-rank run produces a P x P comm matrix that
+// reconciles with the ledger, per-cycle paper-metric gauges, and a gate
+// audit whose accepted records carry modeled cost and measured bytes.
+TEST(DistFramework, ObservabilityCommMatrixGaugesAndGateAudit) {
+  FrameworkOptions opt;
+  opt.nranks = 4;
+  opt.refine_fraction = 0.05;
+  opt.imbalance_trigger = 1.05;
+  opt.solver_steps_per_cycle = 5;
+  auto fw = make_dist(opt, 4);
+  const int cycles = 2;
+  int accepted = 0;
+  for (int i = 0; i < cycles; ++i) accepted += fw.cycle().accepted;
+  ASSERT_GE(accepted, 1);  // same workload as TwoCyclesWithMigration...
+
+  // --- comm matrix reconciles with the ledger ------------------------------
+  const rt::Ledger& ledger = fw.engine().ledger();
+  const rt::CommMatrix cm = ledger.comm_matrix();
+  ASSERT_EQ(cm.nranks, opt.nranks);
+  std::vector<std::int64_t> sent(static_cast<std::size_t>(opt.nranks), 0);
+  for (const auto& step : ledger.steps) {
+    for (Rank r = 0; r < opt.nranks; ++r) {
+      sent[static_cast<std::size_t>(r)] +=
+          step[static_cast<std::size_t>(r)].bytes_sent;
+    }
+  }
+  std::int64_t row_total = 0;
+  std::int64_t col_total = 0;
+  for (Rank r = 0; r < opt.nranks; ++r) {
+    EXPECT_EQ(cm.row_bytes(r), sent[static_cast<std::size_t>(r)]);
+    row_total += cm.row_bytes(r);
+    col_total += cm.col_bytes(r);
+  }
+  EXPECT_EQ(row_total, ledger.total_bytes());
+  EXPECT_EQ(col_total, ledger.total_bytes());
+  EXPECT_GT(ledger.total_bytes(), 0);
+  // The trace-side matrix is the same accumulation.
+  EXPECT_EQ(fw.trace().comm_matrix(), cm);
+  EXPECT_FALSE(fw.trace().comm_by_class().empty());
+
+  // --- per-cycle gauges ----------------------------------------------------
+  const obs::MetricsRegistry& m = fw.metrics();
+  for (const char* gauge : {"imbalance", "edge_cut", "remap_total_elems",
+                            "remap_max_sent_or_recv"}) {
+    ASSERT_TRUE(m.contains(gauge)) << gauge;
+    ASSERT_TRUE(m.is_series(gauge)) << gauge;
+    EXPECT_EQ(m.series(gauge).size(), static_cast<std::size_t>(cycles))
+        << gauge;
+  }
+  for (const double v : m.series("imbalance")) EXPECT_GE(v, 1.0);
+
+  // --- gate audit ----------------------------------------------------------
+  const auto& gates = fw.trace().gate_records();
+  ASSERT_EQ(gates.size(), static_cast<std::size_t>(cycles));
+  int audited_accepts = 0;
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const obs::GateRecord& g = gates[i];
+    EXPECT_EQ(g.cycle, static_cast<int>(i));
+    if (!g.accepted) continue;
+    ++audited_accepts;
+    EXPECT_TRUE(g.evaluated);
+    EXPECT_TRUE(g.metric == "TotalV" || g.metric == "MaxV") << g.metric;
+    EXPECT_GT(g.gain_s, g.cost_s);  // the gate's own acceptance condition
+    EXPECT_GT(g.predicted_move_bytes, 0);
+    EXPECT_GT(g.measured_move_bytes, 0);
+    EXPECT_EQ(g.drift,
+              obs::gate_drift(g.predicted_move_bytes, g.measured_move_bytes));
+  }
+  EXPECT_EQ(audited_accepts, accepted);
 }
 
 TEST(DistFramework, MatchesSerialFrameworkElementCounts) {

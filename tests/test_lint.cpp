@@ -47,6 +47,14 @@ TEST(LintFixtures, SharedAccumulator) {
   EXPECT_EQ(r.unsuppressed_count(), 3) << plumlint::to_json(r);
 }
 
+TEST(LintFixtures, MetricRecordingInsideSuperstep) {
+  const LintResult r = lint_fixture("bad_metrics_in_superstep.cpp");
+  // add_sample / add_sample_int / set_int on the captured registry; the
+  // rank-indexed slot and the post-run recording must not be flagged.
+  EXPECT_EQ(r.count_of("shared-accumulator"), 3);
+  EXPECT_EQ(r.unsuppressed_count(), 3) << plumlint::to_json(r);
+}
+
 TEST(LintFixtures, NondeterminismSources) {
   const LintResult r = lint_fixture("bad_nondeterminism.cpp");
   EXPECT_EQ(r.count_of("nondeterminism-source"), 4);
@@ -85,8 +93,9 @@ TEST(LintFixtures, WholeDirectoryLintsWithSameTotals) {
   std::vector<plumlint::FileInput> files;
   for (const char* name :
        {"bad_rank_guard.cpp", "bad_unordered_iter.cpp",
-        "bad_shared_accumulator.cpp", "bad_nondeterminism.cpp",
-        "clean_superstep.cpp", "suppressed.cpp", "bad_suppression.cpp"}) {
+        "bad_shared_accumulator.cpp", "bad_metrics_in_superstep.cpp",
+        "bad_nondeterminism.cpp", "clean_superstep.cpp", "suppressed.cpp",
+        "bad_suppression.cpp"}) {
     std::ifstream in(fixture_path(name));
     ASSERT_TRUE(in.is_open()) << name;
     std::ostringstream ss;
@@ -96,10 +105,10 @@ TEST(LintFixtures, WholeDirectoryLintsWithSameTotals) {
   const LintResult r = plumlint::lint_files(files);
   EXPECT_EQ(r.count_of("rank-guard-mutation"), 2);
   EXPECT_EQ(r.count_of("unordered-iteration"), 3);
-  EXPECT_EQ(r.count_of("shared-accumulator"), 3);
+  EXPECT_EQ(r.count_of("shared-accumulator"), 6);  // 3 writes + 3 method calls
   EXPECT_EQ(r.count_of("nondeterminism-source"), 5);  // 4 + rand() above
   EXPECT_EQ(r.suppressed_count(), 3);
-  EXPECT_EQ(r.files_scanned, 7);
+  EXPECT_EQ(r.files_scanned, 8);
 }
 
 // --- API-level cases ---------------------------------------------------------
@@ -145,6 +154,39 @@ TEST(LintApi, OutboxStepComparisonIsNotARankGuard) {
   )";
   const LintResult r = plumlint::lint_source("inline.cpp", src);
   EXPECT_EQ(r.unsuppressed_count(), 0) << plumlint::to_json(r);
+}
+
+TEST(LintApi, MutatingMethodCallsRespectRankIndexing) {
+  const std::string src = R"(
+    void f(plum::rt::Engine& eng, std::vector<std::vector<int>>& acc,
+           std::vector<int>& log) {
+      eng.run([&](Rank r, const rt::Inbox& in, rt::Outbox& out) {
+        acc[static_cast<std::size_t>(r)].push_back(1);  // rank-owned row: OK
+        std::vector<int> scratch;
+        scratch.push_back(2);  // local: OK
+        log.push_back(3);      // shared container: flagged
+        return false;
+      });
+    }
+  )";
+  const LintResult r = plumlint::lint_source("inline.cpp", src);
+  EXPECT_EQ(r.count_of("shared-accumulator"), 1) << plumlint::to_json(r);
+  EXPECT_EQ(r.unsuppressed_count(), 1) << plumlint::to_json(r);
+}
+
+TEST(LintApi, GuardedMetricRecordingIsRankGuardMutation) {
+  const std::string src = R"(
+    void f(plum::rt::Engine& eng, plum::obs::MetricsRegistry& reg) {
+      eng.run([&](Rank r, const rt::Inbox& in, rt::Outbox& out) {
+        if (r == 0) {
+          reg.add_sample("imbalance", 1.0);  // still sequential-order-reliant
+        }
+        return false;
+      });
+    }
+  )";
+  const LintResult r = plumlint::lint_source("inline.cpp", src);
+  EXPECT_EQ(r.count_of("rank-guard-mutation"), 1) << plumlint::to_json(r);
 }
 
 TEST(LintApi, NonSuperstepLambdaIsIgnored) {

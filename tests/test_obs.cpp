@@ -18,6 +18,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/collectives.hpp"
 #include "runtime/engine.hpp"
 
 namespace plum {
@@ -186,6 +187,121 @@ TEST(TraceRecorder, NullRecorderScopesAreNoOps) {
   ph.set_modeled_seconds(3.0);  // must not crash
 }
 
+TEST(TraceRecorder, CommMatrixAndTagClassesFromWorkload) {
+  rt::Engine eng(3);
+  obs::TraceRecorder rec;
+  eng.set_observer(&rec);
+  eng.run(tick);  // 2 steps, every rank sends one int32 to rank 0, tag 7
+
+  const rt::CommMatrix& cm = rec.comm_matrix();
+  ASSERT_EQ(cm.nranks, 3);
+  for (Rank from = 0; from < 3; ++from) {
+    EXPECT_EQ(cm.bytes_at(from, 0), 8);  // 4 bytes x 2 supersteps
+    EXPECT_EQ(cm.msgs_at(from, 0), 2);
+    EXPECT_EQ(cm.bytes_at(from, 1), 0);
+    EXPECT_EQ(cm.bytes_at(from, 2), 0);
+  }
+  EXPECT_EQ(cm.total_bytes(), 24);
+  EXPECT_EQ(cm.total_bytes(), eng.ledger().total_bytes());
+  EXPECT_EQ(cm, eng.ledger().comm_matrix());
+
+  const auto& by_class = rec.comm_by_class();
+  ASSERT_EQ(by_class.size(), 1u);
+  ASSERT_TRUE(by_class.count("tag7"));
+  EXPECT_EQ(by_class.at("tag7").msgs, 6);
+  EXPECT_EQ(by_class.at("tag7").bytes, 24);
+
+  // Both serializations carry the matrix; clear() resets it.
+  for (const std::string& json :
+       {rec.deterministic_json(), rec.to_json().dump()}) {
+    EXPECT_NE(json.find("\"comm_matrix\""), std::string::npos);
+    EXPECT_NE(json.find("\"comm_by_class\""), std::string::npos);
+    EXPECT_NE(json.find("\"gate_audit\""), std::string::npos);
+  }
+  rec.clear();
+  EXPECT_EQ(rec.comm_matrix().total_bytes(), 0);
+  EXPECT_TRUE(rec.comm_by_class().empty());
+}
+
+TEST(TraceRecorder, TagClassNames) {
+  EXPECT_EQ(obs::tag_class_name(rt::detail::kCollectiveTag), "collective");
+  EXPECT_EQ(obs::tag_class_name(0), "bulk");
+  EXPECT_EQ(obs::tag_class_name(2), "adapt");
+  EXPECT_EQ(obs::tag_class_name(11), "solver");
+  EXPECT_EQ(obs::tag_class_name(111), "solver");
+  EXPECT_EQ(obs::tag_class_name(42), "tag42");
+}
+
+TEST(GateAudit, DriftAndRecordSerialization) {
+  EXPECT_EQ(obs::gate_drift(0, 100), 0.0);  // nothing predicted
+  EXPECT_DOUBLE_EQ(obs::gate_drift(100, 125), 0.25);
+  EXPECT_DOUBLE_EQ(obs::gate_drift(200, 100), -0.5);
+
+  obs::GateRecord rec;
+  rec.cycle = 3;
+  rec.evaluated = true;
+  rec.accepted = true;
+  rec.metric = "TotalV";
+  rec.imbalance_old = 1.5;
+  rec.imbalance_new = 1.0625;
+  rec.gain_s = 0.75;
+  rec.cost_s = 0.25;
+  rec.predicted_move_bytes = 4096;
+  rec.measured_move_bytes = 5120;
+  rec.drift = obs::gate_drift(4096, 5120);
+
+  const Json j = obs::gate_record_json(rec);
+  // Field order is part of the deterministic byte contract.
+  EXPECT_EQ(j.dump(),
+            "{\"cycle\":3,\"evaluated\":true,\"accepted\":true,"
+            "\"metric\":\"TotalV\",\"imbalance_old\":1.5,"
+            "\"imbalance_new\":1.0625,\"gain_s\":0.75,\"cost_s\":0.25,"
+            "\"predicted_move_bytes\":4096,\"measured_move_bytes\":5120,"
+            "\"drift\":0.25}");
+
+  const Json audit = obs::gate_audit_json({rec, obs::GateRecord{}});
+  ASSERT_TRUE(audit.is_array());
+  ASSERT_EQ(audit.size(), 2u);
+  EXPECT_EQ(audit.at(1).find("evaluated")->as_bool(), false);
+
+  // Recorder round-trip: records land in both JSON views.
+  obs::TraceRecorder tr;
+  tr.add_gate_record(rec);
+  ASSERT_EQ(tr.gate_records().size(), 1u);
+  EXPECT_EQ(tr.gate_records()[0], rec);
+  EXPECT_NE(tr.deterministic_json().find("\"predicted_move_bytes\":4096"),
+            std::string::npos);
+  tr.clear();
+  EXPECT_TRUE(tr.gate_records().empty());
+}
+
+TEST(Metrics, GaugeSeriesAppendAndMerge) {
+  obs::MetricsRegistry m;
+  m.add_sample("imbalance", 1.5);
+  m.add_sample("imbalance", 1.25);
+  m.add_sample_int("edge_cut", 40);
+  m.add_sample_int("edge_cut", 36);
+  m.set("speedup", 2.0);
+
+  EXPECT_TRUE(m.is_series("imbalance"));
+  EXPECT_FALSE(m.is_series("speedup"));
+  EXPECT_EQ(m.series("imbalance"), (std::vector<double>{1.5, 1.25}));
+  EXPECT_EQ(m.series("edge_cut"), (std::vector<double>{40.0, 36.0}));
+  // Series render as arrays (ints stay integers), scalars as before.
+  EXPECT_EQ(m.to_json().dump(),
+            R"({"edge_cut":[40,36],"imbalance":[1.5,1.25],"speedup":2})");
+
+  obs::MetricsRegistry dst;
+  dst.set_int("elements", 100);
+  dst.merge_from(m);
+  EXPECT_EQ(dst.size(), 4u);
+  EXPECT_EQ(dst.series("imbalance"), m.series("imbalance"));
+  EXPECT_EQ(dst.get("elements"), 100.0);
+  // merge_from replaces series wholesale (no concatenation).
+  dst.merge_from(m);
+  EXPECT_EQ(dst.series("edge_cut"), (std::vector<double>{40.0, 36.0}));
+}
+
 Json valid_report() {
   Json phase = Json::object();
   phase.set("name", Json::str("solve"))
@@ -249,6 +365,86 @@ TEST(BenchSchema, RejectsViolations) {
   }
 }
 
+Json valid_v2_report() {
+  Json doc = valid_report();
+  doc.set("schema", Json::str("plum-bench/2"));
+  Json run = doc.find("runs")->at(0);
+  // Gauge series: arrays of numbers are v2-only.
+  Json metrics = *run.find("metrics");
+  metrics.set("imbalance",
+              Json::array().push(Json::number(1.5)).push(Json::number(1.1)));
+  metrics.set("edge_cut",
+              Json::array().push(Json::integer(40)).push(Json::integer(36)));
+  run.set("metrics", std::move(metrics));
+  // 2x2 comm matrix with matching msgs/bytes shapes.
+  auto row = [](std::int64_t a, std::int64_t b) {
+    return Json::array().push(Json::integer(a)).push(Json::integer(b));
+  };
+  Json cm = Json::object();
+  cm.set("nranks", Json::integer(2))
+      .set("msgs", Json::array().push(row(0, 1)).push(row(1, 0)))
+      .set("bytes", Json::array().push(row(0, 8)).push(row(16, 0)));
+  run.set("comm_matrix", std::move(cm));
+  obs::GateRecord g;
+  g.cycle = 0;
+  g.evaluated = true;
+  g.accepted = true;
+  g.metric = "MaxV";
+  g.predicted_move_bytes = 10;
+  g.measured_move_bytes = 12;
+  g.drift = obs::gate_drift(10, 12);
+  run.set("gate_audit", obs::gate_audit_json({g}));
+  doc.set("runs", Json::array().push(std::move(run)));
+  return doc;
+}
+
+TEST(BenchSchema, V2AcceptsGaugesCommMatrixAndGateAudit) {
+  EXPECT_EQ(obs::validate_bench_report(valid_v2_report()), "");
+}
+
+TEST(BenchSchema, V2OnlyFieldsRejectedUnderV1) {
+  // The same document under schema v1 must fail on each v2-only field.
+  Json doc = valid_v2_report();
+  doc.set("schema", Json::str("plum-bench/1"));
+  const std::string err = obs::validate_bench_report(doc);
+  EXPECT_NE(err, "");
+  EXPECT_NE(err.find("plum-bench/2"), std::string::npos) << err;
+}
+
+TEST(BenchSchema, V2RejectsMalformedCommMatrixAndGateAudit) {
+  {
+    Json doc = valid_v2_report();
+    Json run = doc.find("runs")->at(0);
+    Json cm = *run.find("comm_matrix");
+    cm.set("nranks", Json::integer(3));  // rows no longer match nranks
+    run.set("comm_matrix", std::move(cm));
+    doc.set("runs", Json::array().push(std::move(run)));
+    EXPECT_NE(obs::validate_bench_report(doc), "");
+  }
+  {
+    Json doc = valid_v2_report();
+    Json run = doc.find("runs")->at(0);
+    Json cm = *run.find("comm_matrix");
+    // Rebuild the byte rows with a negative count in (0,1).
+    Json bad_row = Json::array().push(Json::integer(0)).push(Json::integer(-5));
+    Json rebuilt =
+        Json::array().push(std::move(bad_row)).push(cm.find("bytes")->at(1));
+    cm.set("bytes", std::move(rebuilt));
+    run.set("comm_matrix", std::move(cm));
+    doc.set("runs", Json::array().push(std::move(run)));
+    EXPECT_NE(obs::validate_bench_report(doc), "");
+  }
+  {
+    Json doc = valid_v2_report();
+    Json run = doc.find("runs")->at(0);
+    Json bad = Json::object();
+    bad.set("cycle", Json::integer(0));  // missing decision/cost fields
+    run.set("gate_audit", Json::array().push(std::move(bad)));
+    doc.set("runs", Json::array().push(std::move(run)));
+    EXPECT_NE(obs::validate_bench_report(doc), "");
+  }
+}
+
 TEST(ChromeTrace, ParsesAndCoversPhasesAndRanks) {
   rt::Engine eng(2);
   obs::TraceRecorder rec;
@@ -263,12 +459,22 @@ TEST(ChromeTrace, ParsesAndCoversPhasesAndRanks) {
   ASSERT_NE(events, nullptr);
   ASSERT_TRUE(events->is_array());
 
-  int phase_spans = 0, rank_spans = 0, meta = 0;
+  int phase_spans = 0, rank_spans = 0, meta = 0, counters = 0;
   for (std::size_t i = 0; i < events->size(); ++i) {
     const Json& ev = events->at(i);
     const std::string ph = ev.find("ph")->as_string();
     if (ph == "M") {
       ++meta;
+      continue;
+    }
+    if (ph == "C") {
+      // Per-superstep traffic counter track.
+      ++counters;
+      ASSERT_NE(ev.find("ts"), nullptr);
+      const Json* args = ev.find("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->find("msgs"), nullptr);
+      ASSERT_NE(args->find("bytes"), nullptr);
       continue;
     }
     ASSERT_EQ(ph, "X");
@@ -279,6 +485,7 @@ TEST(ChromeTrace, ParsesAndCoversPhasesAndRanks) {
   }
   EXPECT_EQ(phase_spans, 1);
   EXPECT_EQ(rank_spans, 2 * 2);  // 2 supersteps x 2 ranks
+  EXPECT_EQ(counters, 2);        // one traffic counter event per superstep
   EXPECT_GE(meta, 3);            // process_name + >= 2 thread_names
 
   // Round-trips through the strict parser.

@@ -288,7 +288,8 @@ TEST(CrossEngine, DistFrameworkCyclesIdentical) {
     }
     return std::make_tuple(reps, fw.elements_per_rank(), std::move(rho),
                            fw.engine().ledger(),
-                           fw.trace().deterministic_json());
+                           fw.trace().deterministic_json(),
+                           fw.metrics().to_json().dump());
   };
 
   const auto seq = run_cycles(1);
@@ -317,6 +318,19 @@ TEST(CrossEngine, DistFrameworkCyclesIdentical) {
   // counters, wall-clock fields excluded) is byte-identical across engines.
   EXPECT_EQ(std::get<4>(par), std::get<4>(seq));
   EXPECT_NE(std::get<4>(seq).find("\"subdivide\""), std::string::npos);
+  // The deterministic view now carries the comm matrix, per-tag-class
+  // traffic, and the gate-audit log — all byte-identical by the check above.
+  EXPECT_NE(std::get<4>(seq).find("\"comm_matrix\""), std::string::npos);
+  EXPECT_NE(std::get<4>(seq).find("\"comm_by_class\""), std::string::npos);
+  EXPECT_NE(std::get<4>(seq).find("\"gate_audit\""), std::string::npos);
+  // Live paper-metric gauges agree across engines too.
+  EXPECT_EQ(std::get<5>(par), std::get<5>(seq));
+  EXPECT_NE(std::get<5>(seq).find("\"imbalance\""), std::string::npos);
+  EXPECT_NE(std::get<5>(seq).find("\"edge_cut\""), std::string::npos);
+  // Intermediate pool size: same bytes again.
+  const auto par2 = run_cycles(2);
+  EXPECT_EQ(std::get<4>(par2), std::get<4>(seq));
+  EXPECT_EQ(std::get<5>(par2), std::get<5>(seq));
   // Sanity: the workload actually exercised the remap machinery.
   EXPECT_TRUE(rs[0].evaluated_repartition || rs[1].evaluated_repartition);
 }

@@ -3,8 +3,10 @@
 //   check_bench_json BENCH_fig4.json [BENCH_fig5.json ...]
 //
 // Each file must parse as strict JSON and validate against the
-// "plum-bench/1" schema (obs::validate_bench_report — the same validator
-// the unit tests exercise, so the gate and the tests cannot drift).
+// "plum-bench/1" / "plum-bench/2" schemas (obs::validate_bench_report —
+// the same validator the unit tests exercise, so the gate and the tests
+// cannot drift). v2 adds gauge series, the per-run comm matrix, and the
+// gate-audit log; see src/obs/bench_schema.hpp.
 // Exit code 0 iff every file is valid; each failure is reported on stderr.
 
 #include <cstdio>

@@ -40,6 +40,23 @@ const std::set<std::string>& stmt_keywords() {
   return kw;
 }
 
+/// Method names that mutate their receiver. Calling one of these on a
+/// captured, non-rank-indexed object inside a superstep is the same bug as
+/// a bare `captured += x`: it races under ParallelEngine and depends on
+/// rank execution order sequentially. Covers the obs::MetricsRegistry /
+/// TraceRecorder recording API (set, add_sample, ...) and the common
+/// container mutators. Read-only lookups (find, count, at, size) are
+/// deliberately absent.
+const std::set<std::string>& mutating_methods() {
+  static const std::set<std::string> m = {
+      "add",         "add_gate_record", "add_sample", "add_sample_int",
+      "append",      "assign",          "clear",      "emplace",
+      "emplace_back", "erase",          "insert",     "merge_from",
+      "push_back",   "record",          "resize",     "set",
+      "set_int"};
+  return m;
+}
+
 using Tokens = std::vector<Token>;
 
 bool is(const Token& t, const char* text) { return t.text == text; }
@@ -486,8 +503,10 @@ void check_superstep_body(const std::string& file, const Tokens& t,
       continue;
     }
 
-    // Mutations.
+    // Mutations: assignments, ++/--, and mutating method calls
+    // (`registry.add_sample(...)`, `log.push_back(...)`).
     LhsInfo lhs;
+    std::string via;  // non-empty: mutation through a method call
     int op_line = tk.line;
     if (is_assign_op(tk) && i > lam.body_begin) {
       lhs = parse_lhs_backward(t, i - 1, lam.body_begin, lam.rank_var);
@@ -498,6 +517,15 @@ void check_superstep_body(const std::string& file, const Tokens& t,
                  (t[i - 1].kind == Tok::Ident || is(t[i - 1], "]"))) {
         lhs = parse_lhs_backward(t, i - 1, lam.body_begin, lam.rank_var);
       }
+    } else if (tk.kind == Tok::Ident && is(t[i + 1], "(") &&
+               i > lam.body_begin + 1 &&
+               (is(t[i - 1], ".") || is(t[i - 1], "->")) &&
+               mutating_methods().count(tk.text)) {
+      // parse_lhs_backward starts at the method name itself: the first
+      // step walks the `.`/`->` back to the receiver's access path, so
+      // `acc[r].push_back(x)` resolves base=acc with rank_indexed=true.
+      lhs = parse_lhs_backward(t, i, lam.body_begin, lam.rank_var);
+      via = tk.text;
     } else {
       continue;
     }
@@ -506,23 +534,25 @@ void check_superstep_body(const std::string& file, const Tokens& t,
     if (is_local(lhs.base)) continue;
     if (!lam.rank_var.empty() && lhs.base == lam.rank_var) continue;
 
+    const std::string how =
+        via.empty() ? "is written from a superstep"
+                    : "is mutated via '" + via + "(...)' from a superstep";
     if (!guard_ends.empty()) {
       out.push_back(
           {file, op_line, kRankGuard,
-           "captured '" + lhs.base +
-               "' is mutated under a rank==constant guard inside a "
-               "superstep: this relies on sequential rank order and races "
-               "under ParallelEngine (the `if (r == 0) ++phase` bug class); "
-               "use Outbox::step() or a per-rank slot",
+           "captured '" + lhs.base + "' " + how +
+               " under a rank==constant guard: this relies on sequential "
+               "rank order and races under ParallelEngine (the `if (r == 0) "
+               "++phase` bug class); use Outbox::step() or a per-rank slot",
            false,
            ""});
     } else {
       out.push_back(
           {file, op_line, kSharedAcc,
-           "captured '" + lhs.base +
-               "' is written from a superstep without per-rank indexing: "
-               "rank r may only mutate rank-r-owned state; index the write "
-               "with the rank (e.g. acc[r]) and reduce after the run",
+           "captured '" + lhs.base + "' " + how +
+               " without per-rank indexing: rank r may only mutate "
+               "rank-r-owned state; index the write with the rank (e.g. "
+               "acc[r]) and reduce — or record metrics — after the run",
            false,
            ""});
     }

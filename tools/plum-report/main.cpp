@@ -1,0 +1,283 @@
+// plum-report: renders plum observability JSON into a human-readable run
+// report. Accepts any mix of:
+//
+//   RUN_*.json    — "plum-run/1" documents ({"trace": ..., "metrics": ...})
+//                   written by bench_distributed,
+//   BENCH_*.json  — "plum-bench/1" / "plum-bench/2" reports,
+//   GATE_*.json   — "plum-gate-audit/1" standalone gate logs,
+//   bare trace documents (obs::TraceRecorder::to_json() output).
+//
+// For each input it prints the per-phase table, the P x P comm matrix with
+// row/column sums, the per-tag-class traffic split, the gauge timelines
+// (imbalance / edge cut / remap volumes), and the gate history with
+// predicted-vs-measured drift.
+//
+//   plum-report bench-json/RUN_bench_distributed.json
+//   plum-report bench-json/BENCH_*.json
+//
+// Exit status: 0 on success, 1 when any input fails to parse or has none of
+// the recognized shapes, 2 on usage/IO errors.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_schema.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using plum::obs::Json;
+
+double num_or(const Json* v, double fallback) {
+  if (!v || !v->is_number()) return fallback;
+  return v->kind() == Json::Kind::kInt ? static_cast<double>(v->as_int())
+                                       : v->as_double();
+}
+
+std::int64_t int_or(const Json* v, std::int64_t fallback) {
+  return v && v->kind() == Json::Kind::kInt ? v->as_int() : fallback;
+}
+
+std::string str_or(const Json* v, const std::string& fallback) {
+  return v && v->is_string() ? v->as_string() : fallback;
+}
+
+void print_rule(char c = '-', int width = 72) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+// --- phases ----------------------------------------------------------------
+
+void print_phases(const Json& phases) {
+  if (!phases.is_array() || phases.size() == 0) return;
+  std::printf("\nPhases:\n");
+  std::printf("  %-22s %10s %14s %10s %12s %12s\n", "phase", "steps",
+              "compute", "msgs", "bytes", "modeled_s");
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const Json& ph = phases.at(i);
+    if (!ph.is_object()) continue;
+    const int depth = static_cast<int>(int_or(ph.find("depth"), 0));
+    std::string name(static_cast<std::size_t>(2 * depth), ' ');
+    name += str_or(ph.find("name"), "?");
+    std::printf("  %-22s %10lld %14lld %10lld %12lld %12.6f",
+                name.c_str(),
+                static_cast<long long>(int_or(ph.find("supersteps"), 0)),
+                static_cast<long long>(int_or(ph.find("compute_units"), 0)),
+                static_cast<long long>(int_or(ph.find("msgs_sent"), 0)),
+                static_cast<long long>(int_or(ph.find("bytes_sent"), 0)),
+                num_or(ph.find("modeled_s"), 0));
+    if (const Json* wall = ph.find("wall_s")) {
+      std::printf("  wall %.6fs", num_or(wall, 0));
+    }
+    std::printf("\n");
+  }
+}
+
+// --- comm matrix -----------------------------------------------------------
+
+void print_comm_matrix(const Json& cm) {
+  const std::int64_t nranks = int_or(cm.find("nranks"), 0);
+  const Json* bytes = cm.find("bytes");
+  if (nranks <= 0 || !bytes || !bytes->is_array()) return;
+  std::printf("\nComm matrix (bytes, row = sender, col = receiver), P = %lld:\n",
+              static_cast<long long>(nranks));
+  std::printf("  %6s", "");
+  for (std::int64_t to = 0; to < nranks; ++to) {
+    std::printf(" %10lld", static_cast<long long>(to));
+  }
+  std::printf(" %12s\n", "row_sum");
+  std::vector<std::int64_t> col_sums(static_cast<std::size_t>(nranks), 0);
+  std::int64_t total = 0;
+  for (std::size_t from = 0; from < bytes->size(); ++from) {
+    const Json& row = bytes->at(from);
+    std::printf("  %6zu", from);
+    std::int64_t row_sum = 0;
+    for (std::size_t to = 0; to < row.size(); ++to) {
+      const std::int64_t v = int_or(&row.at(to), 0);
+      row_sum += v;
+      col_sums[to] += v;
+      std::printf(" %10lld", static_cast<long long>(v));
+    }
+    total += row_sum;
+    std::printf(" %12lld\n", static_cast<long long>(row_sum));
+  }
+  std::printf("  %6s", "col");
+  for (const std::int64_t c : col_sums) {
+    std::printf(" %10lld", static_cast<long long>(c));
+  }
+  std::printf(" %12lld\n", static_cast<long long>(total));
+}
+
+void print_comm_by_class(const Json& by_class) {
+  if (!by_class.is_object() || by_class.size() == 0) return;
+  std::printf("\nTraffic by tag class:\n");
+  for (const auto& [cls, t] : by_class.items()) {
+    std::printf("  %-12s %10lld msgs %14lld bytes\n", cls.c_str(),
+                static_cast<long long>(int_or(t.find("msgs"), 0)),
+                static_cast<long long>(int_or(t.find("bytes"), 0)));
+  }
+}
+
+// --- metrics / gauges ------------------------------------------------------
+
+void print_metrics(const Json& metrics) {
+  if (!metrics.is_object() || metrics.size() == 0) return;
+  std::printf("\nMetrics:\n");
+  for (const auto& [name, v] : metrics.items()) {
+    if (v.is_array()) {
+      std::printf("  %-26s [", name.c_str());
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        const Json& s = v.at(i);
+        if (s.kind() == Json::Kind::kInt) {
+          std::printf("%s%lld", i ? ", " : "",
+                      static_cast<long long>(s.as_int()));
+        } else {
+          std::printf("%s%.4f", i ? ", " : "", num_or(&s, 0));
+        }
+      }
+      std::printf("]  (%zu cycles)\n", v.size());
+    } else if (v.kind() == Json::Kind::kInt) {
+      std::printf("  %-26s %lld\n", name.c_str(),
+                  static_cast<long long>(v.as_int()));
+    } else if (v.is_number()) {
+      std::printf("  %-26s %.6f\n", name.c_str(), v.as_double());
+    }
+  }
+}
+
+// --- gate audit ------------------------------------------------------------
+
+void print_gate_audit(const Json& audit) {
+  if (!audit.is_array() || audit.size() == 0) return;
+  std::printf("\nGate history:\n");
+  std::printf("  %5s %-9s %-7s %8s %8s %12s %12s %12s %8s\n", "cycle",
+              "decision", "metric", "imb_old", "imb_new", "gain_s", "cost_s",
+              "moved_B", "drift");
+  for (std::size_t i = 0; i < audit.size(); ++i) {
+    const Json& rec = audit.at(i);
+    if (!rec.is_object()) continue;
+    const Json* evaluated = rec.find("evaluated");
+    const Json* accepted = rec.find("accepted");
+    const bool ev = evaluated && evaluated->kind() == Json::Kind::kBool &&
+                    evaluated->as_bool();
+    const bool acc = accepted && accepted->kind() == Json::Kind::kBool &&
+                     accepted->as_bool();
+    const char* decision = !ev ? "skipped" : (acc ? "ACCEPT" : "reject");
+    std::printf("  %5lld %-9s %-7s %8.4f %8.4f %12.6f %12.6f %12lld %7.1f%%\n",
+                static_cast<long long>(int_or(rec.find("cycle"), 0)), decision,
+                str_or(rec.find("metric"), "?").c_str(),
+                num_or(rec.find("imbalance_old"), 0),
+                num_or(rec.find("imbalance_new"), 0),
+                num_or(rec.find("gain_s"), 0), num_or(rec.find("cost_s"), 0),
+                static_cast<long long>(
+                    int_or(rec.find("measured_move_bytes"), 0)),
+                100.0 * num_or(rec.find("drift"), 0));
+  }
+}
+
+// --- document shapes -------------------------------------------------------
+
+void print_trace_doc(const Json& trace) {
+  if (const Json* phases = trace.find("phases")) print_phases(*phases);
+  if (const Json* ss = trace.find("supersteps")) {
+    if (ss->is_array()) {
+      std::printf("\nSupersteps: %zu\n", ss->size());
+    }
+  }
+  if (const Json* cm = trace.find("comm_matrix")) print_comm_matrix(*cm);
+  if (const Json* bc = trace.find("comm_by_class")) print_comm_by_class(*bc);
+  if (const Json* ga = trace.find("gate_audit")) print_gate_audit(*ga);
+}
+
+int report_run_doc(const Json& doc) {
+  std::printf("Run: %s\n", str_or(doc.find("name"), "(unnamed)").c_str());
+  if (const Json* trace = doc.find("trace")) print_trace_doc(*trace);
+  if (const Json* metrics = doc.find("metrics")) print_metrics(*metrics);
+  return 0;
+}
+
+int report_bench_doc(const Json& doc) {
+  const std::string err = plum::obs::validate_bench_report(doc);
+  if (!err.empty()) {
+    std::fprintf(stderr, "invalid bench report: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("Bench: %s\n", str_or(doc.find("bench"), "?").c_str());
+  const Json* runs = doc.find("runs");
+  for (std::size_t i = 0; i < runs->size(); ++i) {
+    const Json& run = runs->at(i);
+    std::printf("\nRun %zu: case %s, P = %lld\n", i,
+                str_or(run.find("case"), "?").c_str(),
+                static_cast<long long>(int_or(run.find("P"), 0)));
+    if (const Json* metrics = run.find("metrics")) print_metrics(*metrics);
+    if (const Json* phases = run.find("phases")) print_phases(*phases);
+    if (const Json* cm = run.find("comm_matrix")) print_comm_matrix(*cm);
+    if (const Json* ga = run.find("gate_audit")) print_gate_audit(*ga);
+  }
+  return 0;
+}
+
+int report_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Json doc;
+  std::string err;
+  if (!Json::parse(buf.str(), &doc, &err)) {
+    std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(), err.c_str());
+    return 1;
+  }
+  if (!doc.is_object()) {
+    std::fprintf(stderr, "%s: top-level value is not an object\n",
+                 path.c_str());
+    return 1;
+  }
+
+  print_rule('=');
+  std::printf("%s\n", path.c_str());
+  print_rule('=');
+
+  const std::string schema = str_or(doc.find("schema"), "");
+  if (schema == "plum-run/1") return report_run_doc(doc);
+  if (schema.rfind("plum-bench/", 0) == 0) return report_bench_doc(doc);
+  if (schema == "plum-gate-audit/1") {
+    if (const Json* records = doc.find("records")) {
+      print_gate_audit(*records);
+      return 0;
+    }
+    std::fprintf(stderr, "%s: missing \"records\"\n", path.c_str());
+    return 1;
+  }
+  if (doc.find("phases") && doc.find("supersteps")) {
+    // Bare TraceRecorder::to_json() document.
+    print_trace_doc(doc);
+    return 0;
+  }
+  std::fprintf(stderr, "%s: unrecognized document shape\n", path.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: plum-report <run-or-bench-or-trace.json> [...]\n");
+    return 2;
+  }
+  int status = 0;
+  for (int i = 1; i < argc; ++i) {
+    const int rc = report_file(argv[i]);
+    if (rc > status) status = rc;
+    if (i + 1 < argc) std::printf("\n");
+  }
+  return status;
+}
