@@ -104,6 +104,7 @@ int main(int argc, char** argv) {
         .metrics_from(fw.metrics())
         .comm_matrix_from(fw.engine().ledger().comm_matrix())
         .gate_audit_from(fw.trace())
+        .critical_path_from(fw.trace())
         .phases_from(fw.trace());
 
     // One Chrome trace + one run document + one standalone gate-audit log

@@ -79,11 +79,13 @@ int main() {
         report.add_run("Real_2", P)
             .metric_int("bmcm_max_sent_or_recv", v_bm.max_sent_or_recv)
             .metric_int("opt_mwbg_total_elems", v_opt.total_elems)
-            .metric("opt_mwbg_solve_s", opt.solve_seconds)
+            // Measured timer reads, so spelled *_seconds: plum-diff's
+            // regression gate treats that suffix as wall clock (report-only).
+            .metric("opt_mwbg_solve_seconds", opt.solve_seconds)
             .metric_int("heu_mwbg_total_elems", v_heu.total_elems)
-            .metric("heu_mwbg_solve_s", heu.solve_seconds)
+            .metric("heu_mwbg_solve_seconds", heu.solve_seconds)
             .metric_int("opt_bmcm_total_elems", v_bm.total_elems)
-            .metric("opt_bmcm_solve_s", bm.solve_seconds)
+            .metric("opt_bmcm_solve_seconds", bm.solve_seconds)
             .metric("imbalance", quality.imbalance)
             .metric_int("edge_cut", quality.edge_cut);
     // Full RemapVolume breakdown for the heuristic mapper (the framework's

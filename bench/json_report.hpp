@@ -20,9 +20,10 @@
 //     ]
 //   }
 //
-// v2 extends plum-bench/1 with gauge series under "metrics" (arrays of
-// numbers), the per-run "comm_matrix", and the per-run "gate_audit"; all
-// three are optional per run, so v1-shaped producers keep working.
+// v2 extends plum-bench/1 with gauge series and fixed-bound histogram
+// objects under "metrics", the per-run "comm_matrix", "gate_audit", and
+// "critical_path" (the counter-sourced plum-path decomposition); all are
+// optional per run, so v1-shaped producers keep working.
 //
 // The output directory defaults to the working directory and is overridden
 // by PLUM_BENCH_JSON_DIR. tools/check_bench_json validates the files in CI
@@ -36,6 +37,7 @@
 #include <utility>
 
 #include "obs/bench_schema.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -105,6 +107,17 @@ class JsonReport {
       return *this;
     }
 
+    /// Attaches the counter-sourced critical-path decomposition (per-rank
+    /// busy/wait, per-phase straggler attribution — deterministic, so it
+    /// diffs cleanly across commits) as "critical_path".
+    Run& critical_path_from(const obs::TraceRecorder& rec) {
+      critical_path_ =
+          obs::analyze_critical_path(rec, obs::PathSource::kCounters)
+              .to_json();
+      has_critical_path_ = true;
+      return *this;
+    }
+
     /// Copies every closed phase out of a plum-trace recorder.
     Run& phases_from(const obs::TraceRecorder& rec) {
       for (const auto& ph : rec.phases()) {
@@ -130,6 +143,7 @@ class JsonReport {
           .set("phases", phases_);
       if (has_comm_matrix_) r.set("comm_matrix", comm_matrix_);
       if (has_gate_audit_) r.set("gate_audit", gate_audit_);
+      if (has_critical_path_) r.set("critical_path", critical_path_);
       return r;
     }
 
@@ -140,8 +154,10 @@ class JsonReport {
     obs::Json phases_ = obs::Json::array();
     obs::Json comm_matrix_;
     obs::Json gate_audit_;
+    obs::Json critical_path_;
     bool has_comm_matrix_ = false;
     bool has_gate_audit_ = false;
+    bool has_critical_path_ = false;
   };
 
   explicit JsonReport(std::string bench_name) : bench_(std::move(bench_name)) {}

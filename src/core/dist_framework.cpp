@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "adapt/error_indicator.hpp"
+#include "obs/critical_path.hpp"
 #include "partition/quality.hpp"
 #include "pmesh/migrate.hpp"
 #include "pmesh/parallel_adapt.hpp"
@@ -344,27 +345,31 @@ DistCycleReport DistFramework::cycle() {
   ++cycle_index_;
 
   // --- 7. parallel subdivision ---------------------------------------------------
-  obs::PhaseScope subdivide(trace_, "subdivide");
-  for (Rank r = 0; r < P; ++r) {
-    auto& lm = dm_->local(r);
-    lm.mesh.on_bisect = [this, r](Index e, Index mid) {
-      auto& u = solver_->solution(r);
-      const auto& ed = dm_->local(r).mesh.edge(e);
-      if (static_cast<std::size_t>(mid) >= u.size()) {
-        u.resize(static_cast<std::size_t>(mid) + 1);
-      }
-      for (int c = 0; c < solver::kNumVars; ++c) {
-        u[static_cast<std::size_t>(mid)][c] =
-            0.5 * (u[static_cast<std::size_t>(ed.v0)][c] +
-                   u[static_cast<std::size_t>(ed.v1)][c]);
-      }
-    };
+  // Braced so the phase closes before the end-of-cycle histogram sampling.
+  {
+    obs::PhaseScope subdivide(trace_, "subdivide");
+    for (Rank r = 0; r < P; ++r) {
+      auto& lm = dm_->local(r);
+      lm.mesh.on_bisect = [this, r](Index e, Index mid) {
+        auto& u = solver_->solution(r);
+        const auto& ed = dm_->local(r).mesh.edge(e);
+        if (static_cast<std::size_t>(mid) >= u.size()) {
+          u.resize(static_cast<std::size_t>(mid) + 1);
+        }
+        for (int c = 0; c < solver::kNumVars; ++c) {
+          u[static_cast<std::size_t>(mid)][c] =
+              0.5 * (u[static_cast<std::size_t>(ed.v0)][c] +
+                     u[static_cast<std::size_t>(ed.v1)][c]);
+        }
+      };
+    }
+    const auto pf = pmesh::parallel_refine(*dm_, *eng_, pm);
+    rep.refine_work_per_rank = pf.work_per_rank;
+    subdivide.set_modeled_seconds(
+        opt_.machine.t_refine *
+        static_cast<double>(vec_max(pf.work_per_rank)));
+    for (Rank r = 0; r < P; ++r) dm_->local(r).mesh.on_bisect = nullptr;
   }
-  const auto pf = pmesh::parallel_refine(*dm_, *eng_, pm);
-  rep.refine_work_per_rank = pf.work_per_rank;
-  subdivide.set_modeled_seconds(opt_.machine.t_refine *
-                                static_cast<double>(vec_max(pf.work_per_rank)));
-  for (Rank r = 0; r < P; ++r) dm_->local(r).mesh.on_bisect = nullptr;
 
   // Rebind with the grown solution arrays.
   states_.clear();
@@ -372,6 +377,12 @@ DistCycleReport DistFramework::cycle() {
   rebind_solver();
 
   rep.elements_after = dm_->total_active_elements();
+
+  // Per-cycle fixed-bound histograms (obs/critical_path.hpp): per-rank
+  // step wall seconds + counter-sourced wait fractions for every superstep
+  // this cycle ran, plus the wall seconds of every phase that closed.
+  obs::record_step_histograms(metrics_, trace_, &hist_step_cursor_);
+  obs::record_phase_histograms(metrics_, trace_, &hist_phase_cursor_);
   return rep;
 }
 

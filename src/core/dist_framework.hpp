@@ -67,7 +67,11 @@ class DistFramework {
 
   /// Live paper-metric gauges, one sample per cycle per series ("imbalance",
   /// "edge_cut", remap_* volume breakdown) — same names as core::Framework
-  /// and the bench reports. Host-side only; see obs/metrics.hpp.
+  /// and the bench reports — plus the per-cycle fixed-bound histograms
+  /// "rank_step_seconds" (wall-clock; omitted from the registry's
+  /// deterministic view), "rank_wait_fraction" (counter-sourced,
+  /// deterministic), and "phase_wall_seconds" (see obs/critical_path.hpp).
+  /// Host-side only; see obs/metrics.hpp.
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const obs::MetricsRegistry& metrics() const {
     return metrics_;
@@ -90,6 +94,10 @@ class DistFramework {
   partition::PartVec root_part_;  ///< global initial element -> rank
   obs::MetricsRegistry metrics_;
   int cycle_index_ = 0;  ///< cycles completed; keys the gate-audit records
+  // First trace_ superstep/phase not yet sampled into the per-cycle
+  // histograms (obs::record_step_histograms / record_phase_histograms).
+  std::size_t hist_step_cursor_ = 0;
+  std::size_t hist_phase_cursor_ = 0;
 };
 
 }  // namespace plum::core

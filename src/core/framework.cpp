@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/critical_path.hpp"
 #include "partition/quality.hpp"
 #include "util/assert.hpp"
 #include "util/stats.hpp"
@@ -252,6 +253,11 @@ CycleReport Framework::cycle() {
             vec_max(proc_sums(root_part_, growth, opt_.nranks, nullptr))));
   }
   rep.elements_after = mesh_->num_active_elements();
+
+  // Per-cycle fixed-bound histogram: wall seconds of every phase closed
+  // this cycle (this framework runs in one address space, so there are no
+  // per-rank superstep records to decompose — DistFramework adds those).
+  obs::record_phase_histograms(metrics_, trace_, &hist_phase_cursor_);
   return rep;
 }
 

@@ -108,8 +108,10 @@ class Framework {
   /// — "imbalance" (load-imbalance factor under the predicted weights),
   /// "edge_cut", and the remap::volume_fields() breakdown
   /// (remap_total_elems ... remap_max_sent_or_recv, zero on cycles whose
-  /// gate never fired). Recorded host-side between supersteps; never write
-  /// to this from inside a superstep lambda (see obs/metrics.hpp).
+  /// gate never fired) — plus one fixed-bound histogram sample per closed
+  /// phase ("phase_wall_seconds", see obs/critical_path.hpp). Recorded
+  /// host-side between supersteps; never write to this from inside a
+  /// superstep lambda (see obs/metrics.hpp).
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const obs::MetricsRegistry& metrics() const {
     return metrics_;
@@ -126,6 +128,8 @@ class Framework {
   obs::TraceRecorder trace_;
   obs::MetricsRegistry metrics_;
   int cycle_index_ = 0;  ///< cycles completed; keys the gate-audit records
+  /// First trace_ phase not yet sampled into the phase-seconds histogram.
+  std::size_t hist_phase_cursor_ = 0;
 };
 
 }  // namespace plum::core

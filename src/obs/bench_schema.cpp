@@ -83,6 +83,78 @@ std::string check_gate_audit(const Json& ga, std::size_t i) {
   return "";
 }
 
+/// v2 histogram metric objects, as rendered by MetricsRegistry::to_json().
+std::string check_histogram(const Json& h, std::size_t i,
+                            const std::string& name) {
+  const auto bad = [&](const std::string& what) {
+    return run_error(i, "histogram metric \"" + name + "\" " + what);
+  };
+  const Json* marker = h.find("histogram");
+  if (!marker || marker->kind() != Json::Kind::kBool || !marker->as_bool()) {
+    return bad("must carry \"histogram\": true");
+  }
+  const Json* wall = h.find("wall");
+  if (!wall || wall->kind() != Json::Kind::kBool) {
+    return bad("missing bool field \"wall\"");
+  }
+  const Json* count = h.find("count");
+  if (!count || count->kind() != Json::Kind::kInt || count->as_int() < 0) {
+    return bad("field \"count\" must be an int >= 0");
+  }
+  for (const char* field : {"max", "p50", "p95"}) {
+    const Json* v = h.find(field);
+    if (!v || !v->is_number()) {
+      return bad("missing numeric field \"" + std::string(field) + "\"");
+    }
+  }
+  const Json* bounds = h.find("bounds");
+  if (!bounds || !bounds->is_array() || bounds->size() == 0) {
+    return bad("missing non-empty array field \"bounds\"");
+  }
+  for (std::size_t k = 0; k < bounds->size(); ++k) {
+    if (!bounds->at(k).is_number()) return bad("has a non-number bound");
+  }
+  const Json* counts = h.find("counts");
+  if (!counts || !counts->is_array() ||
+      counts->size() != bounds->size() + 1) {
+    return bad("field \"counts\" must be an array of bounds+1 buckets");
+  }
+  for (std::size_t k = 0; k < counts->size(); ++k) {
+    if (counts->at(k).kind() != Json::Kind::kInt ||
+        counts->at(k).as_int() < 0) {
+      return bad("has a bucket count that is not an int >= 0");
+    }
+  }
+  return "";
+}
+
+/// v2 per-run critical-path section (obs::CriticalPathAnalysis::to_json()).
+std::string check_critical_path(const Json& cp, std::size_t i) {
+  if (!cp.is_object()) {
+    return run_error(i, "\"critical_path\" is not an object");
+  }
+  const Json* source = cp.find("source");
+  if (!source || !source->is_string()) {
+    return run_error(i, "critical_path missing string field \"source\"");
+  }
+  for (const char* field :
+       {"critical_total", "busy_total", "wait_total", "wait_fraction"}) {
+    const Json* v = cp.find(field);
+    if (!v || !v->is_number()) {
+      return run_error(i, "critical_path missing numeric field \"" +
+                              std::string(field) + "\"");
+    }
+  }
+  for (const char* field : {"ranks", "phases", "steps"}) {
+    const Json* v = cp.find(field);
+    if (!v || !v->is_array()) {
+      return run_error(i, "critical_path missing array field \"" +
+                              std::string(field) + "\"");
+    }
+  }
+  return "";
+}
+
 std::string check_run(const Json& run, std::size_t i, int version) {
   if (!run.is_object()) return run_error(i, "not an object");
 
@@ -118,6 +190,17 @@ std::string check_run(const Json& run, std::size_t i, int version) {
     if (version < 2 && value.is_array()) {
       return run_error(i, "metric \"" + name +
                               "\" is a series, which requires schema "
+                              "\"plum-bench/2\"");
+    }
+    // ... and fixed-bound histogram objects.
+    if (version >= 2 && value.is_object()) {
+      const std::string err = check_histogram(value, i, name);
+      if (!err.empty()) return err;
+      continue;
+    }
+    if (version < 2 && value.is_object()) {
+      return run_error(i, "metric \"" + name +
+                              "\" is a histogram, which requires schema "
                               "\"plum-bench/2\"");
     }
     return run_error(i, "metric \"" + name + "\" is not a number");
@@ -158,8 +241,12 @@ std::string check_run(const Json& run, std::size_t i, int version) {
       const std::string err = check_gate_audit(*ga, i);
       if (!err.empty()) return err;
     }
+    if (const Json* cp = run.find("critical_path")) {
+      const std::string err = check_critical_path(*cp, i);
+      if (!err.empty()) return err;
+    }
   } else {
-    for (const char* field : {"comm_matrix", "gate_audit"}) {
+    for (const char* field : {"comm_matrix", "gate_audit", "critical_path"}) {
       if (run.find(field)) {
         return run_error(i, "field \"" + std::string(field) +
                                 "\" requires schema plum-bench/2");

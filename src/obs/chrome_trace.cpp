@@ -77,6 +77,18 @@ Json chrome_trace_json(const TraceRecorder& rec,
     const std::string base =
         st.phase.empty() ? "step" : st.phase + " step";
     const std::string name = base + " " + std::to_string(st.step);
+    // The superstep ends when its slowest (critical) rank ends; every
+    // other rank gets an explicit "wait" slice from its own finish to the
+    // critical rank's, so stragglers are visible as the only lanes without
+    // idle gaps.
+    double critical_s = 0;
+    int critical_rank = 0;
+    for (std::size_t r = 0; r < st.rank_seconds.size(); ++r) {
+      if (st.rank_seconds[r] > critical_s) {
+        critical_s = st.rank_seconds[r];
+        critical_rank = static_cast<int>(r);
+      }
+    }
     for (std::size_t r = 0; r < st.counters.size(); ++r) {
       const double dur = r < st.rank_seconds.size() ? st.rank_seconds[r] : 0;
       Json ev = complete_event(name, static_cast<int>(r) + 1, st.t_start_s,
@@ -87,6 +99,16 @@ Json chrome_trace_json(const TraceRecorder& rec,
           .set("bytes_sent", Json::integer(st.counters[r].bytes_sent));
       ev.set("args", std::move(args));
       events.push(std::move(ev));
+
+      if (static_cast<int>(r) == critical_rank) continue;
+      Json wait = complete_event("wait", static_cast<int>(r) + 1,
+                                 st.t_start_s + dur, critical_s - dur);
+      Json wargs = Json::object();
+      wargs.set("step", Json::integer(st.step))
+          .set("critical_rank", Json::integer(critical_rank))
+          .set("wait_s", Json::number(critical_s - dur));
+      wait.set("args", std::move(wargs));
+      events.push(std::move(wait));
     }
   }
 

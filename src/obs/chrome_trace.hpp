@@ -3,8 +3,10 @@
 // format understood by chrome://tracing and https://ui.perfetto.dev —
 // {"traceEvents": [...]} with "ph":"X" complete events (ts/dur in
 // microseconds). Phases land on tid 0 ("phases"); each rank's superstep
-// spans land on tid rank+1 ("rank r"), so the per-rank load imbalance the
-// paper's balancer removes is directly visible as ragged span ends.
+// spans land on tid rank+1 ("rank r"), followed by an explicit "wait"
+// slice from the rank's own finish to the critical (slowest) rank's — so
+// the per-rank load imbalance the paper's balancer removes is directly
+// visible: stragglers are the lanes with no wait slices.
 
 #include <string>
 

@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include "obs/critical_path.hpp"
 #include "runtime/collectives.hpp"
 #include "util/assert.hpp"
 
@@ -169,6 +170,17 @@ Json TraceRecorder::to_json_impl(bool include_wall) const {
   }
   doc.set("comm_by_class", std::move(by_class));
   doc.set("gate_audit", gate_audit_json(gates_));
+
+  // plum-path: the counter-sourced decomposition is derived from the same
+  // deterministic inputs as the superstep records above, so it lives in
+  // both serializations; the wall-clock decomposition (measured per-rank
+  // step seconds) only appears in the full view.
+  doc.set("critical_path",
+          analyze_critical_path(*this, PathSource::kCounters).to_json());
+  if (include_wall) {
+    doc.set("critical_path_wall",
+            analyze_critical_path(*this, PathSource::kWallClock).to_json());
+  }
   return doc;
 }
 

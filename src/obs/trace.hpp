@@ -12,9 +12,14 @@
 // message deltas that occurred while it was open.
 //
 // Two serializations:
-//   to_json()             — everything, including wall-clock fields; feeds
-//                           the Chrome trace exporter and human inspection.
-//   deterministic_json()  — wall-clock fields excluded. Two runs with
+//   to_json()             — everything, including wall-clock fields and the
+//                           wall-sourced critical-path decomposition
+//                           ("critical_path_wall", see obs/critical_path.hpp);
+//                           feeds the Chrome trace exporter and human
+//                           inspection.
+//   deterministic_json()  — wall-clock fields excluded; the critical-path
+//                           section ("critical_path") is sourced from the
+//                           per-rank compute-unit counters. Two runs with
 //                           bit-identical ledgers serialize byte-identically,
 //                           which is what the Engine-vs-ParallelEngine trace
 //                           tests assert.

@@ -1,0 +1,37 @@
+// plum-lint fixture (lint-only, never compiled): wall-clock reads inside a
+// superstep lambda. Rank programs must be pure functions of their inbox —
+// the engine already measures per-rank step seconds at the barrier, so a
+// Timer or a std::chrono ::now() call inside the lambda measures scheduler
+// noise and poisons plum-path's deterministic counter view. The host-side
+// Timer below must NOT be flagged.
+// Expected: 2x wall-clock-in-superstep.
+#include <chrono>
+
+#include "runtime/engine.hpp"
+#include "util/timer.hpp"
+
+namespace plum::fixture {
+
+void bad_wallclock_in_superstep(rt::Engine& eng) {
+  eng.run([&](Rank rank, const rt::Inbox& inbox, rt::Outbox& outbox) {
+    Timer step_timer;  // BAD: wall clock inside a rank program
+    const auto t0 = std::chrono::steady_clock::now();  // BAD
+    outbox.charge(static_cast<std::int64_t>(inbox.messages().size()));
+    (void)rank;
+    (void)t0;
+    (void)step_timer;
+    return false;
+  });
+}
+
+// OK: timing the whole run from the host side of the barrier.
+double host_side_timing(rt::Engine& eng) {
+  Timer wall;
+  eng.run([&](Rank, const rt::Inbox&, rt::Outbox& outbox) {
+    outbox.charge(1);
+    return false;
+  });
+  return wall.seconds();
+}
+
+}  // namespace plum::fixture

@@ -61,6 +61,14 @@ TEST(LintFixtures, NondeterminismSources) {
   EXPECT_EQ(r.unsuppressed_count(), 4) << plumlint::to_json(r);
 }
 
+TEST(LintFixtures, WallClockInSuperstep) {
+  const LintResult r = lint_fixture("bad_wallclock_in_superstep.cpp");
+  // A Timer declaration + a steady_clock::now() call inside the lambda;
+  // the host-side Timer in the second function must not be flagged.
+  EXPECT_EQ(r.count_of("wall-clock-in-superstep"), 2);
+  EXPECT_EQ(r.unsuppressed_count(), 2) << plumlint::to_json(r);
+}
+
 TEST(LintFixtures, CleanSuperstepHasNoDiagnostics) {
   const LintResult r = lint_fixture("clean_superstep.cpp");
   EXPECT_EQ(r.unsuppressed_count(), 0) << plumlint::to_json(r);
@@ -94,8 +102,8 @@ TEST(LintFixtures, WholeDirectoryLintsWithSameTotals) {
   for (const char* name :
        {"bad_rank_guard.cpp", "bad_unordered_iter.cpp",
         "bad_shared_accumulator.cpp", "bad_metrics_in_superstep.cpp",
-        "bad_nondeterminism.cpp", "clean_superstep.cpp", "suppressed.cpp",
-        "bad_suppression.cpp"}) {
+        "bad_nondeterminism.cpp", "bad_wallclock_in_superstep.cpp",
+        "clean_superstep.cpp", "suppressed.cpp", "bad_suppression.cpp"}) {
     std::ifstream in(fixture_path(name));
     ASSERT_TRUE(in.is_open()) << name;
     std::ostringstream ss;
@@ -107,8 +115,9 @@ TEST(LintFixtures, WholeDirectoryLintsWithSameTotals) {
   EXPECT_EQ(r.count_of("unordered-iteration"), 3);
   EXPECT_EQ(r.count_of("shared-accumulator"), 6);  // 3 writes + 3 method calls
   EXPECT_EQ(r.count_of("nondeterminism-source"), 5);  // 4 + rand() above
+  EXPECT_EQ(r.count_of("wall-clock-in-superstep"), 2);
   EXPECT_EQ(r.suppressed_count(), 3);
-  EXPECT_EQ(r.files_scanned, 8);
+  EXPECT_EQ(r.files_scanned, 9);
 }
 
 // --- API-level cases ---------------------------------------------------------
@@ -238,6 +247,7 @@ TEST(LintApi, CheckRegistryCoversContract) {
   EXPECT_TRUE(has("unordered-iteration"));
   EXPECT_TRUE(has("shared-accumulator"));
   EXPECT_TRUE(has("nondeterminism-source"));
+  EXPECT_TRUE(has("wall-clock-in-superstep"));
   EXPECT_TRUE(has("bad-suppression"));
   EXPECT_TRUE(has("unused-suppression"));
 }

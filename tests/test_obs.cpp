@@ -15,6 +15,7 @@
 #include "json_report.hpp"
 #include "obs/bench_schema.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -182,6 +183,117 @@ TEST(TraceRecorder, DeterministicJsonIdenticalAcrossEngines) {
   }
 }
 
+TEST(CriticalPath, CounterDecompositionOfTickWorkload) {
+  rt::Engine eng(3);
+  obs::TraceRecorder rec;
+  eng.set_observer(&rec);
+  {
+    obs::PhaseScope ph(rec, "solve");
+    eng.run(tick);  // 2 supersteps; rank r charges r+1 units each step
+  }
+
+  const auto cp =
+      obs::analyze_critical_path(rec, obs::PathSource::kCounters);
+  EXPECT_EQ(cp.source, obs::PathSource::kCounters);
+  ASSERT_EQ(cp.steps.size(), 2u);
+  for (const auto& sp : cp.steps) {
+    EXPECT_EQ(sp.phase, "solve");
+    EXPECT_EQ(sp.critical_rank, 2);  // charges 3 units, the most
+    EXPECT_EQ(sp.critical, 3.0);
+    EXPECT_EQ(sp.busy, 6.0);            // 1 + 2 + 3
+    EXPECT_EQ(sp.wait, 3.0);            // (3-1) + (3-2) + (3-3)
+    EXPECT_DOUBLE_EQ(sp.imbalance, 1.5);  // 3 / mean(2)
+  }
+  EXPECT_EQ(cp.critical_total, 6.0);
+  EXPECT_EQ(cp.busy_total, 12.0);
+  EXPECT_EQ(cp.wait_total, 6.0);
+  EXPECT_DOUBLE_EQ(cp.wait_fraction(), 6.0 / 18.0);
+
+  ASSERT_EQ(cp.ranks.size(), 3u);
+  EXPECT_EQ(cp.ranks[0].busy, 2.0);
+  EXPECT_EQ(cp.ranks[0].wait, 4.0);
+  EXPECT_EQ(cp.ranks[0].steps_critical, 0);
+  EXPECT_DOUBLE_EQ(cp.ranks[0].wait_fraction(), 4.0 / 6.0);
+  EXPECT_EQ(cp.ranks[2].busy, 6.0);
+  EXPECT_EQ(cp.ranks[2].wait, 0.0);
+  EXPECT_EQ(cp.ranks[2].steps_critical, 2);
+  EXPECT_EQ(cp.ranks[2].wait_fraction(), 0.0);
+
+  ASSERT_EQ(cp.phases.size(), 1u);
+  EXPECT_EQ(cp.phases[0].name, "solve");
+  EXPECT_EQ(cp.phases[0].supersteps, 2);
+  EXPECT_EQ(cp.phases[0].worst_rank, 2);
+  EXPECT_EQ(cp.phases[0].worst_rank_steps, 2);
+
+  // The JSON mirror carries the same numbers and no wall-clock vocabulary.
+  const std::string json = cp.to_json().dump();
+  EXPECT_NE(json.find("\"source\":\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"critical_total\":6"), std::string::npos);
+  EXPECT_EQ(json.find("seconds"), std::string::npos);
+  EXPECT_EQ(json.find("wall"), std::string::npos);
+}
+
+TEST(CriticalPath, TieOnWorkGoesToLowestRankAndEmptyTraceIsZero) {
+  // Equal charges: the critical rank must be the lowest (deterministic
+  // tie-break), and wait is zero everywhere.
+  rt::Engine eng(4);
+  obs::TraceRecorder rec;
+  eng.set_observer(&rec);
+  eng.run([](Rank, const rt::Inbox&, rt::Outbox& out) {
+    out.charge(5);
+    return false;
+  });
+  const auto cp =
+      obs::analyze_critical_path(rec, obs::PathSource::kCounters);
+  ASSERT_EQ(cp.steps.size(), 1u);
+  EXPECT_EQ(cp.steps[0].critical_rank, 0);
+  EXPECT_EQ(cp.steps[0].wait, 0.0);
+  EXPECT_DOUBLE_EQ(cp.steps[0].imbalance, 1.0);
+  EXPECT_EQ(cp.wait_fraction(), 0.0);
+
+  const obs::TraceRecorder empty;
+  const auto none =
+      obs::analyze_critical_path(empty, obs::PathSource::kCounters);
+  EXPECT_TRUE(none.steps.empty());
+  EXPECT_TRUE(none.ranks.empty());
+  EXPECT_EQ(none.wait_fraction(), 0.0);
+}
+
+TEST(CriticalPath, WallSourceUsesMeasuredRankSeconds) {
+  rt::Engine eng(3);
+  obs::TraceRecorder rec;
+  eng.set_observer(&rec);
+  eng.run(tick);
+
+  const auto cp =
+      obs::analyze_critical_path(rec, obs::PathSource::kWallClock);
+  ASSERT_EQ(cp.steps.size(), 2u);
+  // Whatever the scheduler did, the invariants hold: the critical value is
+  // the max, busy sums the rank values, and wait is their difference.
+  for (const auto& sp : cp.steps) {
+    EXPECT_GE(sp.critical, 0.0);
+    EXPECT_GE(sp.busy, 0.0);
+    EXPECT_NEAR(sp.wait, 3.0 * sp.critical - sp.busy, 1e-12);
+  }
+  const std::string json = cp.to_json().dump();
+  EXPECT_NE(json.find("\"source\":\"wall\""), std::string::npos);
+}
+
+TEST(CriticalPath, EmbeddedInBothTraceSerializations) {
+  rt::Engine eng(2);
+  obs::TraceRecorder rec;
+  eng.set_observer(&rec);
+  eng.run(tick);
+
+  const std::string det = rec.deterministic_json();
+  EXPECT_NE(det.find("\"critical_path\""), std::string::npos);
+  EXPECT_EQ(det.find("\"critical_path_wall\""), std::string::npos);
+
+  const std::string full = rec.to_json().dump();
+  EXPECT_NE(full.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(full.find("\"critical_path_wall\""), std::string::npos);
+}
+
 TEST(TraceRecorder, NullRecorderScopesAreNoOps) {
   obs::PhaseScope ph(nullptr, "nothing");
   ph.set_modeled_seconds(3.0);  // must not crash
@@ -229,7 +341,12 @@ TEST(TraceRecorder, TagClassNames) {
   EXPECT_EQ(obs::tag_class_name(2), "adapt");
   EXPECT_EQ(obs::tag_class_name(11), "solver");
   EXPECT_EQ(obs::tag_class_name(111), "solver");
+  // Unknown tags fall back to a "tag<N>" bucket instead of aborting, so a
+  // new subsystem's traffic still shows up in the per-class split.
   EXPECT_EQ(obs::tag_class_name(42), "tag42");
+  EXPECT_EQ(obs::tag_class_name(4), "tag4");     // just past the adapt range
+  EXPECT_EQ(obs::tag_class_name(13), "tag13");   // just past the solver tags
+  EXPECT_EQ(obs::tag_class_name(-7), "tag-7");   // negative tags too
 }
 
 TEST(GateAudit, DriftAndRecordSerialization) {
@@ -300,6 +417,90 @@ TEST(Metrics, GaugeSeriesAppendAndMerge) {
   // merge_from replaces series wholesale (no concatenation).
   dst.merge_from(m);
   EXPECT_EQ(dst.series("edge_cut"), (std::vector<double>{40.0, 36.0}));
+}
+
+TEST(Metrics, MergeFromReplacesSeriesAndOverwritesScalars) {
+  obs::MetricsRegistry src;
+  src.add_sample("imbalance", 1.4);
+  src.set("speedup", 3.0);
+
+  obs::MetricsRegistry dst;
+  dst.add_sample("imbalance", 9.0);  // longer, stale series
+  dst.add_sample("imbalance", 8.0);
+  dst.add_sample("imbalance", 7.0);
+  dst.set("speedup", 1.0);
+  dst.merge_from(src);
+  // Replacement semantics: the destination's series is discarded, not
+  // appended to — the merged registry reads exactly like the source.
+  EXPECT_EQ(dst.series("imbalance"), (std::vector<double>{1.4}));
+  EXPECT_EQ(dst.get("speedup"), 3.0);
+  // Names only the destination had survive untouched.
+  dst.set_int("only_here", 5);
+  dst.merge_from(src);
+  EXPECT_EQ(dst.get("only_here"), 5.0);
+}
+
+TEST(Metrics, HistogramCountsQuantilesAndOverflow) {
+  obs::MetricsRegistry m;
+  m.define_histogram("lat", {0.1, 1.0, 10.0});
+  EXPECT_TRUE(m.is_histogram("lat"));
+  EXPECT_FALSE(m.is_series("lat"));
+  EXPECT_EQ(m.hist_count("lat"), 0);
+  EXPECT_EQ(m.hist_quantile("lat", 0.5), 0.0);  // empty -> 0
+
+  for (const double v : {0.05, 0.07, 0.5, 2.0, 3.0, 4.0}) {
+    m.add_hist_sample("lat", v);
+  }
+  EXPECT_EQ(m.hist_count("lat"), 6);
+  EXPECT_EQ(m.hist_max("lat"), 4.0);
+  // Buckets: (<=0.1)=2, (<=1)=1, (<=10)=3, overflow=0. Quantiles render as
+  // bucket upper bounds: the 3rd of 6 samples sits in the <=1.0 bucket.
+  EXPECT_EQ(m.hist_quantile("lat", 0.5), 1.0);
+  EXPECT_EQ(m.hist_quantile("lat", 0.95), 10.0);
+  EXPECT_EQ(m.hist_quantile("lat", 0.01), 0.1);
+
+  // Overflow samples report the tracked max, not a bound.
+  m.add_hist_sample("lat", 1000.0);
+  EXPECT_EQ(m.hist_quantile("lat", 1.0), 1000.0);
+  EXPECT_EQ(m.hist_max("lat"), 1000.0);
+
+  // Redefinition is a no-op: bounds and samples survive. With 7 samples
+  // the 4th now sits in the <=10.0 bucket.
+  m.define_histogram("lat", {99.0});
+  EXPECT_EQ(m.hist_count("lat"), 7);
+  EXPECT_EQ(m.hist_quantile("lat", 0.5), 10.0);
+}
+
+TEST(Metrics, HistogramJsonAndDeterministicView) {
+  obs::MetricsRegistry m;
+  m.set("speedup", 2.0);
+  m.define_histogram("work", {1.0, 2.0});
+  m.add_hist_sample("work", 1.5);
+  m.define_histogram("step_s", {0.5}, /*wall_clock=*/true);
+  m.add_hist_sample("step_s", 0.25);
+
+  const std::string full = m.to_json().dump();
+  EXPECT_NE(full.find("\"work\":{\"histogram\":true,\"wall\":false"),
+            std::string::npos)
+      << full;
+  EXPECT_NE(full.find("\"step_s\":{\"histogram\":true,\"wall\":true"),
+            std::string::npos)
+      << full;
+  EXPECT_NE(full.find("\"counts\":[0,1,0]"), std::string::npos) << full;
+
+  // The deterministic view drops wall-clock histograms and nothing else.
+  const std::string det = m.deterministic_json().dump();
+  EXPECT_EQ(det.find("step_s"), std::string::npos) << det;
+  EXPECT_NE(det.find("\"work\""), std::string::npos);
+  EXPECT_NE(det.find("\"speedup\""), std::string::npos);
+
+  // Histograms merge by replacement, like series.
+  obs::MetricsRegistry dst;
+  dst.define_histogram("work", {1.0, 2.0});
+  dst.add_hist_sample("work", 0.5);
+  dst.merge_from(m);
+  EXPECT_EQ(dst.hist_count("work"), 1);
+  EXPECT_EQ(dst.hist_max("work"), 1.5);
 }
 
 Json valid_report() {
@@ -445,6 +646,72 @@ TEST(BenchSchema, V2RejectsMalformedCommMatrixAndGateAudit) {
   }
 }
 
+TEST(BenchSchema, V2AcceptsHistogramsAndCriticalPath) {
+  // Build the document the real producers build: a registry histogram and
+  // a recorder's counter-sourced critical path, both through JsonReport.
+  rt::Engine eng(2);
+  obs::TraceRecorder rec;
+  eng.set_observer(&rec);
+  eng.run(tick);
+
+  obs::MetricsRegistry m;
+  m.define_histogram("rank_wait_fraction", {0.1, 0.5, 1.0});
+  m.add_hist_sample("rank_wait_fraction", 0.25);
+
+  Json doc = valid_v2_report();
+  Json run = doc.find("runs")->at(0);
+  Json metrics = *run.find("metrics");
+  metrics.set("rank_wait_fraction",
+              *m.to_json().find("rank_wait_fraction"));
+  run.set("metrics", std::move(metrics));
+  run.set("critical_path",
+          obs::analyze_critical_path(rec, obs::PathSource::kCounters)
+              .to_json());
+  doc.set("runs", Json::array().push(std::move(run)));
+  EXPECT_EQ(obs::validate_bench_report(doc), "") << doc.dump(2);
+
+  // Both are v2-only.
+  Json v1 = doc;
+  v1.set("schema", Json::str("plum-bench/1"));
+  const std::string err = obs::validate_bench_report(v1);
+  EXPECT_NE(err, "");
+  EXPECT_NE(err.find("plum-bench/2"), std::string::npos) << err;
+}
+
+TEST(BenchSchema, V2RejectsMalformedHistogramAndCriticalPath) {
+  {
+    // counts must have bounds+1 buckets.
+    Json doc = valid_v2_report();
+    Json run = doc.find("runs")->at(0);
+    Json h = Json::object();
+    h.set("histogram", Json::boolean(true))
+        .set("wall", Json::boolean(false))
+        .set("count", Json::integer(1))
+        .set("max", Json::number(1.0))
+        .set("p50", Json::number(1.0))
+        .set("p95", Json::number(1.0))
+        .set("bounds", Json::array().push(Json::number(1.0)))
+        .set("counts", Json::array().push(Json::integer(1)));  // needs 2
+    Json metrics = *run.find("metrics");
+    metrics.set("bad_hist", std::move(h));
+    run.set("metrics", std::move(metrics));
+    doc.set("runs", Json::array().push(std::move(run)));
+    const std::string err = obs::validate_bench_report(doc);
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("bad_hist"), std::string::npos) << err;
+  }
+  {
+    // critical_path must carry its totals and section arrays.
+    Json doc = valid_v2_report();
+    Json run = doc.find("runs")->at(0);
+    Json cp = Json::object();
+    cp.set("source", Json::str("counters"));  // missing everything else
+    run.set("critical_path", std::move(cp));
+    doc.set("runs", Json::array().push(std::move(run)));
+    EXPECT_NE(obs::validate_bench_report(doc), "");
+  }
+}
+
 TEST(ChromeTrace, ParsesAndCoversPhasesAndRanks) {
   rt::Engine eng(2);
   obs::TraceRecorder rec;
@@ -459,7 +726,8 @@ TEST(ChromeTrace, ParsesAndCoversPhasesAndRanks) {
   ASSERT_NE(events, nullptr);
   ASSERT_TRUE(events->is_array());
 
-  int phase_spans = 0, rank_spans = 0, meta = 0, counters = 0;
+  int phase_spans = 0, rank_spans = 0, wait_spans = 0, meta = 0,
+      counters = 0;
   for (std::size_t i = 0; i < events->size(); ++i) {
     const Json& ev = events->at(i);
     const std::string ph = ev.find("ph")->as_string();
@@ -480,11 +748,21 @@ TEST(ChromeTrace, ParsesAndCoversPhasesAndRanks) {
     ASSERT_EQ(ph, "X");
     ASSERT_NE(ev.find("ts"), nullptr);
     ASSERT_NE(ev.find("dur"), nullptr);
-    if (ev.find("tid")->as_int() == 0) ++phase_spans;
-    else ++rank_spans;
+    if (ev.find("tid")->as_int() == 0) {
+      ++phase_spans;
+    } else if (ev.find("name")->as_string() == "wait") {
+      ++wait_spans;
+      const Json* args = ev.find("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->find("critical_rank"), nullptr);
+      ASSERT_NE(args->find("wait_s"), nullptr);
+    } else {
+      ++rank_spans;
+    }
   }
   EXPECT_EQ(phase_spans, 1);
   EXPECT_EQ(rank_spans, 2 * 2);  // 2 supersteps x 2 ranks
+  EXPECT_EQ(wait_spans, 2 * 1);  // per superstep, every non-critical rank
   EXPECT_EQ(counters, 2);        // one traffic counter event per superstep
   EXPECT_GE(meta, 3);            // process_name + >= 2 thread_names
 

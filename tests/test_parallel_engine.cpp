@@ -286,9 +286,13 @@ TEST(CrossEngine, DistFrameworkCyclesIdentical) {
     for (Rank r = 0; r < opt.nranks; ++r) {
       rho[static_cast<std::size_t>(r)] = fw.solver().density_field(r);
     }
+    // Metrics: compare the deterministic view — the full to_json() now
+    // carries wall-clock histograms (rank_step_seconds, phase_wall_seconds)
+    // whose samples differ across engines by construction.
     return std::make_tuple(reps, fw.elements_per_rank(), std::move(rho),
                            fw.engine().ledger(),
                            fw.trace().deterministic_json(),
+                           fw.metrics().deterministic_json().dump(),
                            fw.metrics().to_json().dump());
   };
 
@@ -323,10 +327,23 @@ TEST(CrossEngine, DistFrameworkCyclesIdentical) {
   EXPECT_NE(std::get<4>(seq).find("\"comm_matrix\""), std::string::npos);
   EXPECT_NE(std::get<4>(seq).find("\"comm_by_class\""), std::string::npos);
   EXPECT_NE(std::get<4>(seq).find("\"gate_audit\""), std::string::npos);
-  // Live paper-metric gauges agree across engines too.
+  // plum-path: the counter-sourced critical-path decomposition is part of
+  // the deterministic trace bytes compared above.
+  EXPECT_NE(std::get<4>(seq).find("\"critical_path\""), std::string::npos);
+  // Live paper-metric gauges agree across engines too (deterministic view:
+  // gauges + the counter-sourced wait-fraction histogram, wall ones out).
   EXPECT_EQ(std::get<5>(par), std::get<5>(seq));
   EXPECT_NE(std::get<5>(seq).find("\"imbalance\""), std::string::npos);
   EXPECT_NE(std::get<5>(seq).find("\"edge_cut\""), std::string::npos);
+  EXPECT_NE(std::get<5>(seq).find("\"rank_wait_fraction\""),
+            std::string::npos);
+  EXPECT_EQ(std::get<5>(seq).find("\"rank_step_seconds\""),
+            std::string::npos);
+  // The full metrics document does carry the wall-clock histograms.
+  EXPECT_NE(std::get<6>(seq).find("\"rank_step_seconds\""),
+            std::string::npos);
+  EXPECT_NE(std::get<6>(seq).find("\"phase_wall_seconds\""),
+            std::string::npos);
   // Intermediate pool size: same bytes again.
   const auto par2 = run_cycles(2);
   EXPECT_EQ(std::get<4>(par2), std::get<4>(seq));

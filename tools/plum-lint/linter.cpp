@@ -14,6 +14,7 @@ constexpr const char* kRankGuard = "rank-guard-mutation";
 constexpr const char* kUnordered = "unordered-iteration";
 constexpr const char* kSharedAcc = "shared-accumulator";
 constexpr const char* kNondet = "nondeterminism-source";
+constexpr const char* kWallClock = "wall-clock-in-superstep";
 constexpr const char* kBadSuppress = "bad-suppression";
 constexpr const char* kUnusedSuppress = "unused-suppression";
 
@@ -559,6 +560,49 @@ void check_superstep_body(const std::string& file, const Tokens& t,
   }
 }
 
+// --- check: wall-clock-in-superstep -------------------------------------------
+
+/// Wall-clock reads inside a superstep lambda: `util::Timer` / `PhaseTimer`
+/// instances and `std::chrono::*_clock::now()` calls. Rank programs must be
+/// pure functions of their inbox; timing belongs to the engine (which
+/// already measures per-rank step seconds into the trace) — a timer inside
+/// the lambda measures scheduler noise and, if it steers control flow,
+/// breaks the determinism contract outright. plum-path's counter view
+/// depends on superstep bodies staying wall-clock free.
+void check_wallclock_in_body(const std::string& file, const Tokens& t,
+                             const SuperstepLambda& lam,
+                             std::vector<Diagnostic>& out) {
+  for (std::size_t i = lam.body_begin; i <= lam.body_end; ++i) {
+    const Token& tk = t[i];
+    if (tk.kind != Tok::Ident || tk.preproc) continue;
+    if (is(tk, "Timer") || is(tk, "PhaseTimer")) {
+      // `x.Timer`/`x->Timer` would be someone else's member, not the
+      // plum::Timer type; a type name appears bare or after `::`.
+      if (is(t[i - 1], ".") || is(t[i - 1], "->")) continue;
+      out.push_back(
+          {file, tk.line, kWallClock,
+           "'" + tk.text +
+               "' inside a superstep lambda: rank programs must not read "
+               "wall clocks (the engine already measures per-rank step "
+               "seconds into the trace); time outside the superstep or use "
+               "StepCounters::compute_units as the deterministic work proxy",
+           false,
+           ""});
+      continue;
+    }
+    if (is(tk, "now") && i + 1 < t.size() && is(t[i + 1], "(") &&
+        i > lam.body_begin && is(t[i - 1], "::")) {
+      out.push_back(
+          {file, tk.line, kWallClock,
+           "'::now()' inside a superstep lambda reads a wall clock; results "
+           "vary run to run and poison the deterministic counter view "
+           "(plum-path); move timing to the host side of the barrier",
+           false,
+           ""});
+    }
+  }
+}
+
 // --- suppressions -------------------------------------------------------------
 
 struct Suppression {
@@ -646,6 +690,8 @@ const std::vector<CheckInfo>& checks() {
        "indexing"},
       {kNondet,
        "rand()/time()/std::random_device/pointer-hash and friends"},
+      {kWallClock,
+       "util::Timer / std::chrono ::now() reads inside superstep lambdas"},
       {kBadSuppress, "malformed or unjustified plum-lint suppressions"},
       {kUnusedSuppress, "suppressions that no longer match any diagnostic"},
   };
@@ -693,6 +739,7 @@ LintResult lint_files(const std::vector<FileInput>& files) {
     check_nondeterminism(path, t, diags);
     for (const auto& lam : find_superstep_lambdas(t)) {
       check_superstep_body(path, t, lam, diags);
+      check_wallclock_in_body(path, t, lam, diags);
     }
 
     std::vector<Suppression> sups;

@@ -1,7 +1,7 @@
 #pragma once
 // plum-lint: rank-safety & determinism static checker for BSP superstep
 // code. Enforces the determinism contract of src/runtime/engine.hpp over
-// the source tree with four checks (see kChecks for the registry):
+// the source tree with five checks (see kChecks for the registry):
 //
 //   rank-guard-mutation    writes to captured state guarded by a
 //                          `rank == 0` style condition inside a superstep
@@ -21,6 +21,13 @@
 //   nondeterminism-source  rand()/srand()/time()/clock()/
 //                          std::random_device and address-based hashing
 //                          (std::hash<T*>) — results vary run to run.
+//   wall-clock-in-superstep
+//                          util::Timer / PhaseTimer instances and
+//                          std::chrono `::now()` calls inside superstep
+//                          lambdas: rank programs must not read wall
+//                          clocks — the engine measures per-rank step
+//                          seconds at the barrier, and plum-path's
+//                          deterministic view relies on counters only.
 //
 // Suppressions: `// plum-lint: allow(<check>) -- <justification>` on the
 // same line or the line directly above the diagnostic. The justification
@@ -59,7 +66,7 @@ struct CheckInfo {
   const char* summary;
 };
 
-/// The four contract checks plus the two meta checks, in report order.
+/// The five contract checks plus the two meta checks, in report order.
 const std::vector<CheckInfo>& checks();
 
 struct LintResult {

@@ -18,6 +18,7 @@
 // Exit status: 0 on success, 1 when any input fails to parse or has none of
 // the recognized shapes, 2 on usage/IO errors.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -128,6 +129,18 @@ void print_metrics(const Json& metrics) {
   if (!metrics.is_object() || metrics.size() == 0) return;
   std::printf("\nMetrics:\n");
   for (const auto& [name, v] : metrics.items()) {
+    if (v.is_object()) {
+      // Fixed-bound histogram (MetricsRegistry::to_json() rendering).
+      const Json* wall = v.find("wall");
+      const bool is_wall =
+          wall && wall->kind() == Json::Kind::kBool && wall->as_bool();
+      std::printf("  %-26s hist n=%-6lld p50=%-10.6g p95=%-10.6g max=%-10.6g%s\n",
+                  name.c_str(),
+                  static_cast<long long>(int_or(v.find("count"), 0)),
+                  num_or(v.find("p50"), 0), num_or(v.find("p95"), 0),
+                  num_or(v.find("max"), 0), is_wall ? "  (wall)" : "");
+      continue;
+    }
     if (v.is_array()) {
       std::printf("  %-26s [", name.c_str());
       for (std::size_t i = 0; i < v.size(); ++i) {
@@ -147,6 +160,96 @@ void print_metrics(const Json& metrics) {
       std::printf("  %-26s %.6f\n", name.c_str(), v.as_double());
     }
   }
+}
+
+// --- critical path (plum-path) ---------------------------------------------
+
+void print_critical_path(const Json& cp) {
+  if (!cp.is_object()) return;
+  std::printf("\nCritical path (%s):\n",
+              str_or(cp.find("source"), "?").c_str());
+  std::printf("  critical %.6g  busy %.6g  wait %.6g  (wait fraction %.1f%%)\n",
+              num_or(cp.find("critical_total"), 0),
+              num_or(cp.find("busy_total"), 0),
+              num_or(cp.find("wait_total"), 0),
+              100.0 * num_or(cp.find("wait_fraction"), 0));
+
+  const Json* ranks = cp.find("ranks");
+  if (ranks && ranks->is_array() && ranks->size() > 0) {
+    std::printf("  %6s %14s %14s %8s %10s\n", "rank", "busy", "wait",
+                "wait%", "crit_steps");
+    for (std::size_t r = 0; r < ranks->size(); ++r) {
+      const Json& rk = ranks->at(r);
+      if (!rk.is_object()) continue;
+      std::printf("  %6lld %14.6g %14.6g %7.1f%% %10lld\n",
+                  static_cast<long long>(int_or(rk.find("rank"), 0)),
+                  num_or(rk.find("busy"), 0), num_or(rk.find("wait"), 0),
+                  100.0 * num_or(rk.find("wait_fraction"), 0),
+                  static_cast<long long>(int_or(rk.find("steps_critical"), 0)));
+    }
+  }
+
+  // Top straggler phases: the phases whose critical rank left the most
+  // aggregate wait behind (the paper's per-phase bottleneck view).
+  const Json* phases = cp.find("phases");
+  if (phases && phases->is_array() && phases->size() > 0) {
+    std::vector<std::size_t> order(phases->size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double wa = num_or(phases->at(a).find("wait"), 0);
+      const double wb = num_or(phases->at(b).find("wait"), 0);
+      if (wa != wb) return wa > wb;
+      return a < b;
+    });
+    const std::size_t topk = std::min<std::size_t>(5, order.size());
+    std::printf("  top %zu straggler phases (by aggregate wait):\n", topk);
+    for (std::size_t i = 0; i < topk; ++i) {
+      const Json& ph = phases->at(order[i]);
+      if (!ph.is_object()) continue;
+      // Supersteps recorded outside any PhaseScope group under "".
+      std::string name = str_or(ph.find("name"), "?");
+      if (name.empty()) name = "(unphased)";
+      std::printf("    %-22s wait %-12.6g (%5.1f%%)  worst rank %lld "
+                  "(critical in %lld/%lld steps)\n", name.c_str(),
+                  num_or(ph.find("wait"), 0),
+                  100.0 * num_or(ph.find("wait_fraction"), 0),
+                  static_cast<long long>(int_or(ph.find("worst_rank"), -1)),
+                  static_cast<long long>(int_or(ph.find("worst_rank_steps"), 0)),
+                  static_cast<long long>(int_or(ph.find("supersteps"), 0)));
+    }
+  }
+}
+
+// Per-rank skew summary over the measured per-superstep rank_seconds: total
+// step seconds per rank, reported as min/median/max plus the worst rank.
+// Only full trace documents carry "seconds"; deterministic views skip this.
+void print_rank_skew(const Json& supersteps) {
+  if (!supersteps.is_array() || supersteps.size() == 0) return;
+  std::vector<double> totals;
+  for (std::size_t i = 0; i < supersteps.size(); ++i) {
+    const Json* ranks = supersteps.at(i).find("ranks");
+    if (!ranks || !ranks->is_array()) continue;
+    if (ranks->size() > totals.size()) totals.resize(ranks->size(), 0.0);
+    for (std::size_t r = 0; r < ranks->size(); ++r) {
+      const Json* s = ranks->at(r).find("seconds");
+      if (s && s->is_number()) totals[r] += s->as_double();
+    }
+  }
+  if (totals.empty()) return;
+  bool any = false;
+  for (const double t : totals) any = any || t > 0;
+  if (!any) return;
+
+  std::size_t worst = 0;
+  for (std::size_t r = 1; r < totals.size(); ++r) {
+    if (totals[r] > totals[worst]) worst = r;
+  }
+  std::vector<double> sorted = totals;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  std::printf("\nPer-rank step seconds (measured): min %.6f  median %.6f  "
+              "max %.6f  worst rank %zu\n",
+              sorted.front(), median, sorted.back(), worst);
 }
 
 // --- gate audit ------------------------------------------------------------
@@ -186,7 +289,12 @@ void print_trace_doc(const Json& trace) {
   if (const Json* ss = trace.find("supersteps")) {
     if (ss->is_array()) {
       std::printf("\nSupersteps: %zu\n", ss->size());
+      print_rank_skew(*ss);
     }
+  }
+  if (const Json* cp = trace.find("critical_path")) print_critical_path(*cp);
+  if (const Json* cpw = trace.find("critical_path_wall")) {
+    print_critical_path(*cpw);
   }
   if (const Json* cm = trace.find("comm_matrix")) print_comm_matrix(*cm);
   if (const Json* bc = trace.find("comm_by_class")) print_comm_by_class(*bc);
@@ -215,6 +323,7 @@ int report_bench_doc(const Json& doc) {
                 static_cast<long long>(int_or(run.find("P"), 0)));
     if (const Json* metrics = run.find("metrics")) print_metrics(*metrics);
     if (const Json* phases = run.find("phases")) print_phases(*phases);
+    if (const Json* cp = run.find("critical_path")) print_critical_path(*cp);
     if (const Json* cm = run.find("comm_matrix")) print_comm_matrix(*cm);
     if (const Json* ga = run.find("gate_audit")) print_gate_audit(*ga);
   }

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Regenerates the committed plum-diff baselines under bench/baselines/.
+#
+# Run this (and commit the result) whenever a deliberate change shifts a
+# deterministic bench metric and CI's plum-diff regression gate reports a
+# breach. The invocation mirrors the bench-smoke CI job exactly: small
+# problem sizes, two engine threads, reports written via
+# PLUM_BENCH_JSON_DIR. Wall-clock fields in the reports differ machine to
+# machine by construction; plum-diff treats them as report-only, so the
+# committed values are only illustrative.
+#
+# Usage: tools/regen_baselines.sh [build-dir]   (default: build-baselines)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-baselines}"
+out_dir="${repo_root}/bench/baselines"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j --target \
+  bench_fig4 bench_fig5 bench_fig6 bench_table2 bench_distributed
+
+mkdir -p "${out_dir}"
+rm -f "${out_dir}"/BENCH_*.json
+
+# Same flags as .github/workflows/ci.yml bench-smoke.
+export PLUM_BENCH_SMALL=1
+export PLUM_BENCH_JSON_DIR="${out_dir}"
+"${build_dir}/bench/bench_fig4"
+"${build_dir}/bench/bench_fig5"
+"${build_dir}/bench/bench_fig6"
+"${build_dir}/bench/bench_table2"
+"${build_dir}/bench/bench_distributed" --threads 2
+
+# The benches also drop trace / run / gate side files next to the reports;
+# only the BENCH_*.json reports are baselines.
+rm -f "${out_dir}"/TRACE_*.json "${out_dir}"/RUN_*.json "${out_dir}"/GATE_*.json
+
+echo "baselines:"
+ls -l "${out_dir}"
