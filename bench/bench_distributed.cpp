@@ -5,12 +5,25 @@
 // communication ledger. This is the experiment behind the paper's closing
 // claim that "our framework will remain viable on a large number of
 // processors": no phase's bottleneck grows with P.
+//
+// Two sweeps:
+//   strong (default)  P = {4, 8, 16, 32} on a fixed mesh — the per-rank
+//                     work shrinks with P while traffic grows slowly.
+//   --weak            P = {64, 128, 256} with the mesh grown so work per
+//                     rank stays fixed — the paper's Figs. 7/8 axes: remap
+//                     volume (TotalV / MaxV), imbalance, and critical-path
+//                     wait fractions must stay flat as P grows.
+//
+// --transport {inproc,pipe} selects the message fabric (see
+// runtime/transport.hpp); every modeled column is transport-invariant.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
 #include "core/dist_framework.hpp"
@@ -20,39 +33,93 @@
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
+namespace {
+
+struct Sweep {
+  plum::Rank P;
+  int boxn;
+};
+
+struct Cli {
+  int threads = 1;
+  plum::rt::TransportKind transport = plum::rt::TransportKind::kInProc;
+  int transport_procs = 0;
+  bool weak = false;
+};
+
+bool parse_cli(int argc, char** argv, Cli* cli) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--threads") == 0 && i + 1 < argc) {
+      cli->threads = std::atoi(argv[++i]);
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      cli->threads = std::atoi(a + 10);
+    } else if (std::strcmp(a, "--transport") == 0 && i + 1 < argc) {
+      if (!plum::rt::parse_transport_kind(argv[++i], &cli->transport)) {
+        std::fprintf(stderr, "unknown --transport %s\n", argv[i]);
+        return false;
+      }
+    } else if (std::strncmp(a, "--transport=", 12) == 0) {
+      if (!plum::rt::parse_transport_kind(a + 12, &cli->transport)) {
+        std::fprintf(stderr, "unknown --transport %s\n", a + 12);
+        return false;
+      }
+    } else if (std::strcmp(a, "--transport-procs") == 0 && i + 1 < argc) {
+      cli->transport_procs = std::atoi(argv[++i]);
+    } else if (std::strncmp(a, "--transport-procs=", 18) == 0) {
+      cli->transport_procs = std::atoi(a + 18);
+    } else if (std::strcmp(a, "--weak") == 0) {
+      cli->weak = true;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace plum;
 
-  // --threads N: 1 = sequential reference engine, 0 = all cores, N > 1 = a
-  // ParallelEngine with N workers. Modeled columns are engine-invariant;
-  // only wall_s changes.
-  int threads = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = std::atoi(argv[i] + 10);
+  Cli cli;
+  if (!parse_cli(argc, argv, &cli)) return 2;
+
+  const char* small_env = std::getenv("PLUM_BENCH_SMALL");
+  const bool small = small_env && small_env[0] == '1';
+
+  // Weak scaling holds 6*boxn^3 / P roughly constant (~21-24 elements per
+  // rank small, ~47-52 full); strong scaling fixes the mesh.
+  std::vector<Sweep> sweeps;
+  if (cli.weak) {
+    if (small) {
+      sweeps = {{64, 6}, {128, 8}, {256, 10}};
+    } else {
+      sweeps = {{64, 8}, {128, 10}, {256, 13}};
     }
+  } else {
+    const int boxn = small ? 8 : 16;
+    sweeps = {{4, boxn}, {8, boxn}, {16, boxn}, {32, boxn}};
   }
 
-  const char* small = std::getenv("PLUM_BENCH_SMALL");
-  const int boxn = (small && small[0] == '1') ? 8 : 16;
-
-  io::Table table({"P", "elems_after", "imb_old", "imb_new", "migrated",
-                   "refine_work_imb", "msgs", "MB_sent", "supersteps",
-                   "wall_s"});
-  bench::JsonReport report("bench_distributed");
+  const std::string bench_name =
+      cli.weak ? "bench_distributed_weak" : "bench_distributed";
+  io::Table table({"P", "elems_after", "elems_per_rank", "imb_old", "imb_new",
+                   "TotalV", "MaxV", "migrated", "refine_work_imb", "msgs",
+                   "MB_sent", "supersteps", "wall_s"});
+  bench::JsonReport report(bench_name);
   bool trace_written = false;
 
-  for (Rank P : {4, 8, 16, 32}) {
+  for (const Sweep& sw : sweeps) {
+    const Rank P = sw.P;
     core::FrameworkOptions opt;
     opt.nranks = P;
     opt.refine_fraction = 0.08;
     opt.imbalance_trigger = 1.05;
     opt.solver_steps_per_cycle = 6;
-    opt.threads = threads;
+    opt.threads = cli.threads;
+    opt.transport = cli.transport;
+    opt.transport_procs = cli.transport_procs;
 
-    auto mesh = mesh::make_box_mesh(mesh::small_box(boxn));
+    auto mesh = mesh::make_box_mesh(mesh::small_box(sw.boxn));
     core::DistFramework fw(std::move(mesh), opt);
     solver::BlastSpec blast;
     blast.radius = 0.2;
@@ -73,12 +140,17 @@ int main(int argc, char** argv) {
     const double work_imb =
         rep.refine_work_per_rank.empty() ? 1.0
                                          : imbalance(rep.refine_work_per_rank);
+    const double elems_per_rank =
+        static_cast<double>(rep.elements_after) / static_cast<double>(P);
     table.add_row(
         {io::Table::fmt(std::int64_t{P}),
          io::Table::fmt(std::int64_t{rep.elements_after}),
+         io::Table::fmt(elems_per_rank, 1),
          io::Table::fmt(rep.imbalance_old, 3),
          io::Table::fmt(rep.accepted ? rep.imbalance_new : rep.imbalance_old,
                         3),
+         io::Table::fmt(std::int64_t{rep.volume.total_elems}),
+         io::Table::fmt(std::int64_t{rep.volume.max_sent_or_recv}),
          io::Table::fmt(rep.elements_migrated),
          io::Table::fmt(work_imb, 3), io::Table::fmt(msgs),
          io::Table::fmt(static_cast<double>(
@@ -89,70 +161,93 @@ int main(int argc, char** argv) {
              std::int64_t{fw.engine().ledger().num_supersteps()}),
          io::Table::fmt(wall_s, 3)});
 
-    report.add_run("box" + std::to_string(boxn), P)
-        .metric("wall_s", wall_s)
+    const std::string case_name = (cli.weak ? "weak_box" : "box") +
+                                  std::to_string(sw.boxn);
+    auto& run = report.add_run(case_name, P);
+    run.metric("wall_s", wall_s)
         .metric("imbalance_old", rep.imbalance_old)
         .metric("imbalance_new",
                 rep.accepted ? rep.imbalance_new : rep.imbalance_old)
         .metric("refine_work_imbalance", work_imb)
+        .metric("elems_per_rank", elems_per_rank)
         .metric_int("elements_after", rep.elements_after)
         .metric_int("elements_migrated", rep.elements_migrated)
+        .metric_int("remap_total_elems", rep.volume.total_elems)
+        .metric_int("remap_bottleneck_elems", rep.volume.bottleneck_elems)
+        .metric_int("remap_max_sent_or_recv", rep.volume.max_sent_or_recv)
         .metric_int("msgs_sent", msgs)
         .metric_int("bytes_sent", fw.engine().ledger().total_bytes())
         .metric_int("supersteps", fw.engine().ledger().num_supersteps())
         .metric_int("accepted", rep.accepted ? 1 : 0)
         .metrics_from(fw.metrics())
-        .comm_matrix_from(fw.engine().ledger().comm_matrix())
         .gate_audit_from(fw.trace())
         .critical_path_from(fw.trace())
         .phases_from(fw.trace());
+    // The dense P x P comm matrix is ~P^2 JSON rows — fine at the strong
+    // sweep's P<=32, but 65k rows per run at P=256 would bloat the weak
+    // baseline; row/col totals are already covered by bytes_sent and the
+    // remap_* gauges.
+    if (!cli.weak) {
+      run.comm_matrix_from(fw.engine().ledger().comm_matrix());
+    }
 
     // One Chrome trace + one run document + one standalone gate-audit log
     // (take the first P so the artifacts exist even if a later size fails).
     if (!trace_written) {
       const char* dir = std::getenv("PLUM_BENCH_JSON_DIR");
       const std::string base = std::string((dir && dir[0]) ? dir : ".");
-      const std::string path = base + "/TRACE_bench_distributed.json";
+      const std::string stem = base + "/TRACE_" + bench_name + ".json";
       trace_written = obs::write_chrome_trace(
-          fw.trace(), "bench_distributed P=" + std::to_string(P), path);
+          fw.trace(), bench_name + " P=" + std::to_string(P), stem);
       if (!trace_written) {
-        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        std::fprintf(stderr, "failed to write %s\n", stem.c_str());
       }
 
       // plum-run/1: the trace+metrics document tools/plum-report renders.
       obs::Json run_doc = obs::Json::object();
       run_doc.set("schema", obs::Json::str("plum-run/1"))
-          .set("name", obs::Json::str("bench_distributed P=" +
-                                      std::to_string(P)))
+          .set("name",
+               obs::Json::str(bench_name + " P=" + std::to_string(P)))
           .set("trace", fw.trace().to_json())
           .set("metrics", fw.metrics().to_json());
-      std::ofstream run_out(base + "/RUN_bench_distributed.json");
+      const std::string run_path = base + "/RUN_" + bench_name + ".json";
+      std::ofstream run_out(run_path);
       run_out << run_doc.dump(2) << '\n';
       if (!run_out) {
-        std::fprintf(stderr, "failed to write RUN_bench_distributed.json\n");
+        std::fprintf(stderr, "failed to write %s\n", run_path.c_str());
         trace_written = false;
       }
 
       obs::Json gate_doc = obs::Json::object();
       gate_doc.set("schema", obs::Json::str("plum-gate-audit/1"))
           .set("records", obs::gate_audit_json(fw.trace().gate_records()));
-      std::ofstream gate_out(base + "/GATE_bench_distributed.json");
+      const std::string gate_path = base + "/GATE_" + bench_name + ".json";
+      std::ofstream gate_out(gate_path);
       gate_out << gate_doc.dump(2) << '\n';
       if (!gate_out) {
-        std::fprintf(stderr, "failed to write GATE_bench_distributed.json\n");
+        std::fprintf(stderr, "failed to write %s\n", gate_path.c_str());
         trace_written = false;
       }
     }
   }
 
-  std::cout << "Distributed Fig. 1 cycle at " << 6 * boxn * boxn * boxn
-            << " initial elements (remap before subdivision, greedy "
-               "mapper), engine threads = "
-            << threads << "\n";
+  std::cout << "Distributed Fig. 1 cycle ("
+            << (cli.weak ? "weak scaling: fixed work per rank"
+                         : "strong scaling: fixed mesh")
+            << ", remap before subdivision, greedy mapper), engine threads = "
+            << cli.threads
+            << ", transport = " << rt::transport_kind_name(cli.transport)
+            << "\n";
   table.print(std::cout);
-  std::cout << "\nViability check: subdivision-work imbalance stays near 1 "
-               "after an accepted remap,\nand ledger traffic grows with P "
-               "far slower than the per-rank work shrinks.\n";
+  if (cli.weak) {
+    std::cout << "\nViability check (paper Figs. 7/8): with fixed work per "
+                 "rank, TotalV/MaxV, post-remap imbalance, and\ncritical-path "
+                 "wait fractions must stay flat from P=64 to P=256.\n";
+  } else {
+    std::cout << "\nViability check: subdivision-work imbalance stays near 1 "
+                 "after an accepted remap,\nand ledger traffic grows with P "
+                 "far slower than the per-rank work shrinks.\n";
+  }
   if (report.write().empty() || !trace_written) return 1;
   return 0;
 }

@@ -55,7 +55,8 @@ DistFramework::DistFramework(mesh::TetMesh initial_global,
                              FrameworkOptions opt)
     : opt_(opt) {
   PLUM_ASSERT(opt_.nranks >= 1);
-  eng_ = rt::make_engine(opt_.nranks, opt_.threads);
+  eng_ = rt::make_engine(opt_.nranks, opt_.threads, opt_.transport,
+                         opt_.transport_procs);
   eng_->set_observer(&trace_);
 
   dual_ = initial_global.build_initial_dual();

@@ -20,6 +20,7 @@
 #include "partition/multilevel.hpp"
 #include "remap/mapping.hpp"
 #include "remap/volume.hpp"
+#include "runtime/transport.hpp"
 #include "sim/machine.hpp"
 #include "solver/euler.hpp"
 
@@ -49,6 +50,13 @@ struct FrameworkOptions {
   /// a ParallelEngine with N workers. Results are bit-identical across all
   /// settings (see runtime/engine.hpp's determinism contract).
   int threads = 1;
+  /// Message fabric for the BSP engine (DistFramework only): kInProc moves
+  /// messages in-memory; kPipe routes every payload through child rank-group
+  /// processes over socketpairs. Bit-identical results either way (see
+  /// runtime/transport.hpp's delivery contract).
+  rt::TransportKind transport = rt::TransportKind::kInProc;
+  /// Child processes for the pipe transport (0 = transport default).
+  int transport_procs = 0;
 };
 
 /// Everything one solve->adapt->balance cycle measured or decided.

@@ -150,13 +150,14 @@ bool Engine::superstep(const StepFn& fn) {
 
   const int step = run_step_++;
   std::vector<StepCounters> counters(static_cast<std::size_t>(nranks_));
+  std::vector<SendQueue> out_queues(static_cast<std::size_t>(nranks_));
   std::vector<double> rank_seconds;
   if (observer_) rank_seconds.assign(static_cast<std::size_t>(nranks_), 0.0);
   Timer wall;
   bool any_continue = false;
   for (Rank r = 0; r < nranks_; ++r) {
     Inbox inbox(std::move(delivering[static_cast<std::size_t>(r)]));
-    Outbox outbox(r, nranks_, step, &pending_,
+    Outbox outbox(r, nranks_, step, &out_queues[static_cast<std::size_t>(r)],
                   &counters[static_cast<std::size_t>(r)]);
     if (observer_) {
       Timer t;
@@ -166,6 +167,9 @@ bool Engine::superstep(const StepFn& fn) {
       any_continue |= fn(r, inbox, outbox);
     }
   }
+  // Superstep barrier: the transport merges the per-sender queues into the
+  // next step's inboxes in (sender rank, program order) order.
+  transport_->exchange(out_queues, pending_);
   check_send_receive_conservation(counters, pending_);
   if (observer_) {
     observer_->on_superstep(step, counters, rank_seconds, wall.seconds());
@@ -182,7 +186,9 @@ void Engine::run(const StepFn& fn, int max_steps) {
   PLUM_ASSERT_MSG(false, "BSP program did not terminate within max_steps");
 }
 
-ParallelEngine::ParallelEngine(Rank nranks, int num_threads) : Engine(nranks) {
+ParallelEngine::ParallelEngine(Rank nranks, int num_threads,
+                               std::unique_ptr<Transport> transport)
+    : Engine(nranks, std::move(transport)) {
   int n = num_threads;
   if (n <= 0) {
     n = static_cast<int>(std::thread::hardware_concurrency());
@@ -245,9 +251,7 @@ bool ParallelEngine::superstep(const StepFn& fn) {
       static_cast<std::size_t>(nranks_));
   delivering.swap(pending_);
 
-  std::vector<std::vector<std::vector<Message>>> out_queues(
-      static_cast<std::size_t>(nranks_),
-      std::vector<std::vector<Message>>(static_cast<std::size_t>(nranks_)));
+  std::vector<SendQueue> out_queues(static_cast<std::size_t>(nranks_));
   std::vector<StepCounters> counters(static_cast<std::size_t>(nranks_));
   std::vector<char> want_more(static_cast<std::size_t>(nranks_), 0);
   std::vector<double> rank_seconds;
@@ -273,19 +277,12 @@ bool ParallelEngine::superstep(const StepFn& fn) {
     cv_done_.wait(lk, [&] { return ranks_done_ == nranks_; });
   }
 
-  // Superstep barrier: merge the private per-sender queues into the next
-  // step's inboxes in sender-rank order. The sequential engine delivers in
-  // exactly this order (ranks run 0..P-1, sends append in program order),
-  // so inbox contents are identical between the engines.
-  for (Rank s = 0; s < nranks_; ++s) {
-    for (Rank q = 0; q < nranks_; ++q) {
-      auto& src = out_queues[static_cast<std::size_t>(s)]
-                            [static_cast<std::size_t>(q)];
-      auto& dst = pending_[static_cast<std::size_t>(q)];
-      dst.insert(dst.end(), std::make_move_iterator(src.begin()),
-                 std::make_move_iterator(src.end()));
-    }
-  }
+  // Superstep barrier: the transport merges the private per-sender queues
+  // into the next step's inboxes in sender-rank order. The sequential
+  // engine delivers in exactly this order (ranks run 0..P-1, sends append
+  // in program order), so inbox contents are identical between the engines
+  // — and, by the transport contract, between transports.
+  transport_->exchange(out_queues, pending_);
   check_send_receive_conservation(counters, pending_);
   if (observer_) {
     observer_->on_superstep(step, counters, rank_seconds, wall.seconds());
@@ -296,9 +293,20 @@ bool ParallelEngine::superstep(const StepFn& fn) {
   return any_continue;
 }
 
+std::unique_ptr<Engine> make_engine(Rank nranks, int threads,
+                                    TransportKind transport,
+                                    int transport_procs) {
+  // Construct the transport first: the pipe transport forks its rank-group
+  // children, which must happen before this engine's worker threads exist.
+  PipeTransportOptions popt;
+  popt.nprocs = transport_procs;
+  auto fabric = make_transport(transport, nranks, popt);
+  if (threads == 1) return std::make_unique<Engine>(nranks, std::move(fabric));
+  return std::make_unique<ParallelEngine>(nranks, threads, std::move(fabric));
+}
+
 std::unique_ptr<Engine> make_engine(Rank nranks, int threads) {
-  if (threads == 1) return std::make_unique<Engine>(nranks);
-  return std::make_unique<ParallelEngine>(nranks, threads);
+  return make_engine(nranks, threads, TransportKind::kInProc);
 }
 
 }  // namespace plum::rt

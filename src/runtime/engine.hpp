@@ -10,12 +10,21 @@
 //   ParallelEngine  — ranks of one superstep execute concurrently on a
 //                     persistent std::thread pool.
 //
+// Message *delivery* is delegated to a pluggable rt::Transport
+// (runtime/transport.hpp): the engines fill per-sender sparse outbox
+// queues and hand them to the transport at the barrier. InProcTransport
+// (the default) moves the queued messages within the address space;
+// PipeTransport routes every payload through child OS processes over
+// length-prefixed socketpair frames. Both must deliver the identical
+// (sender rank, program order) stream, so engine x transport choice never
+// changes ledgers, traces, or results.
+//
 // Determinism contract (both engines): a rank's inbox for superstep s+1
 // holds the messages posted during superstep s, ordered by sender rank and,
 // within one sender, by posting order. The parallel engine guarantees this
-// by giving every sender a private per-destination queue (sends never
-// contend) and merging the queues in sender-rank order at the superstep
-// barrier. Superstep functions must therefore be *rank-safe*: rank r may
+// by giving every sender a private sparse queue (sends never contend) and
+// merging the queues in sender-rank order at the superstep barrier.
+// Superstep functions must therefore be *rank-safe*: rank r may
 // only mutate rank-r-owned state (its inbox/outbox plus any per-rank slot
 // of caller state). Under that rule the two engines produce bit-identical
 // message streams, StepCounters ledgers, and floating-point results.
@@ -40,6 +49,7 @@
 #include <vector>
 
 #include "runtime/message.hpp"
+#include "runtime/transport.hpp"
 #include "util/assert.hpp"
 #include "util/types.hpp"
 
@@ -105,12 +115,12 @@ struct StepCounters {
 /// Send-side interface handed to the superstep function.
 class Outbox {
  public:
-  Outbox(Rank self, Rank nranks, int step,
-         std::vector<std::vector<Message>>* queues, StepCounters* counters)
+  Outbox(Rank self, Rank nranks, int step, SendQueue* queue,
+         StepCounters* counters)
       : self_(self),
         nranks_(nranks),
         step_(step),
-        queues_(queues),
+        queue_(queue),
         counters_(counters) {}
 
   void send(Rank to, int tag, std::vector<std::byte> bytes) {
@@ -119,8 +129,7 @@ class Outbox {
     counters_->msgs_sent += 1;
     counters_->bytes_sent += nbytes;
     counters_->account_send(to, tag, nbytes);
-    (*queues_)[static_cast<std::size_t>(to)].push_back(
-        Message{self_, tag, std::move(bytes)});
+    queue_->push(to, Message{self_, tag, std::move(bytes)});
   }
 
   template <typename T>
@@ -144,7 +153,7 @@ class Outbox {
   Rank self_;
   Rank nranks_;
   int step_;
-  std::vector<std::vector<Message>>* queues_;
+  SendQueue* queue_;  ///< this sender's sparse outbox for the superstep
   StepCounters* counters_;
 };
 
@@ -211,7 +220,11 @@ class Engine {
  public:
   using StepFn = std::function<bool(Rank, const Inbox&, Outbox&)>;
 
-  explicit Engine(Rank nranks) : nranks_(nranks) {
+  /// `transport` == nullptr picks the in-process reference transport.
+  explicit Engine(Rank nranks, std::unique_ptr<Transport> transport = nullptr)
+      : nranks_(nranks),
+        transport_(transport ? std::move(transport)
+                             : std::make_unique<InProcTransport>()) {
     PLUM_ASSERT(nranks >= 1);
     pending_.resize(static_cast<std::size_t>(nranks));
   }
@@ -220,6 +233,10 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   [[nodiscard]] Rank nranks() const { return nranks_; }
+
+  /// The delivery fabric (audit hooks, kind introspection).
+  [[nodiscard]] Transport& transport() { return *transport_; }
+  [[nodiscard]] const Transport& transport() const { return *transport_; }
 
   /// One superstep: fn(rank, inbox, outbox) -> bool "I want another step".
   /// Returns true while any rank asked to continue (the usual loop driver).
@@ -240,6 +257,7 @@ class Engine {
 
  protected:
   Rank nranks_;
+  std::unique_ptr<Transport> transport_;
   std::vector<std::vector<Message>> pending_;  // queued for next superstep
   Ledger ledger_;
   int run_step_ = 0;  // Outbox::step() of the next superstep
@@ -253,7 +271,8 @@ class ParallelEngine final : public Engine {
  public:
   /// `num_threads` == 0 picks hardware_concurrency; the pool is never
   /// larger than nranks (extra workers could only idle).
-  explicit ParallelEngine(Rank nranks, int num_threads = 0);
+  explicit ParallelEngine(Rank nranks, int num_threads = 0,
+                          std::unique_ptr<Transport> transport = nullptr);
   ~ParallelEngine() override;
 
   bool superstep(const StepFn& fn) override;
@@ -269,9 +288,10 @@ class ParallelEngine final : public Engine {
   // epoch bump and read by workers after they observe the new epoch.
   const StepFn* fn_ = nullptr;
   std::vector<std::vector<Message>>* delivering_ = nullptr;
-  // out_queues_[sender][receiver]: each sender writes only its own row, so
-  // sends never contend across threads.
-  std::vector<std::vector<std::vector<Message>>>* out_queues_ = nullptr;
+  // out_queues_[sender]: each sender writes only its own sparse queue, so
+  // sends never contend across threads and resident cells stay
+  // O(distinct destinations), not O(P) per rank.
+  std::vector<SendQueue>* out_queues_ = nullptr;
   std::vector<StepCounters>* counters_ = nullptr;
   std::vector<char>* want_more_ = nullptr;
   // Per-rank wall seconds for the observer; rank-indexed slots written by
@@ -292,7 +312,13 @@ class ParallelEngine final : public Engine {
 
 /// Engine factory used by options-driven callers: `threads == 1` returns
 /// the sequential reference engine, anything else a ParallelEngine
-/// (0 = one worker per hardware core).
+/// (0 = one worker per hardware core). `transport` selects the delivery
+/// fabric; `transport_procs` is the pipe transport's child-process count
+/// (0 = default). The transport is constructed *before* the engine so the
+/// pipe children are forked before the worker pool threads start.
+std::unique_ptr<Engine> make_engine(Rank nranks, int threads,
+                                    TransportKind transport,
+                                    int transport_procs = 0);
 std::unique_ptr<Engine> make_engine(Rank nranks, int threads);
 
 }  // namespace plum::rt

@@ -1,0 +1,97 @@
+#include "runtime/frame.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/assert.hpp"
+
+namespace plum::rt {
+
+namespace {
+
+void put_u32(std::uint32_t v, std::vector<std::byte>* out) {
+  out->push_back(static_cast<std::byte>(v & 0xff));
+  out->push_back(static_cast<std::byte>((v >> 8) & 0xff));
+  out->push_back(static_cast<std::byte>((v >> 16) & 0xff));
+  out->push_back(static_cast<std::byte>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32(const std::byte* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void encode_frame(const Frame& f, std::vector<std::byte>* out) {
+  out->reserve(out->size() + kFrameHeaderBytes + f.payload.size());
+  put_u32(kFrameMagic, out);
+  put_u32(static_cast<std::uint32_t>(f.from), out);
+  put_u32(static_cast<std::uint32_t>(f.to), out);
+  put_u32(static_cast<std::uint32_t>(f.tag), out);
+  put_u32(static_cast<std::uint32_t>(f.payload.size()), out);
+  out->insert(out->end(), f.payload.begin(), f.payload.end());
+}
+
+void encode_control(CtrlOp op, Rank operand, std::vector<std::byte>* out) {
+  Frame f;
+  f.from = kCtrlRank;
+  f.to = operand;
+  f.tag = static_cast<int>(op);
+  encode_frame(f, out);
+}
+
+void FrameDecoder::feed(std::span<const std::byte> chunk) {
+  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+}
+
+bool FrameDecoder::next(Frame* out) {
+  if (buf_.size() < kFrameHeaderBytes) return false;
+  const std::byte* p = buf_.data();
+  const std::uint32_t magic = get_u32(p);
+  PLUM_ASSERT_MSG(magic == kFrameMagic,
+                  "pipe transport: frame stream desynchronized (bad magic)");
+  const std::uint32_t payload_len = get_u32(p + 16);
+  const std::size_t total = kFrameHeaderBytes + payload_len;
+  if (buf_.size() < total) return false;
+  out->from = static_cast<Rank>(static_cast<std::int32_t>(get_u32(p + 4)));
+  out->to = static_cast<Rank>(static_cast<std::int32_t>(get_u32(p + 8)));
+  out->tag = static_cast<int>(static_cast<std::int32_t>(get_u32(p + 12)));
+  out->payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(
+                                         kFrameHeaderBytes),
+                      buf_.begin() + static_cast<std::ptrdiff_t>(total));
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(total));
+  return true;
+}
+
+bool write_all(int fd, const std::byte* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    // send() with MSG_NOSIGNAL turns a dead peer into EPIPE instead of a
+    // process-killing SIGPIPE; falls back to write() for plain pipes.
+    ssize_t w = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
+    if (w < 0 && errno == ENOTSOCK) w = ::write(fd, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+std::ptrdiff_t read_some(int fd, std::byte* data, std::size_t n) {
+  for (;;) {
+    const ssize_t r = ::read(fd, data, n);
+    if (r >= 0) return r;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+}  // namespace plum::rt

@@ -1,0 +1,77 @@
+#include "runtime/proc_group.hpp"
+
+#include <cerrno>
+#include <csignal>
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/assert.hpp"
+
+namespace plum::rt {
+
+ProcGroup::ProcGroup(int ngroups, const ChildMain& child_main) {
+  PLUM_ASSERT(ngroups >= 1);
+  pids_.reserve(static_cast<std::size_t>(ngroups));
+  fds_.reserve(static_cast<std::size_t>(ngroups));
+  for (int g = 0; g < ngroups; ++g) {
+    int sv[2];
+    PLUM_ASSERT_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0,
+                    "ProcGroup: socketpair failed");
+    const pid_t pid = ::fork();
+    PLUM_ASSERT_MSG(pid >= 0, "ProcGroup: fork failed");
+    if (pid == 0) {
+      // Child: keep only our own socket end. Earlier siblings' parent-side
+      // fds were inherited; close them so each parent fd has exactly one
+      // peer process and death shows up as EOF.
+      ::close(sv[0]);
+      for (const int earlier : fds_) ::close(earlier);
+      ::signal(SIGPIPE, SIG_IGN);
+      child_main(g, sv[1]);
+      ::close(sv[1]);
+      ::_exit(0);
+    }
+    ::close(sv[1]);
+    pids_.push_back(pid);
+    fds_.push_back(sv[0]);
+  }
+}
+
+ProcGroup::~ProcGroup() {
+  for (int& fd : fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  for (pid_t& pid : pids_) {
+    if (pid > 0) {
+      int status = 0;
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+      }
+    }
+    pid = -1;
+  }
+}
+
+int ProcGroup::fd(int group) const {
+  PLUM_ASSERT(group >= 0 && group < size());
+  return fds_[static_cast<std::size_t>(group)];
+}
+
+pid_t ProcGroup::pid(int group) const {
+  PLUM_ASSERT(group >= 0 && group < size());
+  return pids_[static_cast<std::size_t>(group)];
+}
+
+bool ProcGroup::alive(int group) {
+  PLUM_ASSERT(group >= 0 && group < size());
+  pid_t& pid = pids_[static_cast<std::size_t>(group)];
+  if (pid <= 0) return false;
+  int status = 0;
+  const pid_t r = ::waitpid(pid, &status, WNOHANG);
+  if (r == 0) return true;  // still running
+  pid = -1;                 // exited (or waitpid failed): reaped, gone
+  return false;
+}
+
+}  // namespace plum::rt

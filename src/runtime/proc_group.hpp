@@ -1,0 +1,58 @@
+#pragma once
+// ProcGroup: the pipe transport's process launcher.
+//
+// Spawns one child OS process per rank group, each connected to the
+// coordinating (parent) process by a SOCK_STREAM socketpair. A child runs a
+// caller-supplied loop over its socket fd and then _exit()s — it never
+// returns into the parent's code (no atexit handlers, no test harness
+// teardown, no flushing of inherited stdio buffers).
+//
+// Lifecycle and failure discipline:
+//   - children are forked in the constructor, sequentially; each child
+//     closes the sockets of its earlier siblings so the parent's end of a
+//     socket is held by exactly one process, making peer death observable
+//     as EOF/EPIPE on the parent side;
+//   - alive(g) probes a child non-blockingly (waitpid WNOHANG), which is
+//     how the transport turns an unexpected exit into a named diagnostic
+//     ("rank group g died") instead of a hang;
+//   - the destructor closes all sockets and reaps every child; callers
+//     wanting a clean shutdown send their own protocol message first.
+//
+// fork() from a process that already runs ParallelEngine worker threads is
+// safe here because the children only execute the caller's loop function,
+// which by contract touches nothing but its own buffers and the socket fd
+// (glibc reinitializes its allocator locks across fork).
+
+#include <functional>
+#include <sys/types.h>
+#include <vector>
+
+namespace plum::rt {
+
+class ProcGroup {
+ public:
+  /// Runs in the child with (group index, socket fd); when it returns the
+  /// child _exit(0)s. Must not touch any parent-owned resource.
+  using ChildMain = std::function<void(int group, int fd)>;
+
+  ProcGroup(int ngroups, const ChildMain& child_main);
+  ~ProcGroup();
+  ProcGroup(const ProcGroup&) = delete;
+  ProcGroup& operator=(const ProcGroup&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(pids_.size()); }
+  /// Parent-side socket fd for group g.
+  [[nodiscard]] int fd(int group) const;
+  /// Child pid for group g (tests use it to simulate rank death).
+  [[nodiscard]] pid_t pid(int group) const;
+
+  /// Non-blocking liveness probe: false once the child has exited (reaped
+  /// lazily here). A dead group can never become alive again.
+  [[nodiscard]] bool alive(int group);
+
+ private:
+  std::vector<pid_t> pids_;   // -1 once reaped
+  std::vector<int> fds_;      // parent ends; -1 once closed
+};
+
+}  // namespace plum::rt

@@ -1,0 +1,209 @@
+#include "runtime/transport.hpp"
+
+#include <cstring>
+#include <iterator>
+#include <string>
+
+#include "runtime/frame.hpp"
+#include "runtime/proc_group.hpp"
+#include "util/assert.hpp"
+
+namespace plum::rt {
+
+const char* transport_kind_name(TransportKind k) {
+  switch (k) {
+    case TransportKind::kInProc: return "inproc";
+    case TransportKind::kPipe: return "pipe";
+  }
+  return "?";
+}
+
+bool parse_transport_kind(std::string_view s, TransportKind* out) {
+  if (s == "inproc") {
+    *out = TransportKind::kInProc;
+    return true;
+  }
+  if (s == "pipe") {
+    *out = TransportKind::kPipe;
+    return true;
+  }
+  return false;
+}
+
+// --- InProcTransport ----------------------------------------------------------
+
+void InProcTransport::exchange(std::vector<SendQueue>& queues,
+                               std::vector<std::vector<Message>>& inboxes) {
+  note_queue_usage(queues);
+  // Sender-rank-major merge: identical order to the sequential reference
+  // engine (ranks run 0..P-1, sends append in program order).
+  for (auto& q : queues) {
+    for (auto& b : q.buckets()) {
+      auto& dst = inboxes[static_cast<std::size_t>(b.to)];
+      dst.insert(dst.end(), std::make_move_iterator(b.msgs.begin()),
+                 std::make_move_iterator(b.msgs.end()));
+    }
+    q.clear();
+  }
+}
+
+// --- PipeTransport ------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kIoChunk = 64 * 1024;
+
+/// Child side: buffer every data frame between barriers; on kDeliver,
+/// stream the buffer back followed by a kDone marker. Touches nothing but
+/// its own vectors and the socket fd (fork-safety contract of ProcGroup).
+void depot_loop(int fd) {
+  FrameDecoder dec;
+  std::vector<std::byte> held;   // re-encoded data frames, arrival order
+  std::vector<std::byte> chunk(kIoChunk);
+  Frame f;
+  for (;;) {
+    const std::ptrdiff_t n = read_some(fd, chunk.data(), chunk.size());
+    if (n <= 0) return;  // coordinator died or closed: exit quietly
+    dec.feed(std::span<const std::byte>(chunk.data(),
+                                        static_cast<std::size_t>(n)));
+    while (dec.next(&f)) {
+      if (!f.is_control()) {
+        encode_frame(f, &held);
+        continue;
+      }
+      switch (static_cast<CtrlOp>(f.tag)) {
+        case CtrlOp::kDeliver: {
+          encode_control(CtrlOp::kDone, 0, &held);
+          if (!write_all(fd, held.data(), held.size())) return;
+          held.clear();
+          held.shrink_to_fit();
+          break;
+        }
+        case CtrlOp::kShutdown:
+          return;
+        case CtrlOp::kDone:
+          return;  // protocol violation; die visibly (EOF upstream)
+      }
+    }
+  }
+}
+
+}  // namespace
+
+class PipeTransport::Impl {
+ public:
+  std::vector<std::vector<std::byte>> stage;  // per-group outgoing bytes
+  std::vector<FrameDecoder> decoders;         // per-group incoming streams
+};
+
+PipeTransport::PipeTransport(Rank nranks, PipeTransportOptions opt)
+    : nranks_(nranks) {
+  PLUM_ASSERT(nranks >= 1);
+  int g = opt.nprocs;
+  if (g <= 0) g = kDefaultMaxProcs;
+  if (g > nranks) g = static_cast<int>(nranks);
+  ngroups_ = g;
+  impl_ = std::make_unique<Impl>();
+  impl_->stage.resize(static_cast<std::size_t>(g));
+  impl_->decoders.resize(static_cast<std::size_t>(g));
+  procs_ = std::make_unique<ProcGroup>(
+      g, [](int /*group*/, int fd) { depot_loop(fd); });
+}
+
+PipeTransport::~PipeTransport() {
+  // Best-effort clean shutdown; ProcGroup's destructor reaps regardless.
+  std::vector<std::byte> bye;
+  encode_control(CtrlOp::kShutdown, 0, &bye);
+  for (int g = 0; g < ngroups_; ++g) {
+    (void)write_all(procs_->fd(g), bye.data(), bye.size());
+  }
+}
+
+void PipeTransport::exchange(std::vector<SendQueue>& queues,
+                             std::vector<std::vector<Message>>& inboxes) {
+  note_queue_usage(queues);
+  auto& stage = impl_->stage;
+  auto& decoders = impl_->decoders;
+  for (auto& s : stage) s.clear();
+
+  auto group_died = [&](int g) {
+    const bool dead = !procs_->alive(g);
+    PLUM_ASSERT_MSG(!dead, "pipe transport: rank group child died "
+                           "mid-superstep (rank death detected)");
+    PLUM_ASSERT_MSG(false, "pipe transport: socket error to live rank group");
+  };
+
+  // Encode every sender's buckets in sender-rank-major program order into
+  // the staging buffer of the destination's group, then append the Deliver
+  // command. Each receiver's ranks live in exactly one group, so replaying
+  // group streams in order reproduces the inproc (sender, program) order.
+  const auto p = static_cast<Rank>(queues.size());
+  for (Rank s = 0; s < p; ++s) {
+    for (auto& b : queues[static_cast<std::size_t>(s)].buckets()) {
+      auto& out = stage[static_cast<std::size_t>(group_of(b.to))];
+      for (auto& m : b.msgs) {
+        Frame f;
+        f.from = s;
+        f.to = b.to;
+        f.tag = m.tag;
+        f.payload = std::move(m.bytes);
+        encode_frame(f, &out);
+      }
+    }
+    queues[static_cast<std::size_t>(s)].clear();
+  }
+  for (int g = 0; g < ngroups_; ++g) {
+    encode_control(CtrlOp::kDeliver, 0, &stage[static_cast<std::size_t>(g)]);
+    if (!write_all(procs_->fd(g), stage[static_cast<std::size_t>(g)].data(),
+                   stage[static_cast<std::size_t>(g)].size())) {
+      group_died(g);
+    }
+  }
+
+  // Drain each group's response stream in group order. Within a group the
+  // frames come back in exactly the order staged above.
+  std::vector<std::byte> chunk(kIoChunk);
+  Frame f;
+  for (int g = 0; g < ngroups_; ++g) {
+    auto& dec = decoders[static_cast<std::size_t>(g)];
+    bool done = false;
+    while (!done) {
+      if (dec.next(&f)) {
+        if (f.is_control()) {
+          PLUM_ASSERT_MSG(static_cast<CtrlOp>(f.tag) == CtrlOp::kDone,
+                          "pipe transport: unexpected control frame");
+          done = true;
+          continue;
+        }
+        inboxes[static_cast<std::size_t>(f.to)].push_back(
+            Message{f.from, f.tag, std::move(f.payload)});
+        continue;
+      }
+      const std::ptrdiff_t n =
+          read_some(procs_->fd(g), chunk.data(), chunk.size());
+      if (n <= 0) group_died(g);
+      dec.feed(std::span<const std::byte>(chunk.data(),
+                                          static_cast<std::size_t>(n)));
+    }
+    PLUM_ASSERT_MSG(!dec.mid_frame(),
+                    "pipe transport: trailing bytes after Done marker");
+  }
+
+  std::size_t resident = 0;
+  for (const auto& s : stage) resident += s.capacity();
+  for (const auto& d : decoders) resident += d.buffered_bytes();
+  note_resident_bytes(resident);
+}
+
+std::unique_ptr<Transport> make_transport(TransportKind kind, Rank nranks,
+                                          PipeTransportOptions opt) {
+  switch (kind) {
+    case TransportKind::kInProc: return std::make_unique<InProcTransport>();
+    case TransportKind::kPipe:
+      return std::make_unique<PipeTransport>(nranks, opt);
+  }
+  PLUM_ASSERT_MSG(false, "unknown transport kind");
+  return nullptr;
+}
+
+}  // namespace plum::rt

@@ -1,0 +1,186 @@
+#pragma once
+// Pluggable message transport for the BSP engines.
+//
+// The engines own *scheduling* (which thread runs which rank when); a
+// Transport owns *delivery*: at every superstep barrier the engine hands it
+// the per-sender outboxes and receives the next superstep's inboxes. The
+// contract is exactly the determinism contract of engine.hpp, restated at
+// the fabric level:
+//
+//   - queues[s] holds sender s's messages in program order, bucketed by
+//     destination in first-send order (sparse: O(distinct destinations),
+//     never an O(P) row — see the waLBerla rule below);
+//   - exchange() must fill inboxes[q] with every message addressed to q,
+//     ordered by sender rank and, within one sender, by program order;
+//   - payload bytes must arrive bit-identical.
+//
+// Any implementation meeting that contract is indistinguishable to rank
+// programs, ledgers, traces, and comm matrices — which is what lets the
+// cross-transport determinism tests compare serialized bytes.
+//
+// Implementations:
+//   InProcTransport — ranks share one address space; delivery is a move of
+//                     the queued Message objects (the fast path, and the
+//                     reference semantics everything else must match).
+//   PipeTransport   — ranks are partitioned into contiguous groups, each
+//                     served by a child OS process (rt::ProcGroup). Every
+//                     message is encoded as a length-prefixed frame
+//                     (rt::frame), written over a socketpair to the child
+//                     owning the *destination* rank group, buffered there
+//                     between barriers, and streamed back on delivery. All
+//                     payload bytes physically leave and re-enter the
+//                     coordinating process, so framing, partial reads/
+//                     writes, backpressure, and peer death are exercised
+//                     for real at P=64-256.
+//
+// Replicated-state rule (Schornbaum & Rüde): no per-rank structure in the
+// transport may be O(P) or O(global mesh). Outboxes are sparse destination
+// buckets, comm accounting is sparse CommCells (engine.hpp), and the pipe
+// coordinator keeps O(groups) staging buffers. peak_queue_cells() exposes
+// the high-water mark so tests can assert O(neighbors) residency.
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "runtime/message.hpp"
+#include "util/types.hpp"
+
+namespace plum::rt {
+
+enum class TransportKind { kInProc, kPipe };
+
+[[nodiscard]] const char* transport_kind_name(TransportKind k);
+/// Parses "inproc" / "pipe" (the --transport spelling). Returns false and
+/// leaves *out untouched on anything else.
+bool parse_transport_kind(std::string_view s, TransportKind* out);
+
+/// One sender's messages for one destination, in program (send) order.
+struct SendBucket {
+  Rank to = kNoRank;
+  std::vector<Message> msgs;
+};
+
+/// One sender's per-superstep outbox: sparse destination buckets in
+/// first-send order. This is the O(neighbors) replacement for the old
+/// dense per-sender vector<vector<Message>> row (which was O(P) per rank,
+/// O(P^2) per superstep — exactly the replicated state the extreme-scale
+/// AMR literature forbids).
+class SendQueue {
+ public:
+  void push(Rank to, Message m) {
+    for (auto& b : buckets_) {
+      if (b.to == to) {
+        b.msgs.push_back(std::move(m));
+        return;
+      }
+    }
+    buckets_.push_back(SendBucket{to, {}});
+    buckets_.back().msgs.push_back(std::move(m));
+  }
+
+  [[nodiscard]] const std::vector<SendBucket>& buckets() const {
+    return buckets_;
+  }
+  [[nodiscard]] std::vector<SendBucket>& buckets() { return buckets_; }
+  [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
+  [[nodiscard]] bool empty() const { return buckets_.empty(); }
+  void clear() { buckets_.clear(); }
+
+ private:
+  std::vector<SendBucket> buckets_;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual TransportKind kind() const = 0;
+  [[nodiscard]] const char* name() const { return transport_kind_name(kind()); }
+
+  /// Superstep barrier: deliver queues[s] into inboxes[q] per the ordering
+  /// contract above. Drains the queues. inboxes must arrive sized P with
+  /// empty slots.
+  virtual void exchange(std::vector<SendQueue>& queues,
+                        std::vector<std::vector<Message>>& inboxes) = 0;
+
+  /// High-water mark of total outbox buckets across all senders in one
+  /// exchange — the per-superstep resident cell count. For a program whose
+  /// ranks each talk to d neighbors this is <= P*d, and the O(neighbors)
+  /// audit in test_runtime asserts it stays far below P^2.
+  [[nodiscard]] std::size_t peak_queue_cells() const { return peak_cells_; }
+
+  /// High-water mark of transport-internal buffer bytes resident at the
+  /// end of an exchange (pipe staging/decoders; 0 for in-proc moves).
+  [[nodiscard]] std::size_t peak_resident_bytes() const {
+    return peak_resident_bytes_;
+  }
+
+ protected:
+  /// Called by implementations at the top of exchange().
+  void note_queue_usage(const std::vector<SendQueue>& queues) {
+    std::size_t cells = 0;
+    for (const auto& q : queues) cells += q.num_buckets();
+    if (cells > peak_cells_) peak_cells_ = cells;
+  }
+  void note_resident_bytes(std::size_t bytes) {
+    if (bytes > peak_resident_bytes_) peak_resident_bytes_ = bytes;
+  }
+
+ private:
+  std::size_t peak_cells_ = 0;
+  std::size_t peak_resident_bytes_ = 0;
+};
+
+/// The shared-memory reference transport: delivery is a move.
+class InProcTransport final : public Transport {
+ public:
+  [[nodiscard]] TransportKind kind() const override {
+    return TransportKind::kInProc;
+  }
+  void exchange(std::vector<SendQueue>& queues,
+                std::vector<std::vector<Message>>& inboxes) override;
+};
+
+struct PipeTransportOptions {
+  /// Child processes (rank groups). 0 picks min(kDefaultMaxProcs, nranks).
+  int nprocs = 0;
+};
+
+class ProcGroup;
+
+/// Multi-process transport: rank groups hosted by child processes behind
+/// socketpair framing. See the header comment for the full protocol.
+class PipeTransport final : public Transport {
+ public:
+  static constexpr int kDefaultMaxProcs = 8;
+
+  explicit PipeTransport(Rank nranks, PipeTransportOptions opt = {});
+  ~PipeTransport() override;
+
+  [[nodiscard]] TransportKind kind() const override {
+    return TransportKind::kPipe;
+  }
+  void exchange(std::vector<SendQueue>& queues,
+                std::vector<std::vector<Message>>& inboxes) override;
+
+  [[nodiscard]] int nprocs() const { return ngroups_; }
+  [[nodiscard]] int group_of(Rank r) const {
+    return static_cast<int>((static_cast<long>(r) * ngroups_) / nranks_);
+  }
+  /// Test access (rank-death simulation).
+  [[nodiscard]] ProcGroup& procs() { return *procs_; }
+
+ private:
+  class Impl;
+  Rank nranks_;
+  int ngroups_;
+  std::unique_ptr<ProcGroup> procs_;
+  std::unique_ptr<Impl> impl_;
+};
+
+std::unique_ptr<Transport> make_transport(TransportKind kind, Rank nranks,
+                                          PipeTransportOptions opt = {});
+
+}  // namespace plum::rt

@@ -29,6 +29,53 @@ DistFramework make_dist(FrameworkOptions opt, int boxn) {
   return fw;
 }
 
+// Cross-transport determinism at the framework level: routing every
+// payload through child depot processes (pipe transport) must leave the
+// whole adaption cycle bit-identical — element counts, solution fields,
+// ledger, deterministic trace and metrics views.
+TEST(DistFramework, PipeTransportCyclesIdenticalToInProc) {
+  auto run_cycles = [](rt::TransportKind transport) {
+    FrameworkOptions opt;
+    opt.nranks = 8;
+    opt.refine_fraction = 0.08;
+    opt.imbalance_trigger = 1.02;  // make the remap path fire
+    opt.solver_steps_per_cycle = 3;
+    opt.transport = transport;
+    opt.transport_procs = 3;
+    auto fw = make_dist(opt, 5);
+    std::vector<DistCycleReport> reps;
+    for (int i = 0; i < 2; ++i) reps.push_back(fw.cycle());
+    fw.dist_mesh().validate();
+    std::vector<std::vector<double>> rho(static_cast<std::size_t>(opt.nranks));
+    for (Rank r = 0; r < opt.nranks; ++r) {
+      rho[static_cast<std::size_t>(r)] = fw.solver().density_field(r);
+    }
+    return std::make_tuple(std::move(reps), fw.elements_per_rank(),
+                           std::move(rho), fw.engine().ledger(),
+                           fw.trace().deterministic_json(),
+                           fw.metrics().deterministic_json().dump());
+  };
+
+  const auto inproc = run_cycles(rt::TransportKind::kInProc);
+  const auto pipe = run_cycles(rt::TransportKind::kPipe);
+
+  const auto& ri = std::get<0>(inproc);
+  const auto& rp = std::get<0>(pipe);
+  ASSERT_EQ(ri.size(), rp.size());
+  for (std::size_t i = 0; i < ri.size(); ++i) {
+    EXPECT_EQ(rp[i].elements_before, ri[i].elements_before);
+    EXPECT_EQ(rp[i].elements_after, ri[i].elements_after);
+    EXPECT_EQ(rp[i].accepted, ri[i].accepted);
+    EXPECT_EQ(rp[i].elements_migrated, ri[i].elements_migrated);
+    EXPECT_EQ(rp[i].volume.total_elems, ri[i].volume.total_elems);
+  }
+  EXPECT_EQ(std::get<1>(pipe), std::get<1>(inproc));  // elements per rank
+  EXPECT_EQ(std::get<2>(pipe), std::get<2>(inproc));  // density fields
+  EXPECT_EQ(std::get<3>(pipe), std::get<3>(inproc));  // full ledger
+  EXPECT_EQ(std::get<4>(pipe), std::get<4>(inproc));  // deterministic trace
+  EXPECT_EQ(std::get<5>(pipe), std::get<5>(inproc));  // deterministic metrics
+}
+
 TEST(DistFramework, CycleRefinesAndStaysConsistent) {
   FrameworkOptions opt;
   opt.nranks = 4;

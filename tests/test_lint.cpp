@@ -69,6 +69,15 @@ TEST(LintFixtures, WallClockInSuperstep) {
   EXPECT_EQ(r.unsuppressed_count(), 2) << plumlint::to_json(r);
 }
 
+TEST(LintFixtures, RawFdInSuperstep) {
+  const LintResult r = lint_fixture("bad_raw_fd_in_superstep.cpp");
+  // A bare read(), a global-scope ::write(), and a bare socket send()
+  // inside the lambda; the outbox.send member call and the host-side fd
+  // use after the run must not be flagged.
+  EXPECT_EQ(r.count_of("raw-fd-in-superstep"), 3);
+  EXPECT_EQ(r.unsuppressed_count(), 3) << plumlint::to_json(r);
+}
+
 TEST(LintFixtures, CleanSuperstepHasNoDiagnostics) {
   const LintResult r = lint_fixture("clean_superstep.cpp");
   EXPECT_EQ(r.unsuppressed_count(), 0) << plumlint::to_json(r);
@@ -103,7 +112,8 @@ TEST(LintFixtures, WholeDirectoryLintsWithSameTotals) {
        {"bad_rank_guard.cpp", "bad_unordered_iter.cpp",
         "bad_shared_accumulator.cpp", "bad_metrics_in_superstep.cpp",
         "bad_nondeterminism.cpp", "bad_wallclock_in_superstep.cpp",
-        "clean_superstep.cpp", "suppressed.cpp", "bad_suppression.cpp"}) {
+        "bad_raw_fd_in_superstep.cpp", "clean_superstep.cpp",
+        "suppressed.cpp", "bad_suppression.cpp"}) {
     std::ifstream in(fixture_path(name));
     ASSERT_TRUE(in.is_open()) << name;
     std::ostringstream ss;
@@ -116,8 +126,9 @@ TEST(LintFixtures, WholeDirectoryLintsWithSameTotals) {
   EXPECT_EQ(r.count_of("shared-accumulator"), 6);  // 3 writes + 3 method calls
   EXPECT_EQ(r.count_of("nondeterminism-source"), 5);  // 4 + rand() above
   EXPECT_EQ(r.count_of("wall-clock-in-superstep"), 2);
+  EXPECT_EQ(r.count_of("raw-fd-in-superstep"), 3);
   EXPECT_EQ(r.suppressed_count(), 3);
-  EXPECT_EQ(r.files_scanned, 9);
+  EXPECT_EQ(r.files_scanned, 10);
 }
 
 // --- API-level cases ---------------------------------------------------------

@@ -3,10 +3,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <csignal>
 #include <numeric>
+#include <span>
+
+#include <sys/wait.h>
 
 #include "runtime/collectives.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/frame.hpp"
+#include "runtime/proc_group.hpp"
+#include "runtime/transport.hpp"
 
 namespace plum::rt {
 namespace {
@@ -355,6 +363,252 @@ TEST(Engine, RunAbortsOnLivelock) {
   EXPECT_DEATH(
       eng.run([](Rank, const Inbox&, Outbox&) { return true; }, 100),
       "did not terminate");
+}
+
+// --- wire framing -------------------------------------------------------------
+
+std::vector<Frame> sample_frames() {
+  std::vector<Frame> fs;
+  fs.push_back({0, 1, 7, {std::byte{0xde}, std::byte{0xad}}});
+  fs.push_back({3, 0, 0, {}});  // empty payload
+  Frame big;
+  big.from = 2;
+  big.to = 3;
+  big.tag = 42;
+  big.payload.resize(100000);
+  for (std::size_t i = 0; i < big.payload.size(); ++i) {
+    big.payload[i] = static_cast<std::byte>(i * 31 + 7);
+  }
+  fs.push_back(std::move(big));
+  return fs;
+}
+
+TEST(Frame, EncodeDecodeRoundTrip) {
+  std::vector<std::byte> wire;
+  const auto want = sample_frames();
+  for (const auto& f : want) encode_frame(f, &wire);
+  encode_control(CtrlOp::kDone, 5, &wire);
+
+  FrameDecoder dec;
+  dec.feed(wire);
+  Frame f;
+  for (const auto& w : want) {
+    ASSERT_TRUE(dec.next(&f));
+    EXPECT_FALSE(f.is_control());
+    EXPECT_EQ(f, w);
+  }
+  ASSERT_TRUE(dec.next(&f));
+  EXPECT_TRUE(f.is_control());
+  EXPECT_EQ(static_cast<CtrlOp>(f.tag), CtrlOp::kDone);
+  EXPECT_EQ(f.to, 5);
+  EXPECT_FALSE(dec.next(&f));
+  EXPECT_FALSE(dec.mid_frame());
+}
+
+TEST(Frame, DecoderHandlesSplitAndCoalescedReads) {
+  std::vector<std::byte> wire;
+  const auto want = sample_frames();
+  // Three copies of the batch so frames also straddle batch boundaries.
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const auto& f : want) encode_frame(f, &wire);
+  }
+
+  // Deterministic "fuzz": every chunking from 1-byte trickles through
+  // chunks far larger than a frame must yield the identical frame list.
+  for (const std::size_t chunk :
+       {std::size_t{1}, std::size_t{3}, std::size_t{7}, std::size_t{19},
+        std::size_t{kFrameHeaderBytes}, std::size_t{4096}, wire.size()}) {
+    FrameDecoder dec;
+    std::vector<Frame> got;
+    Frame f;
+    for (std::size_t at = 0; at < wire.size(); at += chunk) {
+      const std::size_t n = std::min(chunk, wire.size() - at);
+      dec.feed(std::span<const std::byte>(wire.data() + at, n));
+      while (dec.next(&f)) got.push_back(std::move(f));
+    }
+    ASSERT_EQ(got.size(), 3 * want.size()) << "chunk=" << chunk;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], want[i % want.size()]) << "chunk=" << chunk;
+    }
+    EXPECT_FALSE(dec.mid_frame()) << "chunk=" << chunk;
+  }
+}
+
+TEST(Frame, MidFrameReportsIncompleteTail) {
+  std::vector<std::byte> wire;
+  encode_frame({0, 1, 2, {std::byte{1}, std::byte{2}, std::byte{3}}}, &wire);
+  FrameDecoder dec;
+  // Header only: no frame yet, but the decoder knows bytes are pending —
+  // this is how the transport detects a peer that died mid-frame.
+  dec.feed(std::span<const std::byte>(wire.data(), kFrameHeaderBytes));
+  Frame f;
+  EXPECT_FALSE(dec.next(&f));
+  EXPECT_TRUE(dec.mid_frame());
+  dec.feed(std::span<const std::byte>(wire.data() + kFrameHeaderBytes,
+                                      wire.size() - kFrameHeaderBytes));
+  EXPECT_TRUE(dec.next(&f));
+  EXPECT_FALSE(dec.mid_frame());
+}
+
+// --- transport ----------------------------------------------------------------
+
+TEST(SendQueue, BucketsInFirstSendOrderProgramOrderWithin) {
+  SendQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push(3, Message{0, 1, {}});
+  q.push(1, Message{0, 2, {}});
+  q.push(3, Message{0, 3, {}});
+  ASSERT_EQ(q.num_buckets(), 2u);  // sparse: two destinations, two buckets
+  EXPECT_EQ(q.buckets()[0].to, 3);  // first-send order, not rank order
+  EXPECT_EQ(q.buckets()[1].to, 1);
+  ASSERT_EQ(q.buckets()[0].msgs.size(), 2u);
+  EXPECT_EQ(q.buckets()[0].msgs[0].tag, 1);
+  EXPECT_EQ(q.buckets()[0].msgs[1].tag, 3);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Transport, ParseAndNameRoundTrip) {
+  TransportKind k = TransportKind::kPipe;
+  EXPECT_TRUE(parse_transport_kind("inproc", &k));
+  EXPECT_EQ(k, TransportKind::kInProc);
+  EXPECT_TRUE(parse_transport_kind("pipe", &k));
+  EXPECT_EQ(k, TransportKind::kPipe);
+  EXPECT_FALSE(parse_transport_kind("tcp", &k));
+  EXPECT_EQ(k, TransportKind::kPipe);  // untouched on failure
+  EXPECT_STREQ(transport_kind_name(TransportKind::kInProc), "inproc");
+  EXPECT_STREQ(transport_kind_name(TransportKind::kPipe), "pipe");
+}
+
+/// Runs a degree-2 ring exchange (each rank talks to its two neighbors)
+/// for several supersteps and returns the engine's transport for auditing.
+void run_ring_exchange(Engine& eng, int steps) {
+  const Rank p = eng.nranks();
+  eng.run([&](Rank r, const Inbox& in, Outbox& out) {
+    for (const auto& m : in.messages()) {
+      (void)unpack<std::int32_t>(m);
+    }
+    if (out.step() >= steps) return false;
+    out.send_vec<std::int32_t>((r + 1) % p, 0, {static_cast<std::int32_t>(r)});
+    out.send_vec<std::int32_t>((r + p - 1) % p, 1,
+                               {static_cast<std::int32_t>(r)});
+    return true;
+  });
+}
+
+// The replicated-state audit: for a P=64 ring, the resident transport
+// queue state must be O(P * neighbors), never O(P^2). The old engine
+// allocated a dense P*P vector-of-vectors per superstep (4096 cells here);
+// sparse SendQueue buckets keep it at exactly P * degree = 128.
+TEST(Transport, ResidentQueueStateIsNeighborsNotRanksSquared) {
+  const Rank p = 64;
+  const std::size_t degree = 2;
+  for (const TransportKind kind : {TransportKind::kInProc,
+                                   TransportKind::kPipe}) {
+    auto eng = make_engine(p, 1, kind);
+    run_ring_exchange(*eng, 5);
+    const std::size_t cells = eng->transport().peak_queue_cells();
+    EXPECT_EQ(cells, static_cast<std::size_t>(p) * degree)
+        << transport_kind_name(kind);
+    EXPECT_LT(cells, static_cast<std::size_t>(p) * static_cast<std::size_t>(p) / 8)
+        << transport_kind_name(kind);
+  }
+  // And the pipe coordinator's own buffers: O(groups) staging vectors whose
+  // bytes scale with traffic per barrier, not with P^2 bookkeeping.
+  auto eng = make_engine(p, 1, TransportKind::kPipe);
+  run_ring_exchange(*eng, 5);
+  // 128 messages/step * (20-byte header + 4-byte payload) plus slack.
+  EXPECT_LT(eng->transport().peak_resident_bytes(), std::size_t{64} * 1024);
+}
+
+TEST(ProcGroup, ChildrenEchoAndAreReaped) {
+  const int n = 3;
+  ProcGroup pg(n, [](int group, int fd) {
+    // Echo child: read whatever arrives, write it straight back, tagged
+    // with the group id in the first byte.
+    std::byte buf[64];
+    for (;;) {
+      const std::ptrdiff_t got = read_some(fd, buf, sizeof buf);
+      if (got <= 0) return;
+      buf[0] = static_cast<std::byte>(group);
+      if (!write_all(fd, buf, static_cast<std::size_t>(got))) return;
+    }
+  });
+  ASSERT_EQ(pg.size(), n);
+  for (int g = 0; g < n; ++g) {
+    ASSERT_TRUE(pg.alive(g));
+    const std::byte out[3] = {std::byte{0xff},
+                              static_cast<std::byte>(g == 1 ? 1 : 2),
+                              std::byte{9}};
+    ASSERT_TRUE(write_all(pg.fd(g), out, sizeof out));
+    std::byte in[3] = {};
+    std::size_t have = 0;
+    while (have < sizeof in) {
+      const std::ptrdiff_t got =
+          read_some(pg.fd(g), in + have, sizeof in - have);
+      ASSERT_GT(got, 0);
+      have += static_cast<std::size_t>(got);
+    }
+    EXPECT_EQ(static_cast<int>(in[0]), g);
+    EXPECT_EQ(in[1], out[1]);
+    EXPECT_EQ(in[2], out[2]);
+  }
+  // Destructor closes the sockets (EOF to the children) and reaps them.
+}
+
+TEST(ProcGroup, AliveSeesChildExit) {
+  ProcGroup pg(1, [](int, int) { /* exit immediately */ });
+  // The child runs _exit(0) as soon as child_main returns; alive() reaps
+  // it via waitpid. Poll without sleeping: the child does no work.
+  bool gone = false;
+  for (int i = 0; i < 100000 && !gone; ++i) gone = !pg.alive(0);
+  EXPECT_TRUE(gone);
+}
+
+TEST(PipeTransport, GroupsPartitionRanksContiguously) {
+  PipeTransportOptions opt;
+  opt.nprocs = 3;
+  PipeTransport t(8, opt);
+  EXPECT_EQ(t.nprocs(), 3);
+  int last = 0;
+  for (Rank r = 0; r < 8; ++r) {
+    const int g = t.group_of(r);
+    EXPECT_GE(g, last);  // contiguous, monotone
+    EXPECT_LT(g, 3);
+    last = g;
+  }
+  EXPECT_EQ(t.group_of(0), 0);
+  EXPECT_EQ(t.group_of(7), 2);
+
+  // More groups than ranks clamps to one child per rank.
+  PipeTransportOptions wide;
+  wide.nprocs = 64;
+  PipeTransport t2(4, wide);
+  EXPECT_EQ(t2.nprocs(), 4);
+}
+
+TEST(PipeTransportDeathTest, AbortsWhenRankGroupChildDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        PipeTransportOptions opt;
+        opt.nprocs = 2;
+        auto transport = std::make_unique<PipeTransport>(4, opt);
+        PipeTransport* pipe = transport.get();
+        Engine eng(4, std::move(transport));
+        ::kill(pipe->procs().pid(0), SIGKILL);
+        // Give the kernel a moment to deliver the EOF/EPIPE.
+        int status = 0;
+        ::waitpid(pipe->procs().pid(0), &status, 0);
+        eng.run([&](Rank r, const Inbox&, Outbox& out) {
+          if (out.step() == 0) {
+            out.send_vec<std::int32_t>(0, 0, {static_cast<std::int32_t>(r)});
+            return true;
+          }
+          return false;
+        });
+      },
+      "rank group child died");
 }
 
 }  // namespace

@@ -1,12 +1,15 @@
 // check_bench_json: CI gate for the machine-readable bench reports.
 //
-//   check_bench_json BENCH_fig4.json [BENCH_fig5.json ...]
+//   check_bench_json BENCH_fig4.json [RUN_bench_distributed.json ...]
 //
-// Each file must parse as strict JSON and validate against the
-// "plum-bench/1" / "plum-bench/2" schemas (obs::validate_bench_report —
-// the same validator the unit tests exercise, so the gate and the tests
-// cannot drift). v2 adds gauge series, the per-run comm matrix, and the
-// gate-audit log; see src/obs/bench_schema.hpp.
+// Each file must parse as strict JSON and validate against its schema:
+//   plum-bench/1|2 — obs::validate_bench_report (the same validator the
+//                    unit tests exercise, so the gate and the tests cannot
+//                    drift). v2 adds gauge series, the per-run comm matrix,
+//                    and the gate-audit log; see src/obs/bench_schema.hpp.
+//   plum-run/1     — the trace+metrics document plum-report renders: a
+//                    string "name", a "trace" object holding "phases" and
+//                    "supersteps" arrays, and a "metrics" object.
 // Exit code 0 iff every file is valid; each failure is reported on stderr.
 
 #include <cstdio>
@@ -17,9 +20,38 @@
 #include "obs/bench_schema.hpp"
 #include "obs/json.hpp"
 
+namespace {
+
+using plum::obs::Json;
+
+/// Structural validation of a "plum-run/1" document. Returns "" when valid.
+std::string validate_run_doc(const Json& doc) {
+  const Json* name = doc.find("name");
+  if (name == nullptr || !name->is_string()) {
+    return "missing or non-string \"name\"";
+  }
+  const Json* trace = doc.find("trace");
+  if (trace == nullptr || !trace->is_object()) {
+    return "missing or non-object \"trace\"";
+  }
+  for (const char* key : {"phases", "supersteps"}) {
+    const Json* arr = trace->find(key);
+    if (arr == nullptr || !arr->is_array()) {
+      return std::string("trace missing array \"") + key + "\"";
+    }
+  }
+  const Json* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return "missing or non-object \"metrics\"";
+  }
+  return "";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <BENCH_*.json>...\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <BENCH_*.json|RUN_*.json>...\n", argv[0]);
     return 2;
   }
 
@@ -35,13 +67,28 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << in.rdbuf();
 
-    plum::obs::Json doc;
+    Json doc;
     std::string err;
-    if (!plum::obs::Json::parse(buf.str(), &doc, &err)) {
+    if (!Json::parse(buf.str(), &doc, &err)) {
       std::fprintf(stderr, "%s: parse error: %s\n", path, err.c_str());
       ++failures;
       continue;
     }
+
+    const Json* schema = doc.is_object() ? doc.find("schema") : nullptr;
+    if (schema != nullptr && schema->is_string() &&
+        schema->as_string() == "plum-run/1") {
+      err = validate_run_doc(doc);
+      if (!err.empty()) {
+        std::fprintf(stderr, "%s: schema violation: %s\n", path, err.c_str());
+        ++failures;
+        continue;
+      }
+      std::printf("%s: ok (plum-run/1, run \"%s\")\n", path,
+                  doc.find("name")->as_string().c_str());
+      continue;
+    }
+
     err = plum::obs::validate_bench_report(doc);
     if (!err.empty()) {
       std::fprintf(stderr, "%s: schema violation: %s\n", path, err.c_str());

@@ -15,6 +15,7 @@ constexpr const char* kUnordered = "unordered-iteration";
 constexpr const char* kSharedAcc = "shared-accumulator";
 constexpr const char* kNondet = "nondeterminism-source";
 constexpr const char* kWallClock = "wall-clock-in-superstep";
+constexpr const char* kRawFd = "raw-fd-in-superstep";
 constexpr const char* kBadSuppress = "bad-suppression";
 constexpr const char* kUnusedSuppress = "unused-suppression";
 
@@ -603,6 +604,50 @@ void check_wallclock_in_body(const std::string& file, const Tokens& t,
   }
 }
 
+// --- check: raw-fd-in-superstep -----------------------------------------------
+
+/// POSIX fd calls whose presence in a rank program means it is doing its
+/// own IO. All process-boundary IO belongs to the Transport behind the
+/// barrier (rt::frame's write_all / read_some are the only sanctioned fd
+/// touchpoints); a send() or read() inside a superstep lambda bypasses the
+/// ledger, the conservation check, and the delivery-order contract.
+const std::set<std::string>& raw_fd_functions() {
+  static const std::set<std::string> f = {
+      "accept", "bind",     "close",   "connect", "creat",   "dup",
+      "dup2",   "dup3",     "fcntl",   "ioctl",   "listen",  "open",
+      "openat", "pipe",     "pipe2",   "poll",    "ppoll",   "pread",
+      "pselect", "pwrite",  "read",    "readv",   "recv",    "recvfrom",
+      "recvmsg", "select",  "send",    "sendmsg", "sendto",  "socket",
+      "socketpair", "write", "writev"};
+  return f;
+}
+
+/// Bare POSIX fd calls inside a superstep lambda. Member calls
+/// (`out.send(...)` — the Outbox API) and namespace-qualified names
+/// (`rt::read_some`, which is not on the list anyway) are skipped; bare
+/// and global-scope (`::write(...)`) calls are flagged.
+void check_raw_fd_in_body(const std::string& file, const Tokens& t,
+                          const SuperstepLambda& lam,
+                          std::vector<Diagnostic>& out) {
+  for (std::size_t i = lam.body_begin; i <= lam.body_end; ++i) {
+    const Token& tk = t[i];
+    if (tk.kind != Tok::Ident || tk.preproc) continue;
+    if (raw_fd_functions().find(tk.text) == raw_fd_functions().end()) continue;
+    if (i + 1 >= t.size() || !is(t[i + 1], "(")) continue;
+    if (i > 0 && (is(t[i - 1], ".") || is(t[i - 1], "->"))) continue;
+    if (i > 1 && is(t[i - 1], "::") && t[i - 2].kind == Tok::Ident) continue;
+    out.push_back(
+        {file, tk.line, kRawFd,
+         "'" + tk.text +
+             "(...)' inside a superstep lambda: rank programs must not "
+             "touch file descriptors — IO crosses the barrier outside the "
+             "ledger and the transport's delivery-order contract; post "
+             "bytes via Outbox::send and let the Transport move them",
+         false,
+         ""});
+  }
+}
+
 // --- suppressions -------------------------------------------------------------
 
 struct Suppression {
@@ -692,6 +737,9 @@ const std::vector<CheckInfo>& checks() {
        "rand()/time()/std::random_device/pointer-hash and friends"},
       {kWallClock,
        "util::Timer / std::chrono ::now() reads inside superstep lambdas"},
+      {kRawFd,
+       "bare POSIX fd calls (read/write/send/recv/...) inside superstep "
+       "lambdas"},
       {kBadSuppress, "malformed or unjustified plum-lint suppressions"},
       {kUnusedSuppress, "suppressions that no longer match any diagnostic"},
   };
@@ -740,6 +788,7 @@ LintResult lint_files(const std::vector<FileInput>& files) {
     for (const auto& lam : find_superstep_lambdas(t)) {
       check_superstep_body(path, t, lam, diags);
       check_wallclock_in_body(path, t, lam, diags);
+      check_raw_fd_in_body(path, t, lam, diags);
     }
 
     std::vector<Suppression> sups;

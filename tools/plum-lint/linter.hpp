@@ -1,7 +1,7 @@
 #pragma once
 // plum-lint: rank-safety & determinism static checker for BSP superstep
 // code. Enforces the determinism contract of src/runtime/engine.hpp over
-// the source tree with five checks (see kChecks for the registry):
+// the source tree with six checks (see kChecks for the registry):
 //
 //   rank-guard-mutation    writes to captured state guarded by a
 //                          `rank == 0` style condition inside a superstep
@@ -28,6 +28,13 @@
 //                          clocks — the engine measures per-rank step
 //                          seconds at the barrier, and plum-path's
 //                          deterministic view relies on counters only.
+//   raw-fd-in-superstep    bare POSIX fd calls (read/write/send/recv/
+//                          open/close/...) inside superstep lambdas: all
+//                          process-boundary IO belongs to the Transport
+//                          at the barrier (runtime/frame.hpp), never to a
+//                          rank program — fd traffic bypasses the ledger
+//                          and the delivery-order contract. Member calls
+//                          like `out.send(...)` are not flagged.
 //
 // Suppressions: `// plum-lint: allow(<check>) -- <justification>` on the
 // same line or the line directly above the diagnostic. The justification
