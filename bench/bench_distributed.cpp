@@ -178,6 +178,16 @@ int main(int argc, char** argv) {
         .metric_int("msgs_sent", msgs)
         .metric_int("bytes_sent", fw.engine().ledger().total_bytes())
         .metric_int("supersteps", fw.engine().ledger().num_supersteps())
+        // Comm-accounting footprint: the ledger's matrix is row-sparse, so
+        // cells is the number of (sender, receiver) pairs that actually
+        // communicated — O(P * degree), not P^2 — and resident_bytes is
+        // what the accounting keeps in memory. Both are deterministic and
+        // transport-invariant, so the weak baseline gates that the
+        // accounting itself scales.
+        .metric_int("comm_resident_cells",
+                    fw.engine().ledger().comm_matrix().resident_cells())
+        .metric_int("comm_resident_bytes",
+                    fw.engine().ledger().comm_matrix().resident_bytes())
         .metric_int("accepted", rep.accepted ? 1 : 0)
         .metrics_from(fw.metrics())
         .gate_audit_from(fw.trace())

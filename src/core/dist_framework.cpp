@@ -21,6 +21,7 @@ namespace {
 std::vector<std::vector<char>> threshold_marks(
     const pmesh::DistMesh& dm,
     const std::vector<std::vector<double>>& err_per_rank, double threshold) {
+  // plum-scale: host-only -- host driver staging for the initial scatter, never rank-resident
   std::vector<std::vector<char>> seeds(
       static_cast<std::size_t>(dm.nranks()));
   for (Rank r = 0; r < dm.nranks(); ++r) {
@@ -41,6 +42,7 @@ std::vector<std::vector<char>> threshold_marks(
 /// Per-rank error fields from the parallel solution.
 std::vector<std::vector<double>> rank_errors(
     const pmesh::DistMesh& dm, const pmesh::ParallelEulerSolver& solver) {
+  // plum-scale: host-only -- host driver gather of per-rank error lists
   std::vector<std::vector<double>> err(static_cast<std::size_t>(dm.nranks()));
   for (Rank r = 0; r < dm.nranks(); ++r) {
     err[static_cast<std::size_t>(r)] = adapt::edge_error(
@@ -103,6 +105,7 @@ DistCycleReport DistFramework::cycle() {
     obs::PhaseScope ph(trace_, "coarsen");
     const auto cerr = rank_errors(*dm_, *solver_);
     // Bottom-fraction threshold over owned active edges (host quantile).
+    // plum-scale: host-only -- host driver gather of owned error values
     std::vector<std::vector<double>> owned(static_cast<std::size_t>(P));
     for (Rank r = 0; r < P; ++r) {
       const auto& lm = dm_->local(r);
@@ -120,6 +123,7 @@ DistCycleReport DistFramework::cycle() {
         opt_.coarsen_fraction * static_cast<double>(all.size()));
     if (k > 0 && !all.empty()) {
       const double low = all[std::min(k, all.size() - 1)];
+      // plum-scale: host-only -- host driver gather of coarsen marks
       std::vector<std::vector<char>> cmarks(static_cast<std::size_t>(P));
       for (Rank r = 0; r < P; ++r) {
         const auto& lm = dm_->local(r);
@@ -148,6 +152,7 @@ DistCycleReport DistFramework::cycle() {
   // this phase uses the explicit begin/end API rather than a scope.)
   const std::size_t mark_phase = trace_.begin_phase("mark");
   auto err = rank_errors(*dm_, *solver_);
+  // plum-scale: host-only -- host driver gather of owned errors
   std::vector<std::vector<double>> owned_errs(static_cast<std::size_t>(P));
   for (Rank r = 0; r < P; ++r) {
     const auto& lm = dm_->local(r);
@@ -191,6 +196,7 @@ DistCycleReport DistFramework::cycle() {
     Weight wremap_pred;
     Weight wremap_cur;
   };
+  // plum-scale: host-only -- host-side gather of per-rank predicted root weights
   std::vector<std::vector<RootW>> rows(static_cast<std::size_t>(P));
   for (Rank r = 0; r < P; ++r) {
     const auto& lm = dm_->local(r);
@@ -227,6 +233,7 @@ DistCycleReport DistFramework::cycle() {
   }
 
   // --- 5. host-side balance gate + repartition + reassignment ------------------
+  // plum-scale: host-only -- host-side load table for the rebalance decision
   std::vector<Weight> loads_old(static_cast<std::size_t>(P), 0);
   for (Index v = 0; v < nroots; ++v) {
     loads_old[static_cast<std::size_t>(root_part_[v])] +=
@@ -258,8 +265,18 @@ DistCycleReport DistFramework::cycle() {
 
     const auto& move_w =
         opt_.remap_before_subdivision ? wremap_cur : wremap_pred;
-    const auto S = remap::SimilarityMatrix::build(root_part_, repart.part,
-                                                  move_w, P, P);
+    // Row-wise sparse construction, as each processor would compute and ship
+    // its own similarity row (paper §4.3): the gather moves O(nonzeros)
+    // cells instead of a dense P x (P*F) block, and the dense fold happens
+    // here on the host.
+    // plum-scale: host-only -- host-side gather of sparse similarity rows (one per rank)
+    std::vector<std::vector<remap::SimilarityCell>> srows(
+        static_cast<std::size_t>(P));
+    for (Rank r = 0; r < P; ++r) {
+      srows[static_cast<std::size_t>(r)] = remap::SimilarityMatrix::
+          build_row_sparse(r, root_part_, repart.part, move_w);
+    }
+    const auto S = remap::SimilarityMatrix::from_sparse_rows(srows, P);
     remap::Assignment assign;
     {
       obs::PhaseScope ph(trace_, "reassign");
@@ -271,6 +288,7 @@ DistCycleReport DistFramework::cycle() {
     }
     rep.volume = remap::evaluate_assignment(S, assign);
 
+    // plum-scale: host-only -- host-side load table for the rebalance decision
     std::vector<Weight> loads_new(static_cast<std::size_t>(P), 0);
     partition::PartVec new_part(root_part_.size());
     for (std::size_t v = 0; v < new_part.size(); ++v) {
@@ -286,6 +304,7 @@ DistCycleReport DistFramework::cycle() {
           wremap_pred[static_cast<std::size_t>(v)] -
           wremap_cur[static_cast<std::size_t>(v)];
     }
+    // plum-scale: host-only -- host-side load tables for gain accounting
     std::vector<Weight> ref_old(static_cast<std::size_t>(P), 0),
         ref_new(static_cast<std::size_t>(P), 0);
     for (Index v = 0; v < nroots; ++v) {

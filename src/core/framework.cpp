@@ -17,6 +17,7 @@ std::vector<Weight> proc_sums(const partition::PartVec& part,
                               const std::vector<Weight>& weights,
                               Rank nprocs,
                               const std::vector<Rank>* part_to_proc) {
+  // plum-scale: host-only -- sequential PLUM driver load table
   std::vector<Weight> loads(static_cast<std::size_t>(nprocs), 0);
   for (std::size_t v = 0; v < part.size(); ++v) {
     const Rank p = part_to_proc

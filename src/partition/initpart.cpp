@@ -139,6 +139,7 @@ PartVec initial_partition(const graph::Csr& g, Rank nparts, Rng& rng) {
   // Guarantee non-empty parts: steal one vertex for any empty part from the
   // largest part (can happen on tiny/disconnected coarsest graphs).
   for (;;) {
+    // plum-scale: host-only -- serial host-side partitioner scratch
     std::vector<Index> counts(static_cast<std::size_t>(nparts), 0);
     for (Rank q : part) ++counts[static_cast<std::size_t>(q)];
     Rank empty = kNoRank;

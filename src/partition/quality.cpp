@@ -18,6 +18,7 @@ Weight edge_cut(const graph::Csr& g, const PartVec& part) {
 
 std::vector<Weight> part_loads(const graph::Csr& g, const PartVec& part,
                                Rank nparts) {
+  // plum-scale: host-only -- host-side partition-quality report scratch
   std::vector<Weight> loads(static_cast<std::size_t>(nparts), 0);
   for (Index v = 0; v < g.num_vertices(); ++v) {
     loads[static_cast<std::size_t>(part[v])] += g.wcomp(v);
@@ -41,6 +42,7 @@ QualityReport evaluate_quality(const graph::Csr& g, const PartVec& part,
 bool is_valid_partition(const graph::Csr& g, const PartVec& part,
                         Rank nparts) {
   if (static_cast<Index>(part.size()) != g.num_vertices()) return false;
+  // plum-scale: host-only -- host-side partition-quality report scratch
   std::vector<char> seen(static_cast<std::size_t>(nparts), 0);
   for (Rank p : part) {
     if (p < 0 || p >= nparts) return false;

@@ -14,6 +14,7 @@ RefineStats refine_kway(const graph::Csr& g, PartVec& part, Rank nparts,
   stats.cut_before = edge_cut(g, part);
 
   std::vector<Weight> loads = part_loads(g, part, nparts);
+  // plum-scale: host-only -- serial host-side k-way refiner scratch
   std::vector<Index> counts(static_cast<std::size_t>(nparts), 0);
   for (Rank p : part) ++counts[static_cast<std::size_t>(p)];
 
@@ -25,7 +26,9 @@ RefineStats refine_kway(const graph::Csr& g, PartVec& part, Rank nparts,
   std::iota(order.begin(), order.end(), 0);
 
   // Per-candidate-part connection weights, reset per vertex via a stamp.
+  // plum-scale: host-only -- serial host-side k-way refiner scratch
   std::vector<Weight> conn(static_cast<std::size_t>(nparts), 0);
+  // plum-scale: host-only -- serial host-side k-way refiner scratch
   std::vector<int> stamp(static_cast<std::size_t>(nparts), -1);
 
   for (int pass = 0; pass < opt.max_passes; ++pass) {

@@ -12,6 +12,7 @@ DistMesh::DistMesh(const TetMesh& global, const partition::PartVec& root_part,
                    Rank nranks) {
   PLUM_ASSERT(static_cast<Index>(root_part.size()) ==
               global.num_initial_elements());
+  // plum-scale: dist(P) -- the in-process harness hosts one LocalMesh per simulated rank
   locals_.resize(static_cast<std::size_t>(nranks));
 
   // Rank of every element = rank of its root; of every boundary face = rank
@@ -57,9 +58,11 @@ DistMesh::DistMesh(const TetMesh& global, const partition::PartVec& root_part,
   // Per-global-entity local ids per rank (kInvalidIndex = not present).
   const Index nv = global.num_vertices();
   const Index ne = global.num_edges();
+  // plum-scale: host-only -- construction-time scatter map, built once on the host
   std::vector<std::vector<Index>> vmap(
       static_cast<std::size_t>(nranks),
       std::vector<Index>(static_cast<std::size_t>(nv), kInvalidIndex));
+  // plum-scale: host-only -- construction-time scatter map, built once on the host
   std::vector<std::vector<Index>> emap(
       static_cast<std::size_t>(nranks),
       std::vector<Index>(static_cast<std::size_t>(ne), kInvalidIndex));

@@ -54,7 +54,9 @@ struct LocalMesh {
 
   /// SPLs; only boundary objects appear. Keys iterate in ascending local
   /// id so every traversal (message building, validation) is deterministic.
+  // plum-scale: dist(P) -- keyed by global id but holds only this rank's shared-boundary entries, O(cut) not O(N)
   SplMap shared_verts;
+  // plum-scale: dist(P) -- keyed by global id but holds only this rank's shared-boundary entries, O(cut) not O(N)
   SplMap shared_edges;
 
   [[nodiscard]] bool vert_is_shared(Index v) const {

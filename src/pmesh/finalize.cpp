@@ -35,6 +35,7 @@ std::vector<std::vector<Index>> number_objects(
     const std::function<const std::vector<SharedCopy>*(Rank, Index)>& spl_of,
     const std::function<bool(Rank, Index)>& in_first_pass) {
   const Rank P = dm.nranks();
+  // plum-scale: host-only -- host-side gather of per-rank global ids during finalize
   std::vector<std::vector<Index>> gid(static_cast<std::size_t>(P));
   for (Rank r = 0; r < P; ++r) {
     gid[static_cast<std::size_t>(r)].assign(
@@ -58,6 +59,7 @@ std::vector<std::vector<Index>> number_objects(
   // Push ids to non-owning copies (one superstep of GidMsg batches).
   eng.run([&](Rank r, const rt::Inbox& inbox, rt::Outbox& out) {
     if (out.step() == 0) {
+      // plum-scale: dist(P) -- per-destination staging buckets; headers O(P), payload O(messages)
       std::vector<std::vector<GidMsg>> outgoing(static_cast<std::size_t>(P));
       const Index n = count_of(r);
       for (Index i = 0; i < n; ++i) {
@@ -124,6 +126,7 @@ FinalizeResult finalize_gather(const DistMesh& dm, rt::Engine& eng) {
   const auto& edge_gid = out.edge_global;
 
   // --- elements (never shared; level-0 first, preserving per-rank order) ----
+  // plum-scale: host-only -- the gathered final mesh lives on the host
   out.elem_global.resize(static_cast<std::size_t>(P));
   Index next_elem = 0;
   for (int pass = 0; pass < 2; ++pass) {
@@ -141,6 +144,7 @@ FinalizeResult finalize_gather(const DistMesh& dm, rt::Engine& eng) {
   }
 
   // --- boundary faces (local; simple per-rank offsets) ----------------------
+  // plum-scale: host-only -- host-side prefix-offset table for the gathered mesh
   std::vector<Index> bface_offset(static_cast<std::size_t>(P) + 1, 0);
   for (Rank r = 0; r < P; ++r) {
     bface_offset[static_cast<std::size_t>(r) + 1] =

@@ -19,7 +19,9 @@ MigrateStats migrate(DistMesh& dm, rt::Engine& eng,
                      std::vector<std::vector<solver::State>>* states) {
   const Rank P = dm.nranks();
   MigrateStats stats;
+  // plum-scale: host-only -- migration statistics table for the report, not rank-resident
   stats.bytes_sent.assign(static_cast<std::size_t>(P), 0);
+  // plum-scale: host-only -- migration statistics table for the report, not rank-resident
   stats.bytes_received.assign(static_cast<std::size_t>(P), 0);
 
   // --- measure what each rank must pack --------------------------------------
@@ -51,6 +53,7 @@ MigrateStats migrate(DistMesh& dm, rt::Engine& eng,
   eng.run([&](Rank r, const rt::Inbox&, rt::Outbox& out) {
     // One logical message per destination with the measured payload size.
     // (Payload content is reconstructed below; the ledger only needs size.)
+    // plum-scale: dist(P) -- per-destination element counts used to stage sends
     std::vector<std::int64_t> per_dest(static_cast<std::size_t>(P), 0);
     const LocalMesh& lm = dm.local(r);
     const auto weights = lm.mesh.root_weights();
@@ -125,6 +128,7 @@ MigrateStats migrate(DistMesh& dm, rt::Engine& eng,
     }
   }
   if (states) {
+    // plum-scale: dist(P) -- one migration state per simulated rank in the in-process harness
     states->assign(static_cast<std::size_t>(P), {});
     for (Rank r = 0; r < P; ++r) {
       const auto& vg = rebuilt.local(r).vert_global;  // gathered-space ids

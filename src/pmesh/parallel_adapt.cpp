@@ -61,10 +61,12 @@ ParallelMarkResult parallel_mark(
   PLUM_ASSERT(static_cast<Rank>(seed_marks.size()) == P);
 
   ParallelMarkResult out;
+  // plum-scale: dist(P) -- driver output: one refinement summary per rank
   out.per_rank.resize(static_cast<std::size_t>(P));
 
   // Per-rank accumulated seeds and the set of shared marks already sent.
   std::vector<std::vector<char>> seeds = seed_marks;
+  // plum-scale: dist(P) -- per-destination dedup marks for mark-propagation sends
   std::vector<std::vector<char>> sent(static_cast<std::size_t>(P));
   for (Rank r = 0; r < P; ++r) {
     seeds[static_cast<std::size_t>(r)].resize(
@@ -75,6 +77,7 @@ ParallelMarkResult parallel_mark(
 
   // Rank-safe program: rank r touches only its own slots of seeds / sent /
   // out.per_rank / exchanged, so both engines run it identically.
+  // plum-scale: dist(P) -- per-peer exchange counters for the comm ledger
   std::vector<std::int64_t> exchanged(static_cast<std::size_t>(P), 0);
   const int steps_before = eng.ledger().num_supersteps();
   eng.run([&](Rank r, const rt::Inbox& inbox, rt::Outbox& outbox) {
@@ -104,6 +107,7 @@ ParallelMarkResult parallel_mark(
     my_seeds = result.edge_marked;
 
     // Send newly marked shared-edge copies to their SPL ranks.
+    // plum-scale: dist(P) -- per-destination staging buckets for mark messages
     std::vector<std::vector<MarkMsg>> outgoing(static_cast<std::size_t>(P));
     auto& my_sent = sent[static_cast<std::size_t>(r)];
     bool sent_any = false;
@@ -147,12 +151,16 @@ ParallelRefineResult parallel_refine(DistMesh& dm, rt::Engine& eng,
                                      const ParallelMarkResult& marks) {
   const Rank P = dm.nranks();
   ParallelRefineResult out;
+  // plum-scale: dist(P) -- driver output: one adaptation summary per rank
   out.per_rank.resize(static_cast<std::size_t>(P));
+  // plum-scale: dist(P) -- driver output: per-rank work accounting
   out.work_per_rank.assign(static_cast<std::size_t>(P), 0);
 
+  // plum-scale: host-only -- driver snapshot of pre-adaptation sizes for the report
   std::vector<Index> old_ne(static_cast<std::size_t>(P));
   // Iterated below to build BisectMsg batches: must stay an ordered map so
   // the message payload order matches the sequential engine bit for bit.
+  // plum-scale: host-only -- driver snapshot of edge-split maps for the report
   std::vector<SplMap> old_edge_spl(static_cast<std::size_t>(P));
 
   // --- local subdivision ----------------------------------------------------
@@ -167,7 +175,9 @@ ParallelRefineResult parallel_refine(DistMesh& dm, rt::Engine& eng,
 
   // Per-rank tallies of new shared-object records (summed after the runs;
   // a shared counter would race under the parallel engine).
+  // plum-scale: host-only -- driver accounting of created entities for the report
   std::vector<std::int64_t> new_edges(static_cast<std::size_t>(P), 0);
+  // plum-scale: host-only -- driver accounting of created entities for the report
   std::vector<std::int64_t> new_verts(static_cast<std::size_t>(P), 0);
 
   // --- post-processing phase 1: bisected shared edges ------------------------
@@ -176,6 +186,7 @@ ParallelRefineResult parallel_refine(DistMesh& dm, rt::Engine& eng,
 
     if (outbox.step() == 0) {
       outbox.charge(out.work_per_rank[static_cast<std::size_t>(r)]);
+      // plum-scale: dist(P) -- per-destination staging buckets for bisection messages
       std::vector<std::vector<BisectMsg>> outgoing(
           static_cast<std::size_t>(P));
       for (const auto& [e, spl] : old_edge_spl[static_cast<std::size_t>(r)]) {
@@ -227,6 +238,7 @@ ParallelRefineResult parallel_refine(DistMesh& dm, rt::Engine& eng,
     LocalMesh& lm = dm.local(r);
 
     if (outbox.step() == 0) {
+      // plum-scale: dist(P) -- per-destination staging buckets for face-edge messages
       std::vector<std::vector<FaceEdgeMsg>> outgoing(
           static_cast<std::size_t>(P));
       for (Index e = old_ne[static_cast<std::size_t>(r)];

@@ -96,6 +96,7 @@ ParallelCoarsenResult parallel_coarsen(
     }
   }
   if (states) {
+    // plum-scale: dist(P) -- one coarsening state per simulated rank in the in-process harness
     states->assign(static_cast<std::size_t>(P), {});
     for (Rank r = 0; r < P; ++r) {
       const auto& vg = rebuilt.local(r).vert_global;

@@ -48,9 +48,13 @@ ParallelEulerSolver::ParallelEulerSolver(DistMesh* dm, rt::Engine* eng,
     : dm_(dm), eng_(eng), opt_(opt) {
   PLUM_ASSERT(dm != nullptr && eng != nullptr);
   const Rank P = dm_->nranks();
+  // plum-scale: dist(P) -- the in-process harness keeps one solver state per simulated rank
   metrics_.resize(static_cast<std::size_t>(P));
+  // plum-scale: dist(P) -- the in-process harness keeps one solver state per simulated rank
   edge_owned_.resize(static_cast<std::size_t>(P));
+  // plum-scale: dist(P) -- the in-process harness keeps one solver state per simulated rank
   vert_owned_.resize(static_cast<std::size_t>(P));
+  // plum-scale: dist(P) -- the in-process harness keeps one solver state per simulated rank
   u_.resize(static_cast<std::size_t>(P));
 
   for (Rank r = 0; r < P; ++r) {
@@ -79,6 +83,7 @@ void ParallelEulerSolver::exchange_setup() {
   const Rank P = dm_->nranks();
 
   // Slot lookup: local edge id -> metrics slot, per rank.
+  // plum-scale: dist(P) -- per-destination slot maps used to stage the halo exchange
   std::vector<std::vector<Index>> slot(static_cast<std::size_t>(P));
   for (Rank r = 0; r < P; ++r) {
     const auto& m = metrics_[static_cast<std::size_t>(r)];
@@ -97,6 +102,7 @@ void ParallelEulerSolver::exchange_setup() {
 
     if (out.step() == 0) {
       // Send partial vertex quantities and partial edge areas to copies.
+      // plum-scale: dist(P) -- per-destination staging buckets for vertex scalars
       std::vector<std::vector<VertScalarMsg>> vout(static_cast<std::size_t>(P));
       for (const auto& [v, spl] : lm.shared_verts) {
         for (const auto& c : spl) {
@@ -106,6 +112,7 @@ void ParallelEulerSolver::exchange_setup() {
                m.boundary_area[static_cast<std::size_t>(v)]});
         }
       }
+      // plum-scale: dist(P) -- per-destination staging buckets for edge areas
       std::vector<std::vector<EdgeAreaMsg>> eout(static_cast<std::size_t>(P));
       for (const auto& [e, spl] : lm.shared_edges) {
         const Index s = slot[static_cast<std::size_t>(r)][static_cast<std::size_t>(e)];
@@ -181,6 +188,7 @@ void ParallelEulerSolver::exchange_residuals(
   eng_->run([&](Rank r, const rt::Inbox& inbox, rt::Outbox& out) {
     const auto& lm = dm_->local(r);
     if (out.step() == 0) {
+      // plum-scale: dist(P) -- per-destination staging buckets for residual messages
       std::vector<std::vector<ResidualMsg>> outgoing(
           static_cast<std::size_t>(P));
       for (const auto& [v, spl] : lm.shared_verts) {
@@ -212,9 +220,11 @@ void ParallelEulerSolver::exchange_residuals(
 ParallelEulerSolver::StepInfo ParallelEulerSolver::step() {
   const Rank P = dm_->nranks();
   StepInfo info;
+  // plum-scale: host-only -- per-rank flux-eval counters for the step report
   info.edge_flux_evals.assign(static_cast<std::size_t>(P), 0);
 
   // --- global CFL dt ---------------------------------------------------------
+  // plum-scale: host-only -- per-rank dt candidates reduced host-side to the global dt
   std::vector<double> local_dt(static_cast<std::size_t>(P),
                                std::numeric_limits<double>::max());
   for (Rank r = 0; r < P; ++r) {
@@ -294,6 +304,7 @@ ParallelEulerSolver::StepInfo ParallelEulerSolver::step() {
   };
 
   // --- RK2 --------------------------------------------------------------------
+  // plum-scale: dist(P) -- the harness keeps one residual vector per simulated rank
   std::vector<std::vector<State>> res(static_cast<std::size_t>(P));
   compute_residual(u_, res);
   std::vector<std::vector<State>> u1 = u_;

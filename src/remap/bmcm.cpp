@@ -22,6 +22,7 @@ Assignment map_optimal_bmcm(const SimilarityMatrix& S, double alpha,
   Timer timer;
   const Rank P = S.nprocs();
 
+  // plum-scale: host-only -- host-side remapper (paper SS4.3) scratch
   std::vector<Weight> R(static_cast<std::size_t>(P)), W(static_cast<std::size_t>(P));
   for (Rank i = 0; i < P; ++i) R[static_cast<std::size_t>(i)] = S.row_sum(i);
   for (Rank j = 0; j < P; ++j) W[static_cast<std::size_t>(j)] = S.col_sum(j);
@@ -37,6 +38,7 @@ Assignment map_optimal_bmcm(const SimilarityMatrix& S, double alpha,
   };
 
   std::vector<std::int64_t> costs;
+  // plum-scale: host-only -- host-side matcher; capacity bound, actual edges are the O(nonzeros) similarity cells
   costs.reserve(static_cast<std::size_t>(P) * static_cast<std::size_t>(P));
   for (Rank i = 0; i < P; ++i) {
     for (Rank j = 0; j < P; ++j) costs.push_back(cost_of(i, j));
@@ -48,6 +50,7 @@ Assignment map_optimal_bmcm(const SimilarityMatrix& S, double alpha,
   // Binary search the smallest bottleneck admitting a perfect matching.
   std::vector<Rank> match_l;
   auto feasible = [&](std::int64_t threshold, std::vector<Rank>& ml) {
+    // plum-scale: host-only -- host-side matcher adjacency
     std::vector<std::vector<Rank>> adj(static_cast<std::size_t>(P));
     for (Rank i = 0; i < P; ++i) {
       for (Rank j = 0; j < P; ++j) {
@@ -74,6 +77,7 @@ Assignment map_optimal_bmcm(const SimilarityMatrix& S, double alpha,
   }
 
   Assignment out;
+  // plum-scale: host-only -- remap result table produced on the host
   out.part_to_proc.assign(static_cast<std::size_t>(P), kNoRank);
   for (Rank i = 0; i < P; ++i) {
     const Rank j = match_l[static_cast<std::size_t>(i)];

@@ -20,6 +20,7 @@ Assignment map_heuristic_greedy(const SimilarityMatrix& S) {
     Rank i, j;
   };
   std::vector<Entry> entries;
+  // plum-scale: host-only -- host-side greedy remapper; capacity bound, entries are the O(nonzeros) similarity cells
   entries.reserve(static_cast<std::size_t>(P) * static_cast<std::size_t>(N));
   for (Rank i = 0; i < P; ++i) {
     for (Rank j = 0; j < N; ++j) {
@@ -33,10 +34,13 @@ Assignment map_heuristic_greedy(const SimilarityMatrix& S) {
   });
 
   // part_map[j] = unassigned; proc_unmap[i] = npart / nproc  (= F).
+  // plum-scale: host-only -- host-side greedy remapper scratch
   std::vector<char> part_assigned(static_cast<std::size_t>(N), 0);
+  // plum-scale: host-only -- host-side greedy remapper scratch
   std::vector<Rank> proc_remaining(static_cast<std::size_t>(P), F);
 
   Assignment out;
+  // plum-scale: host-only -- remap result table produced on the host
   out.part_to_proc.assign(static_cast<std::size_t>(N), kNoRank);
   Rank count = 0;
   for (const Entry& e : entries) {

@@ -7,8 +7,11 @@ namespace plum::remap {
 
 int hopcroft_karp(const std::vector<std::vector<Rank>>& adj, Rank n,
                   std::vector<Rank>& match_l) {
+  // plum-scale: host-only -- host-side Hopcroft-Karp matcher scratch
   std::vector<Rank> match_r(static_cast<std::size_t>(n), kNoRank);
+  // plum-scale: host-only -- host-side Hopcroft-Karp matcher scratch
   match_l.assign(static_cast<std::size_t>(n), kNoRank);
+  // plum-scale: host-only -- host-side Hopcroft-Karp matcher scratch
   std::vector<Rank> dist(static_cast<std::size_t>(n));
   constexpr Rank kInfDist = std::numeric_limits<Rank>::max();
 

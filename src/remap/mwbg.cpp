@@ -87,6 +87,7 @@ Assignment map_optimal_mwbg(const SimilarityMatrix& S) {
   for (Rank i = 0; i < P; ++i) {
     for (Rank j = 0; j < N; ++j) max_entry = std::max(max_entry, S.at(i, j));
   }
+  // plum-scale: host-only -- host-side assignment solver; the dense cost matrix is inherent to Hungarian matching
   std::vector<std::int64_t> cost(static_cast<std::size_t>(N) *
                                  static_cast<std::size_t>(N));
   for (Rank r = 0; r < N; ++r) {
@@ -98,6 +99,7 @@ Assignment map_optimal_mwbg(const SimilarityMatrix& S) {
   const auto col_of_row = hungarian_min_cost(cost, N);
 
   Assignment out;
+  // plum-scale: host-only -- remap result table produced on the host
   out.part_to_proc.assign(static_cast<std::size_t>(N), kNoRank);
   for (Rank r = 0; r < N; ++r) {
     const Rank j = col_of_row[static_cast<std::size_t>(r)];
@@ -112,6 +114,7 @@ Assignment map_identity(const SimilarityMatrix& S) {
   Assignment out;
   const Rank N = S.nparts();
   const Rank F = S.f();
+  // plum-scale: host-only -- remap result table produced on the host
   out.part_to_proc.resize(static_cast<std::size_t>(N));
   for (Rank j = 0; j < N; ++j) {
     out.part_to_proc[static_cast<std::size_t>(j)] = j / F;

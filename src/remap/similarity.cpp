@@ -1,10 +1,13 @@
 #include "remap/similarity.hpp"
 
+#include <algorithm>
+
 namespace plum::remap {
 
 SimilarityMatrix::SimilarityMatrix(Rank nprocs, Rank nparts)
     : nprocs_(nprocs), nparts_(nparts) {
   PLUM_ASSERT(nprocs >= 1 && nparts >= nprocs && nparts % nprocs == 0);
+  // plum-scale: host-only -- dense similarity fold happens host-side after the sparse row gather
   s_.assign(static_cast<std::size_t>(nprocs) * static_cast<std::size_t>(nparts),
             0);
 }
@@ -26,12 +29,38 @@ std::vector<Weight> SimilarityMatrix::build_row(
     Rank proc, std::span<const Rank> current_proc,
     std::span<const Rank> new_part, std::span<const Weight> wremap,
     Rank nparts) {
+  // plum-scale: host-only -- dense row form kept for host-side tests; ranks ship build_row_sparse
   std::vector<Weight> row(static_cast<std::size_t>(nparts), 0);
   for (std::size_t v = 0; v < current_proc.size(); ++v) {
     if (current_proc[v] == proc) {
       row[static_cast<std::size_t>(new_part[v])] += wremap[v];
     }
   }
+  return row;
+}
+
+std::vector<SimilarityCell> SimilarityMatrix::build_row_sparse(
+    Rank proc, std::span<const Rank> current_proc,
+    std::span<const Rank> new_part, std::span<const Weight> wremap) {
+  std::vector<SimilarityCell> row;
+  for (std::size_t v = 0; v < current_proc.size(); ++v) {
+    if (current_proc[v] != proc) continue;
+    row.push_back({new_part[v], wremap[v]});
+  }
+  std::sort(row.begin(), row.end(),
+            [](const SimilarityCell& a, const SimilarityCell& b) {
+              return a.part < b.part;
+            });
+  // Merge duplicates in place: the row ends up sorted and unique.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < row.size(); ++r) {
+    if (w > 0 && row[w - 1].part == row[r].part) {
+      row[w - 1].w += row[r].w;
+    } else {
+      row[w++] = row[r];
+    }
+  }
+  row.resize(w);
   return row;
 }
 
@@ -45,6 +74,19 @@ SimilarityMatrix SimilarityMatrix::from_rows(
     PLUM_ASSERT(static_cast<Rank>(rows[i].size()) == nparts);
     for (Rank j = 0; j < nparts; ++j) {
       S.at(i, j) = rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    }
+  }
+  return S;
+}
+
+SimilarityMatrix SimilarityMatrix::from_sparse_rows(
+    const std::vector<std::vector<SimilarityCell>>& rows, Rank nparts) {
+  PLUM_ASSERT(!rows.empty());
+  const auto nprocs = static_cast<Rank>(rows.size());
+  SimilarityMatrix S(nprocs, nparts);
+  for (Rank i = 0; i < nprocs; ++i) {
+    for (const SimilarityCell& c : rows[static_cast<std::size_t>(i)]) {
+      S.at(i, c.part) += c.w;
     }
   }
   return S;

@@ -14,6 +14,17 @@
 
 namespace plum::remap {
 
+/// One non-zero of a processor's similarity row: weight headed for new
+/// partition `part`. A processor's row has O(F + cut-neighbors) of these
+/// regardless of P, so gathering sparse rows moves O(nonzeros) bytes where
+/// the dense gather moved O(P * P * F).
+struct SimilarityCell {
+  Rank part = kNoRank;
+  Weight w = 0;
+  friend bool operator==(const SimilarityCell&, const SimilarityCell&) =
+      default;
+};
+
 class SimilarityMatrix {
  public:
   SimilarityMatrix() = default;
@@ -35,8 +46,20 @@ class SimilarityMatrix {
                                        std::span<const Weight> wremap,
                                        Rank nparts);
 
+  /// One row in sparse form: only the partitions this processor actually
+  /// sends weight to, sorted by partition id. This is what a rank ships
+  /// to the host gather.
+  static std::vector<SimilarityCell> build_row_sparse(
+      Rank proc, std::span<const Rank> current_proc,
+      std::span<const Rank> new_part, std::span<const Weight> wremap);
+
   /// Assembles the full matrix from gathered rows.
   static SimilarityMatrix from_rows(const std::vector<std::vector<Weight>>& rows);
+
+  /// Assembles from gathered sparse rows (rows[i] is processor i's row).
+  /// The dense fold happens here, host-side, after the gather.
+  static SimilarityMatrix from_sparse_rows(
+      const std::vector<std::vector<SimilarityCell>>& rows, Rank nparts);
 
   [[nodiscard]] Rank nprocs() const { return nprocs_; }
   [[nodiscard]] Rank nparts() const { return nparts_; }

@@ -13,8 +13,11 @@ RemapVolume evaluate_assignment(const SimilarityMatrix& S,
   const Rank N = S.nparts();
   PLUM_ASSERT(static_cast<Rank>(assign.part_to_proc.size()) == N);
 
+  // plum-scale: host-only -- host-side remap-volume report scratch
   std::vector<Weight> sent(static_cast<std::size_t>(P), 0);
+  // plum-scale: host-only -- host-side remap-volume report scratch
   std::vector<Weight> recv(static_cast<std::size_t>(P), 0);
+  // plum-scale: host-only -- host-side remap-volume report scratch
   std::vector<int> sets(static_cast<std::size_t>(P), 0);
 
   RemapVolume out;

@@ -24,6 +24,7 @@ std::vector<std::vector<std::vector<T>>> all_to_all(
     Engine& eng, const std::vector<std::vector<std::vector<T>>>& input) {
   const Rank p = eng.nranks();
   PLUM_ASSERT(static_cast<Rank>(input.size()) == p);
+  // plum-scale: dist(P) -- collective staging: one inbox per peer, O(P) headers by definition
   std::vector<std::vector<std::vector<T>>> received(
       static_cast<std::size_t>(p),
       std::vector<std::vector<T>>(static_cast<std::size_t>(p)));
@@ -57,6 +58,7 @@ std::vector<std::vector<T>> gather(Engine& eng,
                                    const std::vector<std::vector<T>>& input,
                                    Rank root = 0) {
   const Rank p = eng.nranks();
+  // plum-scale: dist(P) -- all-to-all staging matrix owned by the in-process transport
   std::vector<std::vector<std::vector<T>>> a2a(
       static_cast<std::size_t>(p),
       std::vector<std::vector<T>>(static_cast<std::size_t>(p)));
@@ -75,11 +77,13 @@ std::vector<std::vector<T>> scatter(Engine& eng,
                                     const std::vector<std::vector<T>>& input,
                                     Rank root = 0) {
   const Rank p = eng.nranks();
+  // plum-scale: dist(P) -- all-to-all staging matrix owned by the in-process transport
   std::vector<std::vector<std::vector<T>>> a2a(
       static_cast<std::size_t>(p),
       std::vector<std::vector<T>>(static_cast<std::size_t>(p)));
   a2a[static_cast<std::size_t>(root)] = input;
   auto recv = all_to_all(eng, a2a);
+  // plum-scale: dist(P) -- one output bucket per peer for the collective result
   std::vector<std::vector<T>> out(static_cast<std::size_t>(p));
   for (Rank r = 0; r < p; ++r) {
     out[static_cast<std::size_t>(r)] =
@@ -93,9 +97,11 @@ template <typename T>
 std::vector<std::vector<T>> allgather(
     Engine& eng, const std::vector<std::vector<T>>& input) {
   const Rank p = eng.nranks();
+  // plum-scale: dist(P) -- all-to-all staging matrix owned by the in-process transport
   std::vector<std::vector<std::vector<T>>> a2a(
       static_cast<std::size_t>(p));
   for (Rank r = 0; r < p; ++r) {
+    // plum-scale: dist(P) -- per-sender row of the all-to-all staging matrix
     a2a[static_cast<std::size_t>(r)].assign(
         static_cast<std::size_t>(p), input[static_cast<std::size_t>(r)]);
   }

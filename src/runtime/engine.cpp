@@ -18,7 +18,9 @@ void check_send_receive_conservation(
     const std::vector<StepCounters>& counters,
     const std::vector<std::vector<Message>>& delivered) {
   const std::size_t nranks = delivered.size();
+  // plum-scale: host-only -- conservation audit over the final ledger, report-time only
   std::vector<std::int64_t> claimed_msgs(nranks, 0);
+  // plum-scale: host-only -- conservation audit over the final ledger, report-time only
   std::vector<std::int64_t> claimed_bytes(nranks, 0);
   for (const auto& c : counters) {
     for (const auto& cell : c.sends) {
@@ -42,27 +44,26 @@ void check_send_receive_conservation(
 
 }  // namespace
 
+namespace {
+
+/// The cell for receiver `to` in a sorted sparse row, or nullptr.
+const CommMatrixCell* find_cell(const std::vector<CommMatrixCell>& row,
+                                Rank to) {
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), to,
+      [](const CommMatrixCell& c, Rank t) { return c.to < t; });
+  if (it == row.end() || it->to != to) return nullptr;
+  return &*it;
+}
+
+}  // namespace
+
 void CommMatrix::resize(Rank n) {
   PLUM_ASSERT(n >= nranks);
   if (n == nranks) return;
-  std::vector<std::int64_t> new_msgs(
-      static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
-  std::vector<std::int64_t> new_bytes(new_msgs.size(), 0);
-  for (Rank i = 0; i < nranks; ++i) {
-    for (Rank j = 0; j < nranks; ++j) {
-      const auto old_at = static_cast<std::size_t>(i) *
-                              static_cast<std::size_t>(nranks) +
-                          static_cast<std::size_t>(j);
-      const auto new_at = static_cast<std::size_t>(i) *
-                              static_cast<std::size_t>(n) +
-                          static_cast<std::size_t>(j);
-      new_msgs[new_at] = msgs[old_at];
-      new_bytes[new_at] = bytes[old_at];
-    }
-  }
   nranks = n;
-  msgs = std::move(new_msgs);
-  bytes = std::move(new_bytes);
+  // plum-scale: dist(P) -- row headers only; each row holds O(degree) cells, total O(P*degree)
+  rows.resize(static_cast<std::size_t>(n));
 }
 
 void CommMatrix::accumulate(const std::vector<StepCounters>& counters) {
@@ -70,49 +71,79 @@ void CommMatrix::accumulate(const std::vector<StepCounters>& counters) {
   if (n > nranks) resize(n);
   for (std::size_t r = 0; r < counters.size(); ++r) {
     for (const auto& cell : counters[r].sends) {
-      const auto at = r * static_cast<std::size_t>(nranks) +
-                      static_cast<std::size_t>(cell.to);
-      msgs[at] += cell.msgs;
-      bytes[at] += cell.bytes;
+      auto& row = rows[r];
+      const auto it = std::lower_bound(
+          row.begin(), row.end(), cell.to,
+          [](const CommMatrixCell& c, Rank t) { return c.to < t; });
+      if (it != row.end() && it->to == cell.to) {
+        it->msgs += cell.msgs;
+        it->bytes += cell.bytes;
+      } else {
+        row.insert(it, CommMatrixCell{cell.to, cell.msgs, cell.bytes});
+      }
     }
   }
 }
 
 std::int64_t CommMatrix::msgs_at(Rank from, Rank to) const {
   PLUM_ASSERT(from >= 0 && from < nranks && to >= 0 && to < nranks);
-  return msgs[static_cast<std::size_t>(from) * static_cast<std::size_t>(nranks) +
-              static_cast<std::size_t>(to)];
+  const CommMatrixCell* c = find_cell(rows[static_cast<std::size_t>(from)], to);
+  return c ? c->msgs : 0;
 }
 
 std::int64_t CommMatrix::bytes_at(Rank from, Rank to) const {
   PLUM_ASSERT(from >= 0 && from < nranks && to >= 0 && to < nranks);
-  return bytes[static_cast<std::size_t>(from) *
-                   static_cast<std::size_t>(nranks) +
-               static_cast<std::size_t>(to)];
+  const CommMatrixCell* c = find_cell(rows[static_cast<std::size_t>(from)], to);
+  return c ? c->bytes : 0;
 }
 
 std::int64_t CommMatrix::row_bytes(Rank from) const {
+  PLUM_ASSERT(from >= 0 && from < nranks);
   std::int64_t sum = 0;
-  for (Rank to = 0; to < nranks; ++to) sum += bytes_at(from, to);
+  for (const auto& c : rows[static_cast<std::size_t>(from)]) sum += c.bytes;
   return sum;
 }
 
 std::int64_t CommMatrix::col_bytes(Rank to) const {
+  PLUM_ASSERT(to >= 0 && to < nranks);
   std::int64_t sum = 0;
-  for (Rank from = 0; from < nranks; ++from) sum += bytes_at(from, to);
+  for (const auto& row : rows) {
+    if (const CommMatrixCell* c = find_cell(row, to)) sum += c->bytes;
+  }
   return sum;
 }
 
 std::int64_t CommMatrix::total_msgs() const {
   std::int64_t sum = 0;
-  for (const auto v : msgs) sum += v;
+  for (const auto& row : rows) {
+    for (const auto& c : row) sum += c.msgs;
+  }
   return sum;
 }
 
 std::int64_t CommMatrix::total_bytes() const {
   std::int64_t sum = 0;
-  for (const auto v : bytes) sum += v;
+  for (const auto& row : rows) {
+    for (const auto& c : row) sum += c.bytes;
+  }
   return sum;
+}
+
+const std::vector<CommMatrixCell>& CommMatrix::row(Rank from) const {
+  PLUM_ASSERT(from >= 0 && from < nranks);
+  return rows[static_cast<std::size_t>(from)];
+}
+
+std::int64_t CommMatrix::resident_cells() const {
+  std::int64_t cells = 0;
+  for (const auto& row : rows) cells += static_cast<std::int64_t>(row.size());
+  return cells;
+}
+
+std::int64_t CommMatrix::resident_bytes() const {
+  return resident_cells() * static_cast<std::int64_t>(sizeof(CommMatrixCell)) +
+         static_cast<std::int64_t>(rows.size()) *
+             static_cast<std::int64_t>(sizeof(std::vector<CommMatrixCell>));
 }
 
 std::int64_t Ledger::total_bytes() const {
@@ -195,6 +226,7 @@ ParallelEngine::ParallelEngine(Rank nranks, int num_threads,
     if (n <= 0) n = 1;
   }
   n = std::min(n, static_cast<int>(nranks));
+  // plum-scale: host-only -- worker threads of the in-process engine, capped by hardware concurrency
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

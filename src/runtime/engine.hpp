@@ -173,13 +173,29 @@ class SuperstepObserver {
                             double wall_seconds) = 0;
 };
 
-/// Dense P-by-P communication matrix: row = sender, column = receiver,
-/// stored row-major. Built from StepCounters comm cells, so every invariant
-/// of the ledger carries over (sum of all entries == Ledger::total_bytes()).
+/// One (receiver -> traffic) cell of a sender's comm-matrix row, summed
+/// across tags and supersteps. Rows keep cells sorted by receiver rank, so
+/// the representation is canonical and == stays a determinism witness.
+struct CommMatrixCell {
+  Rank to = kNoRank;
+  std::int64_t msgs = 0;
+  std::int64_t bytes = 0;
+
+  friend bool operator==(const CommMatrixCell&,
+                         const CommMatrixCell&) = default;
+};
+
+/// Sparse P-by-P communication matrix: rows[from] holds one cell per
+/// receiver that `from` actually messaged. Resident accounting state is
+/// O(P·degree), not O(P²) — the dense fold happens only at report/JSON
+/// time (obs::comm_matrix_json), which is host-side output. Built from
+/// StepCounters comm cells, so every invariant of the ledger carries over
+/// (sum of all entries == Ledger::total_bytes()).
 struct CommMatrix {
   Rank nranks = 0;
-  std::vector<std::int64_t> msgs;   ///< nranks*nranks, row-major
-  std::vector<std::int64_t> bytes;  ///< nranks*nranks, row-major
+  /// One sparse row per sender, cells sorted by receiver rank: one row
+  /// header per sender, O(degree) cells per row, O(P*degree) resident.
+  std::vector<std::vector<CommMatrixCell>> rows;
 
   /// Grows the matrix to `n` ranks, preserving existing entries.
   void resize(Rank n);
@@ -193,6 +209,15 @@ struct CommMatrix {
   [[nodiscard]] std::int64_t col_bytes(Rank to) const;
   [[nodiscard]] std::int64_t total_msgs() const;
   [[nodiscard]] std::int64_t total_bytes() const;
+
+  /// Sender `from`'s sparse row (cells sorted by receiver rank).
+  [[nodiscard]] const std::vector<CommMatrixCell>& row(Rank from) const;
+  /// Resident (from, to) cells — the replicated-state audit hook: a
+  /// degree-bounded program must keep this O(P·degree), never O(P²).
+  [[nodiscard]] std::int64_t resident_cells() const;
+  /// Resident accounting bytes (cells plus per-row headers), the
+  /// Transport::peak_resident_bytes()-style memory gauge.
+  [[nodiscard]] std::int64_t resident_bytes() const;
 
   friend bool operator==(const CommMatrix&, const CommMatrix&) = default;
 };
@@ -226,6 +251,7 @@ class Engine {
         transport_(transport ? std::move(transport)
                              : std::make_unique<InProcTransport>()) {
     PLUM_ASSERT(nranks >= 1);
+    // plum-scale: dist(P) -- one mailbox head per simulated rank; the engine hosts all P ranks
     pending_.resize(static_cast<std::size_t>(nranks));
   }
   virtual ~Engine() = default;

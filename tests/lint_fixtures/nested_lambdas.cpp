@@ -1,0 +1,57 @@
+// Nested lambdas inside superstep bodies. A helper lambda's parameters,
+// init-captures, and by-value capture copies are closure-local state —
+// writing them is not a mutation of the enclosing superstep's captures.
+// A nested *superstep* lambda is judged against its own rank variable,
+// once, not re-scanned with the outer lambda's rank.
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace rt = plum::rt;
+using plum::Rank;
+
+void helper_lambda(rt::Engine& eng) {
+  std::vector<int> per_rank(8, 0);
+  int shared = 0;
+  eng.run(rt::make_program([&](Rank r, const rt::Inbox& in, rt::Outbox& out) {
+    auto bump = [](int v, int& slot) {
+      v += 1;    // helper parameter: not flagged
+      slot = v;  // helper parameter: not flagged
+      return v;
+    };
+    int mine = 0;
+    per_rank[static_cast<std::size_t>(r)] = bump(1, mine);
+    shared += mine;  // flagged: shared-accumulator
+    return false;
+  }));
+}
+
+void init_capture_lambda(rt::Engine& eng) {
+  int shared2 = 0;
+  eng.run(rt::make_program([&](Rank r, const rt::Inbox& in, rt::Outbox& out) {
+    auto gen = [seed = 7, copy = shared2]() mutable {
+      seed += 1;  // init-capture: not flagged
+      copy += 2;  // by-value copy of shared2: not flagged
+      return seed + copy;
+    };
+    shared2 += gen();  // flagged: shared-accumulator
+    return false;
+  }));
+}
+
+void nested_superstep(rt::Engine& eng) {
+  std::vector<int> acc(8, 0);
+  int shared3 = 0;
+  eng.run(rt::make_program([&](Rank r, const rt::Inbox& in, rt::Outbox& out) {
+    // An inner program built inside a superstep: its body is judged
+    // against its own rank variable q, not the outer r.
+    auto program = rt::make_program(
+        [&](Rank q, const rt::Inbox& in2, rt::Outbox& out2) {
+          acc[static_cast<std::size_t>(q)] += 1;  // q-owned row: not flagged
+          shared3 += 1;  // flagged exactly once (inner pass only)
+          return false;
+        });
+    (void)program;
+    return false;
+  }));
+}

@@ -1,0 +1,56 @@
+// Raw-string literals of every encoding-prefix flavor placed before real
+// violations. A prefixed raw string (`u8R"(...)"`) used to be lexed as
+// identifier + ordinary string: content between embedded quotes leaked as
+// tokens, stray braces desynced the brace tracker, and every check after
+// the literal was silently skipped. Each function below ends in a genuine
+// violation that must be reported.
+#include "runtime/engine.hpp"
+
+namespace rt = plum::rt;
+using plum::Rank;
+
+void plain_raw(rt::Engine& eng) {
+  int acc1 = 0;
+  const char* a = R"(unbalanced } brace and "quote" inside)";
+  eng.run(rt::make_program([&](Rank r, const rt::Inbox& in, rt::Outbox& out) {
+    acc1 += 1;  // flagged: shared-accumulator
+    return false;
+  }));
+  (void)a;
+}
+
+void prefixed_raw(rt::Engine& eng) {
+  int acc2 = 0;
+  const char* b = u8R"(one " embedded quote { and braces)";
+  const wchar_t* c = LR"(another " odd quote } here)";
+  eng.run(rt::make_program([&](Rank r, const rt::Inbox& in, rt::Outbox& out) {
+    acc2 += 1;  // flagged: shared-accumulator
+    return false;
+  }));
+  (void)b;
+  (void)c;
+}
+
+void delimited_raw(rt::Engine& eng) {
+  int acc3 = 0;
+  const char16_t* d = uR"json({"key": ")json";
+  const char32_t* e = UR"x(trailing backslash \ and "quote)x";
+  eng.run(rt::make_program([&](Rank r, const rt::Inbox& in, rt::Outbox& out) {
+    if (r == 0) ++acc3;  // flagged: rank-guard-mutation
+    return false;
+  }));
+  (void)d;
+  (void)e;
+}
+
+void prefixed_ordinary(rt::Engine& eng) {
+  int acc4 = 0;
+  const wchar_t* w = L"wide \" escaped quote { brace";
+  const char* u = u8"utf8 \\ backslash } brace";
+  eng.run(rt::make_program([&](Rank r, const rt::Inbox& in, rt::Outbox& out) {
+    acc4 += 1;  // flagged: shared-accumulator
+    return false;
+  }));
+  (void)w;
+  (void)u;
+}

@@ -1,0 +1,56 @@
+// plum-scale fixture (analyzed-only, never compiled): containers sized by
+// rank counts, including the verbatim dense CommMatrix idiom this repo
+// shipped before PR 7 made comm accounting sparse. Expected diagnostics:
+//   dense-rank-container: 6 total, 2 of them annotated (suppressed),
+//                         2 of the unannotated ones O(P*P) products
+//   bad-annotation: 2   unused-annotation: 1
+#include <cstdint>
+#include <vector>
+
+namespace plum::fixture {
+
+using Rank = std::int32_t;
+
+// The pre-PR-7 comm-matrix shape: one dense P*P grid folded per superstep.
+// Both assigns are rank-count products -> the strong O(P * P) diagnostic.
+struct DenseCommMatrix {
+  Rank nranks = 0;
+  std::vector<std::int64_t> msgs;
+  std::vector<std::int64_t> bytes;
+  void resize(Rank n) {
+    nranks = n;
+    msgs.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+    bytes.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                 0);
+  }
+};
+
+void plain_sizes(Rank nranks, int world_size) {
+  std::vector<double> loads(static_cast<std::size_t>(nranks));  // flagged
+  std::vector<int> counts;
+  counts.resize(static_cast<std::size_t>(world_size));  // flagged
+  (void)loads;
+}
+
+void annotated_sizes(Rank nranks) {
+  // plum-scale: dist(P) -- one load slot per rank is the point of the table
+  std::vector<double> loads(static_cast<std::size_t>(nranks));
+  std::vector<int> gather;
+  // plum-scale: host-only -- report-time gather on the driver process
+  gather.resize(static_cast<std::size_t>(nranks));
+  (void)loads;
+}
+
+void bad_annotations() {
+  // plum-scale: dist(P)
+  int no_justification = 0;
+  // plum-scale: allow(not-a-check) -- misspelled check name
+  int unknown_check = 0;
+  // plum-scale: host-only -- nothing on this or the next line is flagged
+  int stale = 0;
+  (void)no_justification;
+  (void)unknown_check;
+  (void)stale;
+}
+
+}  // namespace plum::fixture

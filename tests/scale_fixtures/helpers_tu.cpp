@@ -1,0 +1,21 @@
+// plum-scale fixture (analyzed-only, never compiled): helper definitions
+// whose one-level mutation summaries feed the interprocedural check in the
+// OTHER translation unit (superstep_tu.cpp). No diagnostics expected here.
+#include <vector>
+
+namespace plum::fixture {
+
+// Writes through its first parameter: summary says mutated_params = {0}.
+void bump_total(double& total, double x) { total += x; }
+
+// Mutating method call on a non-const ref: also summarized.
+void log_value(std::vector<double>& log, double x) { log.push_back(x); }
+
+// Const ref + by-value: nothing mutated, never triggers the check.
+double read_only(const std::vector<double>& v, double scale) {
+  double s = 0.0;
+  for (double x : v) s += x * scale;
+  return s;
+}
+
+}  // namespace plum::fixture

@@ -1,0 +1,32 @@
+// plum-scale fixture (analyzed-only, never compiled): global-Index-keyed
+// state inside a struct that the project replicates once per rank.
+// Expected diagnostics:
+//   replicated-global-state: 2 total, 1 annotated (suppressed)
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace plum::fixture {
+
+using Index = std::int64_t;
+
+// Held once per rank below -> both Index-keyed fields are replicated
+// global state; only the annotated one is acknowledged.
+struct RankShard {
+  std::vector<double> values;  // local-index keyed: fine
+  std::map<Index, double> ghost_weights;  // flagged
+  // plum-scale: dist(P) -- ghost ownership is O(cut surface), not O(mesh);
+  // bounded by the partition quality gate
+  std::map<Index, int> ghost_owner;
+};
+
+// Never replicated: an Index-keyed field in a singleton is just a map.
+struct GlobalDirectory {
+  std::map<Index, int> owner_of;
+};
+
+struct Shards {
+  std::vector<RankShard> per_rank;  // the replication site
+};
+
+}  // namespace plum::fixture

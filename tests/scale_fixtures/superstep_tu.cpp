@@ -1,0 +1,30 @@
+// plum-scale fixture (analyzed-only, never compiled): superstep lambdas
+// calling helpers defined in helpers_tu.cpp. The analyzer only sees the
+// danger with the cross-file index: each helper's mutation summary lives
+// in the other TU. Expected diagnostics:
+//   interprocedural-superstep-mutation: 2 (both in run_with_helpers)
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace plum::fixture {
+
+namespace rt = plum::rt;
+using plum::Rank;
+
+void run_with_helpers(rt::Engine& eng) {
+  double global_sum = 0.0;
+  std::vector<double> per_rank(8, 0.0);
+  std::vector<double> audit_log;
+  eng.run(rt::make_program([&](Rank r, const rt::Inbox& in, rt::Outbox& out) {
+    double mine = 1.0;
+    bump_total(global_sum, 1.0);        // flagged: captured, shared
+    bump_total(per_rank[r], 1.0);       // rank-indexed slot: fine
+    bump_total(mine, 2.0);              // body-local: fine
+    log_value(audit_log, mine);         // flagged: captured, shared
+    (void)read_only(per_rank, 2.0);     // summary says const: fine
+    return false;
+  }));
+}
+
+}  // namespace plum::fixture

@@ -78,6 +78,23 @@ TEST(LintFixtures, RawFdInSuperstep) {
   EXPECT_EQ(r.unsuppressed_count(), 3) << plumlint::to_json(r);
 }
 
+TEST(LintFixtures, RawStringsDoNotDesyncTheLexer) {
+  const LintResult r = lint_fixture("raw_strings.cpp");
+  // One violation per function, each sitting after raw strings whose
+  // prefixed forms (u8R/LR/uR/UR) used to swallow the rest of the file.
+  EXPECT_EQ(r.count_of("shared-accumulator"), 3) << plumlint::to_json(r);
+  EXPECT_EQ(r.count_of("rank-guard-mutation"), 1) << plumlint::to_json(r);
+  EXPECT_EQ(r.unsuppressed_count(), 4) << plumlint::to_json(r);
+}
+
+TEST(LintFixtures, NestedLambdaScopesAreTracked) {
+  const LintResult r = lint_fixture("nested_lambdas.cpp");
+  // Helper params / init-captures / by-value copies are closure-local;
+  // the nested superstep body is judged once, with its own rank var.
+  EXPECT_EQ(r.count_of("shared-accumulator"), 3) << plumlint::to_json(r);
+  EXPECT_EQ(r.unsuppressed_count(), 3) << plumlint::to_json(r);
+}
+
 TEST(LintFixtures, CleanSuperstepHasNoDiagnostics) {
   const LintResult r = lint_fixture("clean_superstep.cpp");
   EXPECT_EQ(r.unsuppressed_count(), 0) << plumlint::to_json(r);
@@ -113,7 +130,8 @@ TEST(LintFixtures, WholeDirectoryLintsWithSameTotals) {
         "bad_shared_accumulator.cpp", "bad_metrics_in_superstep.cpp",
         "bad_nondeterminism.cpp", "bad_wallclock_in_superstep.cpp",
         "bad_raw_fd_in_superstep.cpp", "clean_superstep.cpp",
-        "suppressed.cpp", "bad_suppression.cpp"}) {
+        "suppressed.cpp", "bad_suppression.cpp", "raw_strings.cpp",
+        "nested_lambdas.cpp"}) {
     std::ifstream in(fixture_path(name));
     ASSERT_TRUE(in.is_open()) << name;
     std::ostringstream ss;
@@ -121,14 +139,15 @@ TEST(LintFixtures, WholeDirectoryLintsWithSameTotals) {
     files.push_back({name, ss.str()});
   }
   const LintResult r = plumlint::lint_files(files);
-  EXPECT_EQ(r.count_of("rank-guard-mutation"), 2);
+  EXPECT_EQ(r.count_of("rank-guard-mutation"), 3);  // 2 + raw_strings
   EXPECT_EQ(r.count_of("unordered-iteration"), 3);
-  EXPECT_EQ(r.count_of("shared-accumulator"), 6);  // 3 writes + 3 method calls
+  // 3 writes + 3 method calls + 3 raw_strings + 3 nested_lambdas.
+  EXPECT_EQ(r.count_of("shared-accumulator"), 12);
   EXPECT_EQ(r.count_of("nondeterminism-source"), 5);  // 4 + rand() above
   EXPECT_EQ(r.count_of("wall-clock-in-superstep"), 2);
   EXPECT_EQ(r.count_of("raw-fd-in-superstep"), 3);
   EXPECT_EQ(r.suppressed_count(), 3);
-  EXPECT_EQ(r.files_scanned, 10);
+  EXPECT_EQ(r.files_scanned, 12);
 }
 
 // --- API-level cases ---------------------------------------------------------

@@ -177,6 +177,48 @@ TEST(Similarity, RowwiseBuildMatchesDense) {
   }
 }
 
+TEST(Similarity, SparseRowsRoundTripMatchesDense) {
+  Rng rng(7);
+  std::vector<Rank> cur, npart;
+  std::vector<Weight> w;
+  for (int v = 0; v < 300; ++v) {
+    cur.push_back(static_cast<Rank>(rng.below(4)));
+    npart.push_back(static_cast<Rank>(rng.below(8)));
+    w.push_back(static_cast<Weight>(rng.below(10) + 1));
+  }
+  const auto dense = SimilarityMatrix::build(cur, npart, w, 4, 8);
+  std::vector<std::vector<SimilarityCell>> rows;
+  int total_cells = 0;
+  for (Rank p = 0; p < 4; ++p) {
+    rows.push_back(SimilarityMatrix::build_row_sparse(p, cur, npart, w));
+    // Sparse rows are sorted by partition, unique, and hold no zeros.
+    for (std::size_t k = 0; k < rows.back().size(); ++k) {
+      if (k > 0) {
+        EXPECT_LT(rows.back()[k - 1].part, rows.back()[k].part);
+      }
+      EXPECT_NE(rows.back()[k].w, 0);
+    }
+    total_cells += static_cast<int>(rows.back().size());
+  }
+  const auto assembled = SimilarityMatrix::from_sparse_rows(rows, 8);
+  for (Rank i = 0; i < 4; ++i) {
+    for (Rank j = 0; j < 8; ++j) EXPECT_EQ(dense.at(i, j), assembled.at(i, j));
+  }
+  // The gather moves exactly the nonzeros, not P*P*F weights.
+  EXPECT_EQ(total_cells, dense.nonzeros());
+}
+
+TEST(Similarity, SparseRowOfIdleProcessorIsEmpty) {
+  std::vector<Rank> cur = {0, 0, 1, 1};
+  std::vector<Rank> npart = {0, 1, 1, 1};
+  std::vector<Weight> w = {5, 3, 7, 2};
+  EXPECT_TRUE(SimilarityMatrix::build_row_sparse(3, cur, npart, w).empty());
+  const auto row0 = SimilarityMatrix::build_row_sparse(0, cur, npart, w);
+  ASSERT_EQ(row0.size(), 2u);
+  EXPECT_EQ(row0[0], (SimilarityCell{0, 5}));
+  EXPECT_EQ(row0[1], (SimilarityCell{1, 3}));
+}
+
 TEST(Mwbg, OptimalOnTinyMatrixMatchesBruteForce) {
   Rng rng(5);
   for (int trial = 0; trial < 30; ++trial) {

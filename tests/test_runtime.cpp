@@ -512,6 +512,17 @@ TEST(Transport, ResidentQueueStateIsNeighborsNotRanksSquared) {
         << transport_kind_name(kind);
     EXPECT_LT(cells, static_cast<std::size_t>(p) * static_cast<std::size_t>(p) / 8)
         << transport_kind_name(kind);
+    // Comm accounting mirrors the queues: the ledger's CommMatrix keeps one
+    // sparse cell per (sender, neighbor) pair — P * degree resident cells,
+    // never a dense P*P grid.
+    const CommMatrix cm = eng->ledger().comm_matrix();
+    EXPECT_EQ(cm.resident_cells(),
+              static_cast<std::int64_t>(p) * static_cast<std::int64_t>(degree))
+        << transport_kind_name(kind);
+    const auto dense_bytes = static_cast<std::int64_t>(p) *
+                             static_cast<std::int64_t>(p) *
+                             static_cast<std::int64_t>(sizeof(CommMatrixCell));
+    EXPECT_LT(cm.resident_bytes(), dense_bytes / 4) << transport_kind_name(kind);
   }
   // And the pipe coordinator's own buffers: O(groups) staging vectors whose
   // bytes scale with traffic per barrier, not with P^2 bookkeeping.

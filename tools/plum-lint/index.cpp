@@ -1,0 +1,340 @@
+#include "index.hpp"
+
+#include <algorithm>
+
+#include "lexer.hpp"
+
+namespace plumlint {
+
+namespace {
+
+/// Conventional spellings for "number of ranks". Containers sized by one
+/// of these are per-rank state even when the declaration site is in a
+/// file the index never saw (e.g. a CLI variable).
+const std::set<std::string>& builtin_rank_count_names() {
+  static const std::set<std::string> n = {"nranks", "n_ranks", "num_ranks",
+                                          "nprocs", "world_size"};
+  return n;
+}
+
+/// Joins token texts with single spaces: good enough for diagnostics and
+/// for phase 2's substring probes ("map < Index", "SplMap", ...).
+std::string join_tokens(const Tokens& t, std::size_t begin, std::size_t end) {
+  std::string out;
+  for (std::size_t j = begin; j < end; ++j) {
+    if (!out.empty()) out += ' ';
+    out += t[j].text;
+  }
+  return out;
+}
+
+/// Parses one member declaration at statement start `i` inside a struct
+/// body. Returns the index to resume from; appends to `fields` on success.
+/// Member functions (name followed by '(') are skipped — only data members
+/// carry replicated state.
+std::size_t parse_field(const Tokens& t, std::size_t i,
+                        std::vector<FieldInfo>& fields) {
+  std::size_t j = i;
+  while (is(t[j], "const") || is(t[j], "constexpr") || is(t[j], "static") ||
+         is(t[j], "mutable") || is(t[j], "inline")) {
+    ++j;
+  }
+  if (t[j].kind != Tok::Ident) return i;
+  if (stmt_keywords().count(t[j].text)) return i;
+  const std::size_t type_begin = j;
+  const std::string& first = t[j].text;
+  ++j;
+  if (first == "unsigned" || first == "signed" || first == "long" ||
+      first == "short") {
+    while (t[j].kind == Tok::Ident && type_keywords().count(t[j].text)) ++j;
+  }
+  while (true) {
+    if (is(t[j], "::") && t[j + 1].kind == Tok::Ident) {
+      j += 2;
+    } else if (is(t[j], "<")) {
+      const std::size_t k = skip_template(t, j);
+      if (k == j + 1) return i;
+      j = k;
+    } else {
+      break;
+    }
+  }
+  while (is(t[j], "&") || is(t[j], "*") || is(t[j], "const")) ++j;
+  if (t[j].kind != Tok::Ident) return i;
+  const std::string& nx = t[j + 1].text;
+  if (nx == "(") return i;  // member function
+  if (nx == ";" || nx == "=" || nx == "{" || nx == ",") {
+    fields.push_back({t[j].text, join_tokens(t, type_begin, j), t[j].line});
+    return j;
+  }
+  return i;
+}
+
+/// Scans a `struct Name { ... }` body for data members at depth 1.
+void collect_struct(const Tokens& t, std::size_t body_open,
+                    std::size_t body_close, StructInfo& info) {
+  int depth = 0;
+  for (std::size_t i = body_open; i < body_close; ++i) {
+    const Token& tk = t[i];
+    if (is(tk, "{")) {
+      ++depth;
+      continue;
+    }
+    if (is(tk, "}")) {
+      --depth;
+      continue;
+    }
+    if (depth != 1) continue;
+    const Token& prev = t[i - 1];
+    const bool stmt_start = is(prev, "{") || is(prev, ";") || is(prev, "}") ||
+                            (is(prev, ":") && i >= 2 &&
+                             (is(t[i - 2], "public") || is(t[i - 2], "private") ||
+                              is(t[i - 2], "protected")));
+    if (!stmt_start || tk.kind != Tok::Ident) continue;
+    const std::size_t resumed = parse_field(t, i, info.fields);
+    if (resumed != i) i = resumed;
+  }
+}
+
+struct ParamGroup {
+  std::string name;
+  bool mutable_ref = false;
+};
+
+/// Splits a function parameter list at depth-0 commas: each group yields
+/// its last identifier as the name and `T& x` (without const) marks it a
+/// mutable reference — the only kind a one-level summary tracks writes to.
+std::vector<ParamGroup> parse_params(const Tokens& t, std::size_t popen,
+                                     std::size_t pclose) {
+  std::vector<ParamGroup> out;
+  if (pclose == popen + 1) return out;
+  std::size_t start = popen + 1;
+  int depth = 0;
+  for (std::size_t j = popen + 1; j <= pclose; ++j) {
+    const std::string& x = t[j].text;
+    if (x == "(" || x == "[" || x == "{" || x == "<") ++depth;
+    if (x == "]" || x == "}" || x == ">") --depth;
+    if ((x == "," && depth == 0) || j == pclose) {
+      ParamGroup g;
+      bool has_const = false, has_ref = false;
+      for (std::size_t k = start; k < j; ++k) {
+        if (is(t[k], "const")) has_const = true;
+        if (is(t[k], "&")) has_ref = true;
+        if (t[k].kind == Tok::Ident) g.name = t[k].text;
+      }
+      g.mutable_ref = has_ref && !has_const;
+      if (!g.name.empty()) out.push_back(std::move(g));
+      start = j + 1;
+    }
+    if (x == ")" && j != pclose) --depth;
+  }
+  return out;
+}
+
+/// One-level mutation summary: which mutable-ref params does the body
+/// write through (assignment, ++/--, or a mutating method call)?
+void summarize_mutations(const Tokens& t, std::size_t body_open,
+                         std::size_t body_close,
+                         const std::vector<ParamGroup>& params,
+                         FuncInfo& info) {
+  auto param_index = [&](const std::string& base) -> std::ptrdiff_t {
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      if (params[p].mutable_ref && params[p].name == base) {
+        return static_cast<std::ptrdiff_t>(p);
+      }
+    }
+    return -1;
+  };
+  std::set<std::size_t> mutated;
+  for (std::size_t i = body_open + 1; i < body_close; ++i) {
+    const Token& tk = t[i];
+    LhsInfo lhs;
+    if (is_assign_op(tk)) {
+      lhs = parse_lhs_backward(t, i - 1, body_open, "");
+    } else if (is(tk, "++") || is(tk, "--")) {
+      if (t[i + 1].kind == Tok::Ident) {
+        lhs = parse_lhs_forward(t, i + 1, "");
+      } else if (t[i - 1].kind == Tok::Ident || is(t[i - 1], "]")) {
+        lhs = parse_lhs_backward(t, i - 1, body_open, "");
+      }
+    } else if (tk.kind == Tok::Ident && is(t[i + 1], "(") &&
+               (is(t[i - 1], ".") || is(t[i - 1], "->")) &&
+               mutating_methods().count(tk.text)) {
+      lhs = parse_lhs_backward(t, i, body_open, "");
+    } else {
+      continue;
+    }
+    if (!lhs.ok || lhs.base.empty()) continue;
+    const std::ptrdiff_t p = param_index(lhs.base);
+    if (p >= 0) mutated.insert(static_cast<std::size_t>(p));
+  }
+  info.mutated_params.assign(mutated.begin(), mutated.end());
+}
+
+/// Free-function definitions: `name ( params ) [const noexcept ...] {`.
+/// Qualified definitions (`Foo::bar`) index under the last component.
+/// Control-flow keywords and member-call receivers are excluded.
+void collect_functions(const std::string& file, const Tokens& t,
+                       std::map<std::string, std::vector<FuncInfo>>& funcs) {
+  for (std::size_t i = 1; i + 2 < t.size(); ++i) {
+    const Token& tk = t[i];
+    if (tk.kind != Tok::Ident || tk.preproc) continue;
+    if (stmt_keywords().count(tk.text)) continue;
+    if (!is(t[i + 1], "(")) continue;
+    if (is(t[i - 1], ".") || is(t[i - 1], "->")) continue;
+    const std::size_t popen = i + 1;
+    const std::size_t pclose = match_forward(t, popen, "(", ")");
+    std::size_t b = pclose + 1;
+    while (is(t[b], "const") || is(t[b], "noexcept") || is(t[b], "override") ||
+           is(t[b], "final")) {
+      ++b;
+    }
+    if (is(t[b], "->")) {  // trailing return type
+      while (t[b].kind != Tok::End && !is(t[b], "{") && !is(t[b], ";")) ++b;
+    }
+    if (!is(t[b], "{")) continue;
+    const std::size_t body_close = match_forward(t, b, "{", "}");
+
+    FuncInfo info;
+    info.name = tk.text;
+    info.file = file;
+    info.line = tk.line;
+    const auto params = parse_params(t, popen, pclose);
+    for (const auto& p : params) info.param_names.push_back(p.name);
+    summarize_mutations(t, b, body_close, params, info);
+    funcs[info.name].push_back(std::move(info));
+    i = b;  // resume at the body; nested definitions (lambdas) are not free
+  }
+}
+
+/// Rank-count names in one file: `Rank x` declarations and initializers
+/// that call `nranks()` (`const auto P = fw.nranks();`).
+void collect_rank_counts(const Tokens& t, std::set<std::string>& names) {
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != Tok::Ident || t[i].preproc) continue;
+    if (is(t[i], "Rank") && t[i + 1].kind == Tok::Ident) {
+      const std::string& nx = t[i + 2].text;
+      if (nx == "=" || nx == ";" || nx == "," || nx == ")" || nx == "{" ||
+          nx == ":") {
+        names.insert(t[i + 1].text);
+      }
+      continue;
+    }
+    if (is(t[i + 1], "=") && t[i].kind == Tok::Ident) {
+      for (std::size_t j = i + 2; j < t.size() && !is(t[j], ";"); ++j) {
+        if (is(t[j], "nranks") && is(t[j + 1], "(")) {
+          names.insert(t[i].text);
+          break;
+        }
+      }
+    }
+  }
+}
+
+/// `std::vector<S ...>` uses: records the (last component of the) element
+/// type name. Phase 2 cross-references these against indexed structs.
+void collect_replications(const std::string& file, const Tokens& t,
+                          std::vector<ReplicationSite>& out) {
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != Tok::Ident || t[i].preproc) continue;
+    if (!is(t[i], "vector") || !is(t[i + 1], "<")) continue;
+    std::size_t j = i + 2;
+    while (is(t[j], "const")) ++j;
+    if (t[j].kind != Tok::Ident) continue;
+    std::string elem = t[j].text;
+    while (is(t[j + 1], "::") && t[j + 2].kind == Tok::Ident) {
+      elem = t[j + 2].text;
+      j += 2;
+    }
+    out.push_back({elem, file, t[i].line});
+  }
+}
+
+}  // namespace
+
+bool SymbolIndex::is_replicated(const std::string& struct_name) const {
+  return std::any_of(
+      replications.begin(), replications.end(),
+      [&](const ReplicationSite& r) { return r.struct_name == struct_name; });
+}
+
+const StructInfo* SymbolIndex::find_struct(const std::string& name) const {
+  const auto it = structs.find(name);
+  return it == structs.end() ? nullptr : &it->second;
+}
+
+SymbolIndex build_index(const std::vector<FileInput>& files) {
+  SymbolIndex index;
+  std::vector<StructInfo> all_structs;
+
+  for (const auto& f : files) {
+    const LexResult lexed = lex(f.content);
+    const Tokens& t = lexed.tokens;
+
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (t[i].kind != Tok::Ident || t[i].preproc) continue;
+      if (!is(t[i], "struct") && !is(t[i], "class")) continue;
+      if (t[i + 1].kind != Tok::Ident) continue;
+      // `struct Name;` is a forward declaration — no definition, no
+      // fields; it must never shadow (or duplicate) the real one.
+      std::size_t b = i + 2;
+      if (is(t[b], ";")) continue;
+      if (is(t[b], ":")) {  // base clause
+        while (t[b].kind != Tok::End && !is(t[b], "{") && !is(t[b], ";")) ++b;
+      }
+      if (!is(t[b], "{")) continue;
+      StructInfo info;
+      info.name = t[i + 1].text;
+      info.file = f.path;
+      info.line = t[i].line;
+      collect_struct(t, b, match_forward(t, b, "{", "}"), info);
+      all_structs.push_back(std::move(info));
+    }
+
+    collect_functions(f.path, t, index.functions);
+    collect_rank_counts(t, index.rank_count_names[f.path]);
+    collect_replications(f.path, t, index.replications);
+  }
+
+  // Deterministic regardless of input order: sort every per-name list by
+  // (file, line); same-name structs from different files keep distinct
+  // keys ("Name@file") with the lexicographically first file primary.
+  std::sort(all_structs.begin(), all_structs.end(),
+            [](const StructInfo& a, const StructInfo& b) {
+              if (a.name != b.name) return a.name < b.name;
+              if (a.file != b.file) return a.file < b.file;
+              return a.line < b.line;
+            });
+  for (auto& s : all_structs) {
+    if (index.structs.count(s.name) == 0) {
+      index.structs.emplace(s.name, std::move(s));
+    } else {
+      const std::string key = s.name + "@" + s.file;
+      index.structs.emplace(key, std::move(s));
+    }
+  }
+  for (auto& [name, defs] : index.functions) {
+    std::sort(defs.begin(), defs.end(),
+              [](const FuncInfo& a, const FuncInfo& b) {
+                if (a.file != b.file) return a.file < b.file;
+                return a.line < b.line;
+              });
+  }
+  std::sort(index.replications.begin(), index.replications.end(),
+            [](const ReplicationSite& a, const ReplicationSite& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.struct_name < b.struct_name;
+            });
+
+  return index;
+}
+
+bool SymbolIndex::is_rank_count(const std::string& file,
+                                const std::string& name) const {
+  if (builtin_rank_count_names().count(name)) return true;
+  const auto it = rank_count_names.find(file);
+  return it != rank_count_names.end() && it->second.count(name) > 0;
+}
+
+}  // namespace plumlint

@@ -1,0 +1,84 @@
+#pragma once
+// plum-scale phase 1: a lightweight project-wide symbol index. One pass
+// over every file collects
+//
+//   * struct/class definitions with their fields (name + type token text),
+//   * free-function definitions with one-level mutation summaries: which
+//     parameters the body writes through (non-const references it assigns,
+//     increments, or calls a mutating method on),
+//   * rank-count names: identifiers that hold "number of ranks" values —
+//     declared with type Rank, initialized from an `nranks()` call, or one
+//     of the conventional spellings (nranks, P, num_ranks, ...),
+//   * replication sites: `std::vector<S>` uses where S is an indexed
+//     struct — the struct's state then exists once per element, so any
+//     global-mesh-sized field inside S is replicated state.
+//
+// The index is deliberately token-level (no preprocessing, no template
+// instantiation). It exists so phase 2 (scale.cpp) can reason across
+// translation units: a helper defined in one file and called from a
+// superstep lambda in another still gets its mutation summary applied.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "linter.hpp"
+#include "token_util.hpp"
+
+namespace plumlint {
+
+struct FieldInfo {
+  std::string name;
+  std::string type_text;  ///< type tokens joined with single spaces
+  int line = 0;
+};
+
+struct StructInfo {
+  std::string name;
+  std::string file;  ///< file of the defining `{`, not a forward decl
+  int line = 0;
+  std::vector<FieldInfo> fields;
+};
+
+struct FuncInfo {
+  std::string name;
+  std::string file;
+  int line = 0;
+  std::vector<std::string> param_names;   ///< in declaration order
+  std::vector<std::size_t> mutated_params;  ///< indices into param_names
+};
+
+struct ReplicationSite {
+  std::string struct_name;  ///< the element type S in vector<S>
+  std::string file;
+  int line = 0;
+};
+
+struct SymbolIndex {
+  /// Keyed "Struct" or, for same-name structs in different files,
+  /// the first definition wins and later ones append "@<file>".
+  std::map<std::string, StructInfo> structs;
+  /// All definitions sharing a name (overloads, per-TU statics).
+  std::map<std::string, std::vector<FuncInfo>> functions;
+  /// Per file: names that hold rank counts in that file. Scoped per file
+  /// because short names (`n`, `p`) declared Rank in one TU must not
+  /// taint size expressions everywhere else. Conventional spellings
+  /// (nranks, num_ranks, ...) count in every file.
+  std::map<std::string, std::set<std::string>> rank_count_names;
+  std::vector<ReplicationSite> replications;
+
+  [[nodiscard]] bool is_replicated(const std::string& struct_name) const;
+  [[nodiscard]] const StructInfo* find_struct(const std::string& name) const;
+  /// True if `name` is a rank count within `file` (or conventionally).
+  [[nodiscard]] bool is_rank_count(const std::string& file,
+                                   const std::string& name) const;
+};
+
+/// Builds the index over all files at once. Order-independent: the result
+/// is identical however `files` is permuted (tests pin this), so include
+/// order across the tree can never change what phase 2 reports.
+SymbolIndex build_index(const std::vector<FileInput>& files);
+
+}  // namespace plumlint

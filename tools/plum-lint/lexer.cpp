@@ -21,6 +21,22 @@ constexpr std::string_view kPuncts[] = {
     "<<",
 };
 
+/// Raw-string introducers: the encoding prefixes the grammar allows before
+/// `R"`. A prefixed raw string (`u8R"(...)"`) lexed as identifier + ordinary
+/// string leaks the content between embedded quotes as tokens — stray braces
+/// then desync every brace-matching check downstream.
+bool is_raw_string_prefix(std::string_view ident) {
+  return ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+
+/// Ordinary-literal encoding prefixes (`L"..."`, `u8'x'`): the literal that
+/// follows must be lexed as a string/char, not as identifier + literal, so
+/// escape handling applies to the right span.
+bool is_literal_prefix(std::string_view ident) {
+  return ident == "L" || ident == "u" || ident == "U" || ident == "u8";
+}
+
 }  // namespace
 
 LexResult lex(std::string_view src) {
@@ -90,9 +106,9 @@ LexResult lex(std::string_view src) {
 
     line_has_token = true;
 
-    // Raw strings: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
-      std::size_t j = i + 2;
+    // Raw strings: [prefix]R"delim( ... )delim" — no escape processing.
+    auto lex_raw_string = [&](std::size_t quote_pos) {
+      std::size_t j = quote_pos + 1;
       std::string delim;
       while (j < src.size() && src[j] != '(') delim.push_back(src[j++]);
       const std::string closer = ")" + delim + "\"";
@@ -108,13 +124,12 @@ LexResult lex(std::string_view src) {
       }
       out.tokens.push_back({Tok::String, "\"\"", start_line, in_preproc});
       i = end;
-      continue;
-    }
+    };
 
-    // String / char literals (escapes honored, content discarded).
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      std::size_t j = i + 1;
+    // Ordinary string / char literals (escapes honored, content discarded).
+    auto lex_quoted = [&](std::size_t quote_pos) {
+      const char quote = src[quote_pos];
+      std::size_t j = quote_pos + 1;
       while (j < src.size() && src[j] != quote) {
         if (src[j] == '\\' && j + 1 < src.size()) ++j;
         if (src[j] == '\n') ++line;  // unterminated; stay resilient
@@ -123,14 +138,28 @@ LexResult lex(std::string_view src) {
       out.tokens.push_back({Tok::String, quote == '"' ? "\"\"" : "''", line,
                             in_preproc});
       i = (j < src.size()) ? j + 1 : src.size();
+    };
+
+    if (c == '"' || c == '\'') {
+      lex_quoted(i);
       continue;
     }
 
     if (is_ident_start(c)) {
       std::size_t j = i + 1;
       while (j < src.size() && is_ident_char(src[j])) ++j;
+      const std::string_view ident = src.substr(i, j - i);
+      if (j < src.size() && src[j] == '"' && is_raw_string_prefix(ident)) {
+        lex_raw_string(j);
+        continue;
+      }
+      if (j < src.size() && (src[j] == '"' || src[j] == '\'') &&
+          is_literal_prefix(ident)) {
+        lex_quoted(j);
+        continue;
+      }
       out.tokens.push_back(
-          {Tok::Ident, std::string(src.substr(i, j - i)), line, in_preproc});
+          {Tok::Ident, std::string(ident), line, in_preproc});
       i = j;
       continue;
     }

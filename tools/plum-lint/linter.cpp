@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "lexer.hpp"
+#include "token_util.hpp"
 
 namespace plumlint {
 
@@ -21,74 +22,6 @@ constexpr const char* kUnusedSuppress = "unused-suppression";
 
 bool is_meta_check(const std::string& c) {
   return c == kBadSuppress || c == kUnusedSuppress;
-}
-
-const std::set<std::string>& type_keywords() {
-  static const std::set<std::string> kw = {
-      "auto",   "bool",   "char",   "double",   "float",  "int",
-      "long",   "short",  "signed", "unsigned", "void",   "size_t",
-      "int8_t", "int16_t", "int32_t", "int64_t", "uint8_t", "uint16_t",
-      "uint32_t", "uint64_t"};
-  return kw;
-}
-
-const std::set<std::string>& stmt_keywords() {
-  static const std::set<std::string> kw = {
-      "return",   "if",     "for",    "while",  "switch", "case",
-      "break",    "continue", "else", "do",     "delete", "new",
-      "throw",    "goto",   "using",  "typedef", "template", "public",
-      "private",  "protected", "namespace", "struct", "class", "enum",
-      "sizeof",   "static_assert"};
-  return kw;
-}
-
-/// Method names that mutate their receiver. Calling one of these on a
-/// captured, non-rank-indexed object inside a superstep is the same bug as
-/// a bare `captured += x`: it races under ParallelEngine and depends on
-/// rank execution order sequentially. Covers the obs::MetricsRegistry /
-/// TraceRecorder recording API (set, add_sample, ...) and the common
-/// container mutators. Read-only lookups (find, count, at, size) are
-/// deliberately absent.
-const std::set<std::string>& mutating_methods() {
-  static const std::set<std::string> m = {
-      "add",         "add_gate_record", "add_sample", "add_sample_int",
-      "append",      "assign",          "clear",      "emplace",
-      "emplace_back", "erase",          "insert",     "merge_from",
-      "push_back",   "record",          "resize",     "set",
-      "set_int"};
-  return m;
-}
-
-using Tokens = std::vector<Token>;
-
-bool is(const Token& t, const char* text) { return t.text == text; }
-
-/// i at "<": index just past the matching ">", or i + 1 if this `<` does
-/// not look like a template list (no match before ; { }).
-std::size_t skip_template(const Tokens& t, std::size_t i) {
-  std::size_t depth = 0;
-  for (std::size_t j = i; j < t.size() && t[j].kind != Tok::End; ++j) {
-    const std::string& x = t[j].text;
-    if (x == "<") {
-      ++depth;
-    } else if (x == ">") {
-      if (--depth == 0) return j + 1;
-    } else if (x == ";" || x == "{") {
-      break;
-    }
-  }
-  return i + 1;
-}
-
-/// i at an opening bracket: index of the matching closer (or end).
-std::size_t match_forward(const Tokens& t, std::size_t i, const char* open,
-                          const char* close) {
-  std::size_t depth = 0;
-  for (std::size_t j = i; j < t.size() && t[j].kind != Tok::End; ++j) {
-    if (t[j].text == open) ++depth;
-    if (t[j].text == close && --depth == 0) return j;
-  }
-  return t.size() - 1;
 }
 
 /// Names declared with an unordered container type anywhere in `t`
@@ -224,216 +157,9 @@ void check_nondeterminism(const std::string& file, const Tokens& t,
 
 // --- checks: rank-guard-mutation & shared-accumulator ------------------------
 
-struct DeclNames {
-  std::vector<std::string> names;
-  bool matched = false;
-};
-
-/// Tries to parse a declaration starting at `i` (statement start). Handles
-/// `const T& x = ...`, `std::vector<T> x(...)`, `auto it = ...`,
-/// structured bindings `const auto& [a, b] : ...`, and multi-keyword
-/// fundamentals. Does not need to be complete — misses only make the
-/// mutation checks slightly stricter, never looser.
-DeclNames try_parse_decl(const Tokens& t, std::size_t i) {
-  DeclNames out;
-  std::size_t j = i;
-  while (is(t[j], "const") || is(t[j], "constexpr") || is(t[j], "static") ||
-         is(t[j], "mutable")) {
-    ++j;
-  }
-  if (t[j].kind != Tok::Ident) return out;
-  const std::string& first = t[j].text;
-  if (stmt_keywords().count(first)) return out;
-  ++j;
-  if (first == "unsigned" || first == "signed" || first == "long" ||
-      first == "short") {
-    while (t[j].kind == Tok::Ident && type_keywords().count(t[j].text)) ++j;
-  }
-  while (true) {
-    if (is(t[j], "::") && t[j + 1].kind == Tok::Ident) {
-      j += 2;
-    } else if (is(t[j], "<")) {
-      const std::size_t k = skip_template(t, j);
-      if (k == j + 1) return out;  // comparison, not a template list
-      j = k;
-    } else {
-      break;
-    }
-  }
-  while (is(t[j], "&") || is(t[j], "*") || is(t[j], "const")) ++j;
-  if (is(t[j], "[")) {  // structured binding
-    std::size_t k = j + 1;
-    std::vector<std::string> names;
-    while (!is(t[k], "]") && t[k].kind != Tok::End) {
-      if (t[k].kind == Tok::Ident) names.push_back(t[k].text);
-      ++k;
-    }
-    if (is(t[k + 1], "=") || is(t[k + 1], ":")) {
-      out.names = std::move(names);
-      out.matched = true;
-    }
-    return out;
-  }
-  if (t[j].kind != Tok::Ident) return out;
-  const std::string& nx = t[j + 1].text;
-  if (nx == "=" || nx == "(" || nx == "{" || nx == ";" || nx == ":" ||
-      nx == ",") {
-    out.names.push_back(t[j].text);
-    out.matched = true;
-  }
-  return out;
-}
-
-struct LhsInfo {
-  std::string base;
-  bool rank_indexed = false;
-  bool ok = false;
-};
-
-/// Walks an lvalue access path backward from `j` (inclusive) to its base
-/// identifier, noting whether any subscript on the path mentions the rank
-/// variable: `counts[size_t(r)] += ..` is per-rank state, `counts[i] += ..`
-/// is not.
-LhsInfo parse_lhs_backward(const Tokens& t, std::size_t j, std::size_t begin,
-                           const std::string& rank_var) {
-  LhsInfo out;
-  while (j > begin) {
-    if (is(t[j], "]")) {
-      std::size_t depth = 1;
-      std::size_t k = j;
-      while (k > begin && depth > 0) {
-        --k;
-        if (is(t[k], "]")) ++depth;
-        if (is(t[k], "[")) --depth;
-        if (depth > 0 && t[k].kind == Tok::Ident && !rank_var.empty() &&
-            t[k].text == rank_var) {
-          out.rank_indexed = true;
-        }
-      }
-      if (depth != 0 || k == begin) return out;
-      j = k - 1;
-      continue;
-    }
-    if (t[j].kind == Tok::Ident) {
-      const Token& prev = t[j - 1];
-      if (is(prev, ".") || is(prev, "->") || is(prev, "::")) {
-        j -= 2;
-        continue;
-      }
-      out.base = t[j].text;
-      out.ok = true;
-      return out;
-    }
-    return out;  // ")" etc: call results and casts are not analyzable
-  }
-  return out;
-}
-
-/// Forward variant for prefix ++/--: ++x, ++x.y[r].
-LhsInfo parse_lhs_forward(const Tokens& t, std::size_t j,
-                          const std::string& rank_var) {
-  LhsInfo out;
-  if (t[j].kind != Tok::Ident) return out;
-  out.base = t[j].text;
-  out.ok = true;
-  std::size_t k = j + 1;
-  while (true) {
-    if ((is(t[k], ".") || is(t[k], "->") || is(t[k], "::")) &&
-        t[k + 1].kind == Tok::Ident) {
-      k += 2;
-    } else if (is(t[k], "[")) {
-      const std::size_t close = match_forward(t, k, "[", "]");
-      for (std::size_t m = k + 1; m < close; ++m) {
-        if (t[m].kind == Tok::Ident && !rank_var.empty() &&
-            t[m].text == rank_var) {
-          out.rank_indexed = true;
-        }
-      }
-      k = close + 1;
-    } else {
-      break;
-    }
-  }
-  return out;
-}
-
-bool is_assign_op(const Token& t) {
-  static const std::set<std::string> ops = {"=",  "+=", "-=",  "*=", "/=",
-                                            "%=", "&=", "|=",  "^=", "<<="};
-  return t.kind == Tok::Punct && ops.count(t.text) > 0;
-}
-
-struct SuperstepLambda {
-  std::size_t body_begin = 0;  ///< index of the opening '{'
-  std::size_t body_end = 0;    ///< index of the matching '}'
-  std::string rank_var;        ///< may be empty (unnamed Rank param)
-  std::vector<std::string> param_names;
-};
-
-/// Finds lambdas whose parameter list mentions both Rank and Outbox — the
-/// rt::Engine::StepFn shape all superstep programs use.
-std::vector<SuperstepLambda> find_superstep_lambdas(const Tokens& t) {
-  std::vector<SuperstepLambda> out;
-  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
-    if (!is(t[i], "[") || t[i].preproc) continue;
-    const Token& prev = t[i - 1];
-    const bool lambda_position =
-        is(prev, "(") || is(prev, ",") || is(prev, "{") || is(prev, ";") ||
-        is(prev, "=") || is(prev, "return") || is(prev, "&&") ||
-        is(prev, "||") || is(prev, ":");
-    if (!lambda_position) continue;
-    const std::size_t cap_end = match_forward(t, i, "[", "]");
-    if (!is(t[cap_end + 1], "(")) continue;
-    const std::size_t popen = cap_end + 1;
-    const std::size_t pclose = match_forward(t, popen, "(", ")");
-
-    SuperstepLambda lam;
-    bool has_rank = false, has_outbox = false;
-    // Split parameters at depth-0 commas.
-    std::size_t start = popen + 1;
-    int depth = 0;
-    for (std::size_t j = popen + 1; j <= pclose; ++j) {
-      const std::string& x = t[j].text;
-      if (x == "(" || x == "[" || x == "{") ++depth;
-      if (x == "]" || x == "}") --depth;
-      if ((x == "," && depth == 0) || j == pclose) {
-        bool p_rank = false, p_outbox = false;
-        std::string last_ident;
-        for (std::size_t k = start; k < j; ++k) {
-          if (t[k].kind != Tok::Ident) continue;
-          if (t[k].text == "Rank") p_rank = true;
-          if (t[k].text == "Outbox") p_outbox = true;
-          last_ident = t[k].text;
-        }
-        has_rank |= p_rank;
-        has_outbox |= p_outbox;
-        if (!last_ident.empty() && last_ident != "Rank" &&
-            last_ident != "Inbox" && last_ident != "Outbox") {
-          lam.param_names.push_back(last_ident);
-          if (p_rank) lam.rank_var = last_ident;
-        }
-        start = j + 1;
-      }
-      if (x == ")" && j != pclose) --depth;
-    }
-    if (!has_rank || !has_outbox) continue;
-
-    // Skip mutable / noexcept / -> trailing-return to the body.
-    std::size_t b = pclose + 1;
-    while (t[b].kind != Tok::End && !is(t[b], "{") && !is(t[b], ";") &&
-           !is(t[b], ")")) {
-      ++b;
-    }
-    if (!is(t[b], "{")) continue;
-    lam.body_begin = b;
-    lam.body_end = match_forward(t, b, "{", "}");
-    out.push_back(std::move(lam));
-  }
-  return out;
-}
 
 void check_superstep_body(const std::string& file, const Tokens& t,
-                          const SuperstepLambda& lam,
+                          const SuperstepLambda& lam, const SkipSpans& skip,
                           std::vector<Diagnostic>& out) {
   // Locals: (name, brace depth at declaration). Params live at depth 0.
   std::vector<std::pair<std::string, int>> locals;
@@ -449,6 +175,11 @@ void check_superstep_body(const std::string& file, const Tokens& t,
   int depth = 0;
   for (std::size_t i = lam.body_begin; i <= lam.body_end; ++i) {
     while (!guard_ends.empty() && i > guard_ends.back()) guard_ends.pop_back();
+    const std::size_t jump = skip_to(skip, i);
+    if (jump != i) {
+      i = jump;  // nested superstep body: checked on its own pass
+      continue;
+    }
     const Token& tk = t[i];
 
     if (is(tk, "{")) {
@@ -458,6 +189,19 @@ void check_superstep_body(const std::string& file, const Tokens& t,
     if (is(tk, "}")) {
       std::erase_if(locals, [&](const auto& l) { return l.second == depth; });
       --depth;
+      continue;
+    }
+
+    // A nested plain lambda: its parameters, init-captures, and by-value
+    // copies are closure-local — writes to them are not mutations of this
+    // superstep's captured state. They scope to the nested body, which
+    // opens one brace deeper than here.
+    if (is(tk, "[") && i > lam.body_begin && lambda_position(t[i - 1])) {
+      const std::size_t cap_end = match_forward(t, i, "[", "]");
+      for (auto& n : nested_lambda_own_names(t, i, cap_end)) {
+        locals.emplace_back(std::move(n), depth + 1);
+      }
+      i = cap_end;  // capture list is binding syntax, not assignments
       continue;
     }
 
@@ -571,9 +315,14 @@ void check_superstep_body(const std::string& file, const Tokens& t,
 /// breaks the determinism contract outright. plum-path's counter view
 /// depends on superstep bodies staying wall-clock free.
 void check_wallclock_in_body(const std::string& file, const Tokens& t,
-                             const SuperstepLambda& lam,
+                             const SuperstepLambda& lam, const SkipSpans& skip,
                              std::vector<Diagnostic>& out) {
   for (std::size_t i = lam.body_begin; i <= lam.body_end; ++i) {
+    const std::size_t jump = skip_to(skip, i);
+    if (jump != i) {
+      i = jump;
+      continue;
+    }
     const Token& tk = t[i];
     if (tk.kind != Tok::Ident || tk.preproc) continue;
     if (is(tk, "Timer") || is(tk, "PhaseTimer")) {
@@ -627,9 +376,14 @@ const std::set<std::string>& raw_fd_functions() {
 /// (`rt::read_some`, which is not on the list anyway) are skipped; bare
 /// and global-scope (`::write(...)`) calls are flagged.
 void check_raw_fd_in_body(const std::string& file, const Tokens& t,
-                          const SuperstepLambda& lam,
+                          const SuperstepLambda& lam, const SkipSpans& skip,
                           std::vector<Diagnostic>& out) {
   for (std::size_t i = lam.body_begin; i <= lam.body_end; ++i) {
+    const std::size_t jump = skip_to(skip, i);
+    if (jump != i) {
+      i = jump;
+      continue;
+    }
     const Token& tk = t[i];
     if (tk.kind != Tok::Ident || tk.preproc) continue;
     if (raw_fd_functions().find(tk.text) == raw_fd_functions().end()) continue;
@@ -656,13 +410,6 @@ struct Suppression {
   std::string justification;
   bool used = false;
 };
-
-std::string trim(const std::string& s) {
-  std::size_t a = s.find_first_not_of(" \t");
-  if (a == std::string::npos) return "";
-  std::size_t b = s.find_last_not_of(" \t");
-  return s.substr(a, b - a + 1);
-}
 
 void parse_suppressions(const std::string& file,
                         const std::vector<Comment>& comments,
@@ -785,10 +532,12 @@ LintResult lint_files(const std::vector<FileInput>& files) {
 
     check_unordered(path, t, per_file_names[fi], all_names, diags);
     check_nondeterminism(path, t, diags);
-    for (const auto& lam : find_superstep_lambdas(t)) {
-      check_superstep_body(path, t, lam, diags);
-      check_wallclock_in_body(path, t, lam, diags);
-      check_raw_fd_in_body(path, t, lam, diags);
+    const auto lambdas = find_superstep_lambdas(t);
+    for (const auto& lam : lambdas) {
+      const SkipSpans skip = nested_superstep_spans(lambdas, lam);
+      check_superstep_body(path, t, lam, skip, diags);
+      check_wallclock_in_body(path, t, lam, skip, diags);
+      check_raw_fd_in_body(path, t, lam, skip, diags);
     }
 
     std::vector<Suppression> sups;
@@ -825,29 +574,6 @@ LintResult lint_files(const std::vector<FileInput>& files) {
 LintResult lint_source(const std::string& path, const std::string& content) {
   return lint_files({{path, content}});
 }
-
-namespace {
-
-void json_escape(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          os << ' ';
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-}  // namespace
 
 std::string to_json(const LintResult& result) {
   std::ostringstream os;
