@@ -25,11 +25,14 @@
 #include <string>
 #include <vector>
 
+#include <cmath>
+
 #include "common.hpp"
 #include "core/dist_framework.hpp"
 #include "io/table.hpp"
 #include "json_report.hpp"
 #include "obs/chrome_trace.hpp"
+#include "sim/calibration.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -108,6 +111,16 @@ int main(int argc, char** argv) {
   bench::JsonReport report(bench_name);
   bool trace_written = false;
 
+  // Retrospective calibration across the sweep's accepted remaps: the byte
+  // fit consumes deterministic counters only (timing fits off), so the
+  // drift columns below are deterministic and baseline-gated like every
+  // other modeled metric. The running calibrator accumulates evidence from
+  // one P to the next, mirroring how a long-lived run would converge.
+  sim::CalibrationOptions copt;
+  copt.enabled = true;
+  copt.fit_timings = false;
+  sim::Calibration calib(core::FrameworkOptions{}.machine, copt);
+
   for (const Sweep& sw : sweeps) {
     const Rank P = sw.P;
     core::FrameworkOptions opt;
@@ -161,6 +174,26 @@ int main(int argc, char** argv) {
              std::int64_t{fw.engine().ledger().num_supersteps()}),
          io::Table::fmt(wall_s, 3)});
 
+    // Feed this run's accepted remaps to the calibrator and record the
+    // drift the static constants made vs. what the calibrated constants
+    // would make on the same moves.
+    double drift_static = 0, drift_cal = 0;
+    int naccepted = 0;
+    for (const auto& grec : fw.trace().gate_records()) {
+      if (!grec.evaluated || !grec.accepted) continue;
+      sim::CalibrationSample cs;
+      cs.cycle = grec.cycle;
+      cs.remap_executed = true;
+      cs.moved_elems = grec.moved_elems;
+      cs.moved_sets = grec.moved_sets;
+      cs.predicted_move_bytes = grec.predicted_move_bytes;
+      cs.measured_move_bytes = grec.measured_move_bytes;
+      calib.observe(cs);
+      drift_static += std::abs(grec.drift);
+      drift_cal += calib.recalibrated_abs_drift(cs);
+      ++naccepted;
+    }
+
     const std::string case_name = (cli.weak ? "weak_box" : "box") +
                                   std::to_string(sw.boxn);
     auto& run = report.add_run(case_name, P);
@@ -189,6 +222,11 @@ int main(int argc, char** argv) {
         .metric_int("comm_resident_bytes",
                     fw.engine().ledger().comm_matrix().resident_bytes())
         .metric_int("accepted", rep.accepted ? 1 : 0)
+        .metric("gate_drift_mean_abs_static",
+                naccepted > 0 ? drift_static / naccepted : 0.0)
+        .metric("gate_drift_mean_abs_calibrated",
+                naccepted > 0 ? drift_cal / naccepted : 0.0)
+        .calibration(calib.to_json())
         .metrics_from(fw.metrics())
         .gate_audit_from(fw.trace())
         .critical_path_from(fw.trace())
@@ -225,6 +263,17 @@ int main(int argc, char** argv) {
       run_out << run_doc.dump(2) << '\n';
       if (!run_out) {
         std::fprintf(stderr, "failed to write %s\n", run_path.c_str());
+        trace_written = false;
+      }
+
+      // plum-replay/1: the measured timing book for this run. Feed it back
+      // through FrameworkOptions::replay_path to re-run the calibration
+      // control loop deterministically (wall-clock content, so it is a
+      // side artifact like TRACE_*, never a baseline).
+      const std::string replay_path =
+          base + "/REPLAY_" + bench_name + ".json";
+      if (!fw.replay_log().save(replay_path)) {
+        std::fprintf(stderr, "failed to write %s\n", replay_path.c_str());
         trace_written = false;
       }
 

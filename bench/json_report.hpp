@@ -21,9 +21,10 @@
 //   }
 //
 // v2 extends plum-bench/1 with gauge series and fixed-bound histogram
-// objects under "metrics", the per-run "comm_matrix", "gate_audit", and
-// "critical_path" (the counter-sourced plum-path decomposition); all are
-// optional per run, so v1-shaped producers keep working.
+// objects under "metrics", the per-run "comm_matrix", "gate_audit",
+// "critical_path" (the counter-sourced plum-path decomposition), and
+// "calibration" (a plum-calibration/1 document, sim/calibration.hpp); all
+// are optional per run, so v1-shaped producers keep working.
 //
 // The output directory defaults to the working directory and is overridden
 // by PLUM_BENCH_JSON_DIR. tools/check_bench_json validates the files in CI
@@ -118,6 +119,14 @@ class JsonReport {
       return *this;
     }
 
+    /// Attaches a plum-calibration/1 document (sim::Calibration::to_json())
+    /// as the run's "calibration" section.
+    Run& calibration(obs::Json doc) {
+      calibration_ = std::move(doc);
+      has_calibration_ = true;
+      return *this;
+    }
+
     /// Copies every closed phase out of a plum-trace recorder.
     Run& phases_from(const obs::TraceRecorder& rec) {
       for (const auto& ph : rec.phases()) {
@@ -144,6 +153,7 @@ class JsonReport {
       if (has_comm_matrix_) r.set("comm_matrix", comm_matrix_);
       if (has_gate_audit_) r.set("gate_audit", gate_audit_);
       if (has_critical_path_) r.set("critical_path", critical_path_);
+      if (has_calibration_) r.set("calibration", calibration_);
       return r;
     }
 
@@ -155,9 +165,11 @@ class JsonReport {
     obs::Json comm_matrix_;
     obs::Json gate_audit_;
     obs::Json critical_path_;
+    obs::Json calibration_;
     bool has_comm_matrix_ = false;
     bool has_gate_audit_ = false;
     bool has_critical_path_ = false;
+    bool has_calibration_ = false;
   };
 
   explicit JsonReport(std::string bench_name) : bench_(std::move(bench_name)) {}

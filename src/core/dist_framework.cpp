@@ -57,6 +57,15 @@ DistFramework::DistFramework(mesh::TetMesh initial_global,
                              FrameworkOptions opt)
     : opt_(opt) {
   PLUM_ASSERT(opt_.nranks >= 1);
+  if (!opt_.replay_path.empty()) {
+    std::string err;
+    const bool loaded =
+        sim::ReplayBook::load(opt_.replay_path, &replay_book_, &err);
+    PLUM_ASSERT_MSG(loaded, "replay book failed to load");
+    replay_ = true;
+    opt_.calibration.enabled = true;
+  }
+  calib_ = sim::Calibration(opt_.machine, opt_.calibration);
   eng_ = rt::make_engine(opt_.nranks, opt_.threads, opt_.transport,
                          opt_.transport_procs);
   eng_->set_observer(&trace_);
@@ -88,17 +97,25 @@ DistCycleReport DistFramework::cycle() {
   const Rank P = opt_.nranks;
   DistCycleReport rep;
   rep.elements_before = dm_->total_active_elements();
-  const sim::CostModel cost_model(opt_.machine);
+  const int this_cycle = cycle_index_;
+  // Price this cycle with the calibrated constants; while calibration is
+  // disabled the model equals the static opt_.machine, so nothing changes.
+  const sim::CostModel cost_model = calib_.model();
+  const sim::MachineParams& mp = cost_model.params();
 
   // --- 1. parallel flow solver ------------------------------------------------
+  std::vector<Index> solve_epr;
+  const std::size_t solve_phase = trace_.phases().size();
+  const std::size_t solve_step_lo = trace_.supersteps().size();
   {
     obs::PhaseScope ph(trace_, "solve");
     solver_->run(opt_.solver_steps_per_cycle);
-    const auto epr = dm_->active_elements_per_rank();
-    ph.set_modeled_seconds(opt_.machine.t_iter *
+    solve_epr = dm_->active_elements_per_rank();
+    ph.set_modeled_seconds(mp.t_iter *
                            static_cast<double>(opt_.solver_steps_per_cycle) *
-                           static_cast<double>(vec_max(epr)));
+                           static_cast<double>(vec_max(solve_epr)));
   }
+  const std::size_t solve_step_hi = trace_.supersteps().size();
 
   // --- 1b. distributed coarsening phase (Fig. 1) -------------------------------
   if (opt_.coarsen_fraction > 0) {
@@ -184,9 +201,8 @@ DistCycleReport DistFramework::cycle() {
   auto pm = pmesh::parallel_mark(*dm_, *eng_, seeds);
   rep.mark_comm_rounds = pm.comm_rounds;
   trace_.set_modeled_seconds(
-      mark_phase,
-      opt_.machine.t_mark * static_cast<double>(rep.elements_before) *
-          static_cast<double>(1 + pm.comm_rounds));
+      mark_phase, mp.t_mark * static_cast<double>(rep.elements_before) *
+                      static_cast<double>(1 + pm.comm_rounds));
   trace_.end_phase(mark_phase);
 
   // --- 4. predicted weights gathered per global root ---------------------------
@@ -233,6 +249,10 @@ DistCycleReport DistFramework::cycle() {
   }
 
   // --- 5. host-side balance gate + repartition + reassignment ------------------
+  // Optional calibration feedback: scale each owner's predicted Wcomp by
+  // its measured per-element solve seconds (no-op unless
+  // calibration.blend_measured_weights has observed per-rank data).
+  sim::blend_weights(wcomp_pred, root_part_, calib_.rank_weight_scale());
   // plum-scale: host-only -- host-side load table for the rebalance decision
   std::vector<Weight> loads_old(static_cast<std::size_t>(P), 0);
   for (Index v = 0; v < nroots; ++v) {
@@ -245,10 +265,12 @@ DistCycleReport DistFramework::cycle() {
   dual_.set_weights(wcomp_pred, wremap_pred);
 
   obs::GateRecord gate_rec;
-  gate_rec.cycle = cycle_index_;
+  gate_rec.cycle = this_cycle;
   gate_rec.metric = sim::cost_metric_name(opt_.metric);
   gate_rec.imbalance_old = rep.imbalance_old;
 
+  std::size_t remap_phase = 0;
+  bool have_remap_phase = false;
   if (rep.imbalance_old > opt_.imbalance_trigger) {
     rep.evaluated_repartition = true;
     obs::PhaseScope gate(trace_, "gate");
@@ -322,11 +344,19 @@ DistCycleReport DistFramework::cycle() {
     gate_rec.imbalance_new = rep.imbalance_new;
     gate_rec.gain_s = rep.gain_seconds;
     gate_rec.cost_s = rep.cost_seconds;
+    gate_rec.moved_elems = opt_.metric == sim::CostMetric::kTotalV
+                               ? rep.volume.total_elems
+                               : rep.volume.bottleneck_elems;
+    gate_rec.moved_sets = opt_.metric == sim::CostMetric::kTotalV
+                              ? rep.volume.total_sets
+                              : rep.volume.bottleneck_sets;
     gate_rec.predicted_move_bytes =
         cost_model.predicted_move_bytes(rep.volume, opt_.metric);
 
     if (cost_model.accept_remap(rep.gain_seconds, rep.cost_seconds)) {
       rep.accepted = true;
+      remap_phase = trace_.phases().size();
+      have_remap_phase = true;
       obs::PhaseScope ph(trace_, "remap");
       ph.set_modeled_seconds(rep.cost_seconds);
       // --- 6. migrate subtrees + solution (remap before subdivision) -------
@@ -366,6 +396,7 @@ DistCycleReport DistFramework::cycle() {
 
   // --- 7. parallel subdivision ---------------------------------------------------
   // Braced so the phase closes before the end-of-cycle histogram sampling.
+  const std::size_t subdivide_phase = trace_.phases().size();
   {
     obs::PhaseScope subdivide(trace_, "subdivide");
     for (Rank r = 0; r < P; ++r) {
@@ -386,8 +417,7 @@ DistCycleReport DistFramework::cycle() {
     const auto pf = pmesh::parallel_refine(*dm_, *eng_, pm);
     rep.refine_work_per_rank = pf.work_per_rank;
     subdivide.set_modeled_seconds(
-        opt_.machine.t_refine *
-        static_cast<double>(vec_max(pf.work_per_rank)));
+        mp.t_refine * static_cast<double>(vec_max(pf.work_per_rank)));
     for (Rank r = 0; r < P; ++r) dm_->local(r).mesh.on_bisect = nullptr;
   }
 
@@ -397,6 +427,81 @@ DistCycleReport DistFramework::cycle() {
   rebind_solver();
 
   rep.elements_after = dm_->total_active_elements();
+
+  // --- close the loop: feed this cycle's telemetry to the calibrator --------
+  // Measured wall seconds (always recorded into the replay log): the phase
+  // walls plus the per-rank solve decomposition summed from the solve
+  // phase's superstep records.
+  const double solve_wall_s = trace_.phases()[solve_phase].wall_s;
+  const double remap_wall_s =
+      have_remap_phase ? trace_.phases()[remap_phase].wall_s : 0.0;
+  const double subdivide_wall_s = trace_.phases()[subdivide_phase].wall_s;
+  // plum-scale: host-only -- per-rank solve seconds for the calibration log
+  std::vector<double> rank_solve_wall(static_cast<std::size_t>(P), 0.0);
+  for (std::size_t s = solve_step_lo; s < solve_step_hi; ++s) {
+    const auto& secs = trace_.supersteps()[s].rank_seconds;
+    for (std::size_t r = 0; r < secs.size() && r < rank_solve_wall.size();
+         ++r) {
+      rank_solve_wall[r] += secs[r];
+    }
+  }
+  if (opt_.calibration.enabled) {
+    sim::CalibrationSample cs;
+    cs.cycle = this_cycle;
+    cs.solve_work = static_cast<std::int64_t>(opt_.solver_steps_per_cycle) *
+                    vec_max(solve_epr);
+    cs.refine_children = vec_max(rep.refine_work_per_rank);
+    cs.rank_elements = solve_epr;
+    if (replay_) {
+      if (static_cast<std::size_t>(this_cycle) < replay_book_.cycles.size()) {
+        const sim::ReplayCycle& bc =
+            replay_book_.cycles[static_cast<std::size_t>(this_cycle)];
+        cs.solve_seconds = bc.solve_seconds;
+        cs.remap_seconds = bc.remap_seconds;
+        cs.subdivide_seconds = bc.subdivide_seconds;
+        cs.rank_solve_seconds = bc.rank_solve_seconds;
+      }
+      // Past the end of the book: no timing evidence this cycle; the byte
+      // fit below still runs (it is counter-sourced).
+    } else {
+      cs.solve_seconds = solve_wall_s;
+      cs.remap_seconds = remap_wall_s;
+      cs.subdivide_seconds = subdivide_wall_s;
+      cs.rank_solve_seconds = rank_solve_wall;
+    }
+    if (rep.accepted) {
+      cs.remap_executed = true;
+      cs.moved_elems = gate_rec.moved_elems;
+      cs.moved_sets = gate_rec.moved_sets;
+      cs.predicted_move_bytes = gate_rec.predicted_move_bytes;
+      cs.measured_move_bytes = gate_rec.measured_move_bytes;
+    }
+    calib_.observe(cs);
+    // Under replay the calibration document is a pure function of
+    // deterministic inputs, so it joins the deterministic trace view and
+    // the per-constant gauges; live calibration stays wall-only.
+    trace_.set_calibration(calib_.to_json(), /*deterministic=*/replay_);
+    if (replay_) {
+      const sim::MachineParams& cp = calib_.params();
+      metrics_.add_sample("calib_t_iter", cp.t_iter);
+      metrics_.add_sample("calib_t_refine", cp.t_refine);
+      metrics_.add_sample("calib_t_lat", cp.t_lat);
+      metrics_.add_sample("calib_t_setup", cp.t_setup);
+      metrics_.add_sample("calib_bytes_per_element",
+                          calib_.model().move_bytes_per_element());
+      metrics_.add_sample("calib_bytes_per_set", cp.bytes_per_set);
+      metrics_.add_sample("calib_gate_margin", cp.gate_margin);
+      metrics_.add_sample("calib_mean_abs_drift", calib_.mean_abs_drift());
+    }
+  }
+  {
+    sim::ReplayCycle rc;
+    rc.solve_seconds = solve_wall_s;
+    rc.remap_seconds = remap_wall_s;
+    rc.subdivide_seconds = subdivide_wall_s;
+    rc.rank_solve_seconds = std::move(rank_solve_wall);
+    replay_log_.cycles.push_back(std::move(rc));
+  }
 
   // Per-cycle fixed-bound histograms (obs/critical_path.hpp): per-rank
   // step wall seconds + counter-sourced wait fractions for every superstep

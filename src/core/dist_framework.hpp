@@ -77,6 +77,16 @@ class DistFramework {
     return metrics_;
   }
 
+  /// The online calibrator (sim/calibration.hpp); see core::Framework.
+  [[nodiscard]] const sim::Calibration& calibration() const { return calib_; }
+
+  /// Timing book recorded by this run (one entry per cycle, with the
+  /// per-rank solve decomposition); feed it back through
+  /// FrameworkOptions::replay_path for deterministic replay.
+  [[nodiscard]] const sim::ReplayBook& replay_log() const {
+    return replay_log_;
+  }
+
  private:
   /// Rebinds the parallel solver to the current distribution, keeping the
   /// per-rank states in `states_`.
@@ -93,6 +103,10 @@ class DistFramework {
   graph::Csr dual_;  ///< dual of the initial global mesh (host side)
   partition::PartVec root_part_;  ///< global initial element -> rank
   obs::MetricsRegistry metrics_;
+  sim::Calibration calib_;
+  sim::ReplayBook replay_book_;  ///< loaded from opt_.replay_path
+  bool replay_ = false;
+  sim::ReplayBook replay_log_;   ///< measured book recorded this run
   int cycle_index_ = 0;  ///< cycles completed; keys the gate-audit records
   // First trace_ superstep/phase not yet sampled into the per-cycle
   // histograms (obs::record_step_histograms / record_phase_histograms).

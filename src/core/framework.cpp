@@ -1,6 +1,9 @@
 #include "core/framework.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
 
 #include "obs/critical_path.hpp"
 #include "partition/quality.hpp"
@@ -47,6 +50,15 @@ Framework::Framework(mesh::TetMesh mesh, FrameworkOptions opt)
     : opt_(opt), mesh_(std::make_unique<mesh::TetMesh>(std::move(mesh))) {
   PLUM_ASSERT(opt_.nranks >= 1);
   PLUM_ASSERT(opt_.partitions_per_proc >= 1);
+  if (!opt_.replay_path.empty()) {
+    std::string err;
+    const bool loaded =
+        sim::ReplayBook::load(opt_.replay_path, &replay_book_, &err);
+    PLUM_ASSERT_MSG(loaded, "replay book failed to load");
+    replay_ = true;
+    opt_.calibration.enabled = true;
+  }
+  calib_ = sim::Calibration(opt_.machine, opt_.calibration);
 
   solver_ = std::make_unique<solver::EulerSolver>(mesh_.get());
   adaptor_ = std::make_unique<adapt::MeshAdaptor>(mesh_.get());
@@ -72,16 +84,23 @@ std::vector<Weight> Framework::processor_loads() const {
 CycleReport Framework::cycle() {
   CycleReport rep;
   rep.elements_before = mesh_->num_active_elements();
-  const sim::CostModel cm(opt_.machine);
+  const int this_cycle = cycle_index_;
+  // Price this cycle with the calibrated constants; while calibration is
+  // disabled the model equals the static opt_.machine, so nothing changes.
+  const sim::CostModel cm = calib_.model();
+  const sim::MachineParams& mp = cm.params();
 
   // --- 1. flow solver -------------------------------------------------------
+  Weight solve_wmax = 0;
+  const std::size_t solve_phase = trace_.phases().size();
   {
     obs::PhaseScope ph(trace_, "solve");
     rep.solver_work = solver_->run(opt_.solver_steps_per_cycle);
     // Modeled SP2 time: iterations on the bottleneck processor.
-    ph.set_modeled_seconds(opt_.machine.t_iter *
+    solve_wmax = vec_max(processor_loads());
+    ph.set_modeled_seconds(mp.t_iter *
                            static_cast<double>(opt_.solver_steps_per_cycle) *
-                           static_cast<double>(vec_max(processor_loads())));
+                           static_cast<double>(solve_wmax));
   }
 
   // --- 1b. coarsening phase (Fig. 1: the old mesh shrinks before the
@@ -112,26 +131,32 @@ CycleReport Framework::cycle() {
     rep.mark_propagation_rounds = marks.propagation_rounds;
     // One marking sweep plus one per propagation round.
     ph.set_modeled_seconds(
-        opt_.machine.t_mark * static_cast<double>(mesh_->num_active_elements()) *
+        mp.t_mark * static_cast<double>(mesh_->num_active_elements()) *
         static_cast<double>(1 + marks.propagation_rounds));
   }
 
   // --- 3. balance evaluation on the *predicted* weights ----------------------
   const auto current = mesh_->root_weights();
   const auto predicted = adaptor_->predicted_weights();
+  // Optional calibration feedback: scale each owner's predicted Wcomp by
+  // its measured per-element solve seconds (no-op unless
+  // calibration.blend_measured_weights has observed per-rank data).
+  auto wcomp_bal = predicted.wcomp;
+  sim::blend_weights(wcomp_bal, root_part_, calib_.rank_weight_scale());
   // Predicted weights drive both the repartitioner (below) and the
   // end-of-cycle quality gauges, so install them unconditionally.
-  dual_.set_weights(predicted.wcomp, predicted.wremap);
-  const auto loads_old =
-      proc_sums(root_part_, predicted.wcomp, opt_.nranks, nullptr);
+  dual_.set_weights(wcomp_bal, predicted.wremap);
+  const auto loads_old = proc_sums(root_part_, wcomp_bal, opt_.nranks, nullptr);
   rep.imbalance_old = imbalance(loads_old);
   rep.wmax_old = vec_max(loads_old);
 
   obs::GateRecord gate_rec;
-  gate_rec.cycle = cycle_index_;
+  gate_rec.cycle = this_cycle;
   gate_rec.metric = sim::cost_metric_name(opt_.metric);
   gate_rec.imbalance_old = rep.imbalance_old;
 
+  std::size_t remap_phase = 0;
+  bool have_remap_phase = false;
   if (rep.imbalance_old > opt_.imbalance_trigger) {
     rep.evaluated_repartition = true;
     obs::PhaseScope gate(trace_, "gate");
@@ -173,8 +198,7 @@ CycleReport Framework::cycle() {
 
     // --- 6. gain vs cost gate (paper §4.5 / §4.6) ---------------------------
     const auto loads_new =
-        proc_sums(repart.part, predicted.wcomp, opt_.nranks,
-                  &assign.part_to_proc);
+        proc_sums(repart.part, wcomp_bal, opt_.nranks, &assign.part_to_proc);
     rep.imbalance_new = imbalance(loads_new);
     rep.wmax_new = vec_max(loads_new);
 
@@ -196,30 +220,46 @@ CycleReport Framework::cycle() {
     gate_rec.imbalance_new = rep.imbalance_new;
     gate_rec.gain_s = rep.gain_seconds;
     gate_rec.cost_s = rep.cost_seconds;
+    gate_rec.moved_elems = opt_.metric == sim::CostMetric::kTotalV
+                               ? rep.volume.total_elems
+                               : rep.volume.bottleneck_elems;
+    gate_rec.moved_sets = opt_.metric == sim::CostMetric::kTotalV
+                              ? rep.volume.total_sets
+                              : rep.volume.bottleneck_sets;
     gate_rec.predicted_move_bytes =
         cm.predicted_move_bytes(rep.volume, opt_.metric);
 
     if (cm.accept_remap(rep.gain_seconds, rep.cost_seconds)) {
       rep.accepted = true;
       // --- 7. remap: install the new element->processor ownership ---------
+      remap_phase = trace_.phases().size();
+      have_remap_phase = true;
       obs::PhaseScope ph(trace_, "remap");
       ph.set_modeled_seconds(rep.cost_seconds);
       // Measured data movement: this framework keeps everything in one
       // address space, so "moved" is the remap weight of every root whose
-      // owner changed, in the same bytes the cost model prices (matches the
-      // prediction exactly under TotalV; diverges under MaxV, which prices
-      // only the bottleneck processor).
+      // owner changed plus one framing header per (old, new) owner pair, in
+      // the same bytes the *static* machine constants price — the ground
+      // truth a calibrated prediction is judged against (matches the
+      // prediction exactly under TotalV while uncalibrated; diverges under
+      // MaxV, which prices only the bottleneck processor).
       Weight moved_w = 0;
+      std::set<std::pair<Rank, Rank>> moved_pairs;
       for (std::size_t v = 0; v < root_part_.size(); ++v) {
         const Rank owner =
             assign.part_to_proc[static_cast<std::size_t>(repart.part[v])];
-        if (owner != root_part_[v]) moved_w += move_w[v];
+        if (owner != root_part_[v]) {
+          moved_w += move_w[v];
+          moved_pairs.insert({root_part_[v], owner});
+        }
         root_part_[v] = owner;
       }
       gate_rec.accepted = true;
       gate_rec.measured_move_bytes =
           static_cast<std::int64_t>(opt_.machine.words_per_element) * moved_w *
-          8;
+              8 +
+          std::llround(opt_.machine.bytes_per_set *
+                       static_cast<double>(moved_pairs.size()));
       gate_rec.drift = obs::gate_drift(gate_rec.predicted_move_bytes,
                                        gate_rec.measured_move_bytes);
     }
@@ -238,6 +278,8 @@ CycleReport Framework::cycle() {
   ++cycle_index_;
 
   // --- 8. subdivision ---------------------------------------------------------
+  Weight refine_bottleneck = 0;
+  const std::size_t subdivide_phase = trace_.phases().size();
   {
     obs::PhaseScope ph(trace_, "subdivide");
     adaptor_->refine();
@@ -248,12 +290,77 @@ CycleReport Framework::cycle() {
     for (std::size_t v = 0; v < growth.size(); ++v) {
       growth[v] = predicted.wremap[v] - current.wremap[v];
     }
-    ph.set_modeled_seconds(
-        opt_.machine.t_refine *
-        static_cast<double>(
-            vec_max(proc_sums(root_part_, growth, opt_.nranks, nullptr))));
+    refine_bottleneck =
+        vec_max(proc_sums(root_part_, growth, opt_.nranks, nullptr));
+    ph.set_modeled_seconds(mp.t_refine *
+                           static_cast<double>(refine_bottleneck));
   }
   rep.elements_after = mesh_->num_active_elements();
+
+  // --- close the loop: feed this cycle's telemetry to the calibrator --------
+  // Seconds come from the replay book (deterministic) or the wall clock
+  // (live); the work and byte terms are deterministic counters either way.
+  const double solve_wall_s = trace_.phases()[solve_phase].wall_s;
+  const double remap_wall_s =
+      have_remap_phase ? trace_.phases()[remap_phase].wall_s : 0.0;
+  const double subdivide_wall_s = trace_.phases()[subdivide_phase].wall_s;
+  if (opt_.calibration.enabled) {
+    sim::CalibrationSample cs;
+    cs.cycle = this_cycle;
+    cs.solve_work = static_cast<std::int64_t>(opt_.solver_steps_per_cycle) *
+                    solve_wmax;
+    cs.refine_children = refine_bottleneck;
+    if (replay_) {
+      if (static_cast<std::size_t>(this_cycle) < replay_book_.cycles.size()) {
+        const sim::ReplayCycle& bc =
+            replay_book_.cycles[static_cast<std::size_t>(this_cycle)];
+        cs.solve_seconds = bc.solve_seconds;
+        cs.remap_seconds = bc.remap_seconds;
+        cs.subdivide_seconds = bc.subdivide_seconds;
+        cs.rank_solve_seconds = bc.rank_solve_seconds;
+      }
+      // Past the end of the book: no timing evidence this cycle; the byte
+      // fit below still runs (it is counter-sourced).
+    } else {
+      cs.solve_seconds = solve_wall_s;
+      cs.remap_seconds = remap_wall_s;
+      cs.subdivide_seconds = subdivide_wall_s;
+    }
+    if (rep.accepted) {
+      cs.remap_executed = true;
+      cs.moved_elems = gate_rec.moved_elems;
+      cs.moved_sets = gate_rec.moved_sets;
+      cs.predicted_move_bytes = gate_rec.predicted_move_bytes;
+      cs.measured_move_bytes = gate_rec.measured_move_bytes;
+    }
+    calib_.observe(cs);
+    // The calibration document joins the trace; under replay it is a pure
+    // function of deterministic inputs, so it may enter the deterministic
+    // view (and the per-constant gauges below) without breaking the
+    // cross-engine byte-identity contract.
+    trace_.set_calibration(calib_.to_json(), /*deterministic=*/replay_);
+    if (replay_) {
+      const sim::MachineParams& cp = calib_.params();
+      metrics_.add_sample("calib_t_iter", cp.t_iter);
+      metrics_.add_sample("calib_t_refine", cp.t_refine);
+      metrics_.add_sample("calib_t_lat", cp.t_lat);
+      metrics_.add_sample("calib_t_setup", cp.t_setup);
+      metrics_.add_sample("calib_bytes_per_element",
+                          calib_.model().move_bytes_per_element());
+      metrics_.add_sample("calib_bytes_per_set", cp.bytes_per_set);
+      metrics_.add_sample("calib_gate_margin", cp.gate_margin);
+      metrics_.add_sample("calib_mean_abs_drift", calib_.mean_abs_drift());
+    }
+  }
+  // Record this cycle into the replay log regardless: any instrumented run
+  // can hand its measured book to a later deterministic replay.
+  {
+    sim::ReplayCycle rc;
+    rc.solve_seconds = solve_wall_s;
+    rc.remap_seconds = remap_wall_s;
+    rc.subdivide_seconds = subdivide_wall_s;
+    replay_log_.cycles.push_back(std::move(rc));
+  }
 
   // Per-cycle fixed-bound histogram: wall seconds of every phase closed
   // this cycle (this framework runs in one address space, so there are no

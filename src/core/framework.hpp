@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "adapt/adaptor.hpp"
 #include "mesh/tet_mesh.hpp"
@@ -21,6 +22,7 @@
 #include "remap/mapping.hpp"
 #include "remap/volume.hpp"
 #include "runtime/transport.hpp"
+#include "sim/calibration.hpp"
 #include "sim/machine.hpp"
 #include "solver/euler.hpp"
 
@@ -57,6 +59,16 @@ struct FrameworkOptions {
   rt::TransportKind transport = rt::TransportKind::kInProc;
   /// Child processes for the pipe transport (0 = transport default).
   int transport_procs = 0;
+  /// Online cost-model calibration (sim/calibration.hpp). Disabled by
+  /// default: a live calibration consumes wall-clock phase timings, which
+  /// are real but nondeterministic; deterministic runs use replay_path.
+  sim::CalibrationOptions calibration;
+  /// Path to a plum-replay/1 timing book. Non-empty switches the cycle
+  /// loop to deterministic replay: calibration reads the book's seconds
+  /// instead of the wall clock (and implies calibration.enabled), so every
+  /// calibrated constant — and everything it prices — is byte-identical
+  /// across engines, thread counts, and transports.
+  std::string replay_path;
 };
 
 /// Everything one solve->adapt->balance cycle measured or decided.
@@ -125,6 +137,19 @@ class Framework {
     return metrics_;
   }
 
+  /// The online calibrator (sim/calibration.hpp). Holds the static machine
+  /// constants while calibration is disabled; under replay it is the
+  /// deterministic control loop the gate prices with.
+  [[nodiscard]] const sim::Calibration& calibration() const { return calib_; }
+
+  /// Timing book recorded by this run, one entry per completed cycle. Save
+  /// it (sim::ReplayBook::save) and feed it back through
+  /// FrameworkOptions::replay_path to replay this run's calibration
+  /// deterministically.
+  [[nodiscard]] const sim::ReplayBook& replay_log() const {
+    return replay_log_;
+  }
+
  private:
   FrameworkOptions opt_;
   // unique_ptr: the solver and adaptor hold stable pointers to the mesh.
@@ -135,6 +160,10 @@ class Framework {
   partition::PartVec root_part_;  ///< initial element -> processor
   obs::TraceRecorder trace_;
   obs::MetricsRegistry metrics_;
+  sim::Calibration calib_;
+  sim::ReplayBook replay_book_;  ///< loaded from opt_.replay_path
+  bool replay_ = false;
+  sim::ReplayBook replay_log_;   ///< measured book recorded this run
   int cycle_index_ = 0;  ///< cycles completed; keys the gate-audit records
   /// First trace_ phase not yet sampled into the phase-seconds histogram.
   std::size_t hist_phase_cursor_ = 0;

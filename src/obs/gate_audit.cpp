@@ -19,6 +19,8 @@ Json gate_record_json(const GateRecord& rec) {
       .set("imbalance_new", Json::number(rec.imbalance_new))
       .set("gain_s", Json::number(rec.gain_s))
       .set("cost_s", Json::number(rec.cost_s))
+      .set("moved_elems", Json::integer(rec.moved_elems))
+      .set("moved_sets", Json::integer(rec.moved_sets))
       .set("predicted_move_bytes", Json::integer(rec.predicted_move_bytes))
       .set("measured_move_bytes", Json::integer(rec.measured_move_bytes))
       .set("drift", Json::number(rec.drift));

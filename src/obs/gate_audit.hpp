@@ -28,6 +28,11 @@ struct GateRecord {
   double imbalance_new = 0;  ///< predicted-weight imbalance after remap
   double gain_s = 0;         ///< modeled computational gain (seconds)
   double cost_s = 0;         ///< modeled redistribution cost (seconds)
+  /// The C (elements) and N (message sets) the cost model priced, under the
+  /// record's `metric` — the regressors sim::Calibration fits the byte
+  /// constants against. 0 on records whose gate never evaluated.
+  std::int64_t moved_elems = 0;
+  std::int64_t moved_sets = 0;
   std::int64_t predicted_move_bytes = 0;  ///< CostModel::predicted_move_bytes
   std::int64_t measured_move_bytes = 0;   ///< bytes the migration really sent
   /// (measured - predicted) / predicted; 0 when nothing was predicted or the
@@ -37,7 +42,11 @@ struct GateRecord {
   friend bool operator==(const GateRecord&, const GateRecord&) = default;
 };
 
-/// Relative prediction error; 0 when predicted == 0.
+/// Relative prediction error; 0 when predicted == 0. The zero-predicted
+/// case is deliberate policy, not a gap: a gate that priced nothing has no
+/// meaningful relative error (measured/0 would be non-finite and would
+/// poison every JSON serialization and drift mean downstream), so both
+/// (0, 0) and (0, N > 0) report drift 0 — pinned by test_obs.
 [[nodiscard]] double gate_drift(std::int64_t predicted_bytes,
                                 std::int64_t measured_bytes);
 

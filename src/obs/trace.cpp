@@ -110,6 +110,9 @@ void TraceRecorder::clear() {
   comm_ = rt::CommMatrix{};
   by_class_.clear();
   gates_.clear();
+  calibration_ = Json{};
+  has_calibration_ = false;
+  calibration_deterministic_ = false;
   epoch_.start();
 }
 
@@ -170,6 +173,13 @@ Json TraceRecorder::to_json_impl(bool include_wall) const {
   }
   doc.set("comm_by_class", std::move(by_class));
   doc.set("gate_audit", gate_audit_json(gates_));
+  // Present only when a framework attached a calibration document. A
+  // deterministic (replayed) calibration belongs to both views; a live
+  // wall-clock one is excluded from deterministic_json() like every other
+  // wall-sourced field.
+  if (has_calibration_ && (include_wall || calibration_deterministic_)) {
+    doc.set("calibration", calibration_);
+  }
 
   // plum-path: the counter-sourced decomposition is derived from the same
   // deterministic inputs as the superstep records above, so it lives in

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/gate_audit.hpp"
@@ -105,6 +106,17 @@ class TraceRecorder final : public rt::SuperstepObserver {
   /// supersteps, never from inside a superstep function.
   void add_gate_record(const GateRecord& rec) { gates_.push_back(rec); }
 
+  /// Attaches (replacing any previous) the current calibration document
+  /// (sim::Calibration::to_json). `deterministic` marks it as derived from
+  /// replayed/counted inputs only, in which case it also appears in
+  /// deterministic_json(); a live wall-clock calibration shows up in
+  /// to_json() alone, keeping the byte-identity contract intact.
+  void set_calibration(Json doc, bool deterministic) {
+    calibration_ = std::move(doc);
+    has_calibration_ = true;
+    calibration_deterministic_ = deterministic;
+  }
+
   [[nodiscard]] const std::vector<PhaseRecord>& phases() const {
     return phases_;
   }
@@ -143,6 +155,9 @@ class TraceRecorder final : public rt::SuperstepObserver {
   rt::CommMatrix comm_;
   std::map<std::string, CommTotals> by_class_;
   std::vector<GateRecord> gates_;
+  Json calibration_;
+  bool has_calibration_ = false;
+  bool calibration_deterministic_ = false;
 };
 
 /// RAII wrapper for TraceRecorder phases:

@@ -21,18 +21,30 @@ RefineStats refine_kway(const graph::Csr& g, PartVec& part, Rank nparts,
   const Weight total = std::accumulate(loads.begin(), loads.end(), Weight{0});
   const auto max_load = static_cast<Weight>(
       (static_cast<double>(total) / nparts) * (1.0 + opt.imbalance_tol)) + 1;
+  // A perfectly balanced part holds at most ceil(total/nparts). Truncating
+  // division would forbid filling a receiver to the exact ceiling average,
+  // walling diffusion off at at-capacity parts whenever total % nparts != 0.
+  const Weight avg_ceil = (total + static_cast<Weight>(nparts) - 1) /
+                          static_cast<Weight>(nparts);
 
   std::vector<Index> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
 
   // Per-candidate-part connection weights, reset per vertex via a stamp.
+  // The stamp holds vertex ids, so it must be Index-typed — an `int` stamp
+  // would silently truncate if Index ever widened past 32 bits.
   // plum-scale: host-only -- serial host-side k-way refiner scratch
   std::vector<Weight> conn(static_cast<std::size_t>(nparts), 0);
   // plum-scale: host-only -- serial host-side k-way refiner scratch
-  std::vector<int> stamp(static_cast<std::size_t>(nparts), -1);
+  std::vector<Index> stamp(static_cast<std::size_t>(nparts), kInvalidIndex);
 
   for (int pass = 0; pass < opt.max_passes; ++pass) {
     ++stats.passes;
+    // The stamps must be invalidated between passes: they hold vertex ids,
+    // so on a revisit the previous pass's stamp still "matches" and conn
+    // would keep accumulating — every revisited vertex would see inflated
+    // connection weights and phantom cut gains.
+    std::fill(stamp.begin(), stamp.end(), kInvalidIndex);
     // Fresh random order each pass avoids systematic drift.
     for (Index i = n - 1; i > 0; --i) {
       std::swap(order[static_cast<std::size_t>(i)],
@@ -50,8 +62,8 @@ RefineStats refine_kway(const graph::Csr& g, PartVec& part, Rank nparts,
       bool boundary = false;
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
         const Rank p = part[nbrs[i]];
-        if (stamp[static_cast<std::size_t>(p)] != static_cast<int>(v)) {
-          stamp[static_cast<std::size_t>(p)] = static_cast<int>(v);
+        if (stamp[static_cast<std::size_t>(p)] != v) {
+          stamp[static_cast<std::size_t>(p)] = v;
           conn[static_cast<std::size_t>(p)] = 0;
         }
         conn[static_cast<std::size_t>(p)] += wts[i];
@@ -59,12 +71,10 @@ RefineStats refine_kway(const graph::Csr& g, PartVec& part, Rank nparts,
       }
       if (!boundary) continue;
 
-      const Weight internal =
-          stamp[static_cast<std::size_t>(from)] == static_cast<int>(v)
-              ? conn[static_cast<std::size_t>(from)]
-              : 0;
+      const Weight internal = stamp[static_cast<std::size_t>(from)] == v
+                                  ? conn[static_cast<std::size_t>(from)]
+                                  : 0;
       const Weight wv = g.wcomp(v);
-      const Weight avg = total / nparts;
       const bool from_overloaded =
           loads[static_cast<std::size_t>(from)] > max_load;
 
@@ -85,7 +95,8 @@ RefineStats refine_kway(const graph::Csr& g, PartVec& part, Rank nparts,
             opt.allow_balancing_moves &&
             to_after < loads[static_cast<std::size_t>(from)] &&
             (from_overloaded ||
-             (loads[static_cast<std::size_t>(from)] > avg && to_after <= avg));
+             (loads[static_cast<std::size_t>(from)] > avg_ceil &&
+              to_after <= avg_ceil));
         if (!cut_move && !balance_move) continue;
         if (best == kNoRank || gain > best_gain) {
           best = to;

@@ -26,10 +26,13 @@ MigrateStats migrate(DistMesh& dm, rt::Engine& eng,
 
   // --- measure what each rank must pack --------------------------------------
   // For every local root whose assignment moved away: the subtree elements,
-  // plus (upper bound on) the vertices/edges referenced by them.
+  // plus (upper bound on) the vertices/edges referenced by them, plus one
+  // framing header per (sender, receiver) set actually exchanged.
   for (Rank r = 0; r < P; ++r) {
     const LocalMesh& lm = dm.local(r);
     const auto weights = lm.mesh.root_weights();
+    // plum-scale: dist(P) -- per-destination payload sizes for this rank's sets
+    std::vector<std::int64_t> per_dest(static_cast<std::size_t>(P), 0);
     for (Index lr = 0; lr < static_cast<Index>(lm.root_global.size()); ++lr) {
       const Index groot = lm.root_global[static_cast<std::size_t>(lr)];
       const Rank dest = new_root_part[static_cast<std::size_t>(groot)];
@@ -40,10 +43,16 @@ MigrateStats migrate(DistMesh& dm, rt::Engine& eng,
       stats.elements_moved += subtree;
       // Per element: the record itself + ~4 vertices and ~6 edges shared
       // among neighbors (amortized factor 1/2 each, a realistic pack mix).
-      const std::int64_t bytes =
+      per_dest[static_cast<std::size_t>(dest)] +=
           subtree * (kElemBytes + 2 * kVertBytes + 3 * kEdgeBytes);
+    }
+    for (Rank q = 0; q < P; ++q) {
+      if (per_dest[static_cast<std::size_t>(q)] == 0) continue;
+      const std::int64_t bytes =
+          per_dest[static_cast<std::size_t>(q)] + kSetFramingBytes;
+      ++stats.sets_moved;
       stats.bytes_sent[static_cast<std::size_t>(r)] += bytes;
-      stats.bytes_received[static_cast<std::size_t>(dest)] += bytes;
+      stats.bytes_received[static_cast<std::size_t>(q)] += bytes;
     }
   }
 
@@ -68,8 +77,11 @@ MigrateStats migrate(DistMesh& dm, rt::Engine& eng,
     for (Rank q = 0; q < P; ++q) {
       const std::int64_t bytes = per_dest[static_cast<std::size_t>(q)];
       if (bytes > 0) {
+        // Payload + the per-set framing header, matching the measured
+        // stats above so the ledger and MigrateStats agree byte-for-byte.
         out.send(q, 0,
-                 std::vector<std::byte>(static_cast<std::size_t>(bytes)));
+                 std::vector<std::byte>(
+                     static_cast<std::size_t>(bytes + kSetFramingBytes)));
       }
     }
     return false;

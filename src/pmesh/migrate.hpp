@@ -16,13 +16,24 @@
 
 namespace plum::pmesh {
 
+/// Framing/setup bytes charged once per (sender, receiver) message set: the
+/// pack header a real exchange carries per peer (counts, ids, sizes). Keep
+/// sim::MachineParams::bytes_per_set equal to this so the cost model's
+/// predicted bytes match the migration accounting (pinned by
+/// test_calibration).
+inline constexpr std::int64_t kSetFramingBytes = 96;
+
 struct MigrateStats {
   /// Initial-mesh elements (roots) that changed processor.
   Index roots_moved = 0;
   /// Adapted-mesh elements moved (sum of moved subtree sizes) — the
   /// quantity Wremap predicts.
   std::int64_t elements_moved = 0;
-  /// Bytes each rank packed/sent (charged to the engine ledger too).
+  /// Nonzero (sender, receiver) message sets — the N the cost model's
+  /// per-set terms price.
+  int sets_moved = 0;
+  /// Bytes each rank packed/sent, per-set framing included (charged to the
+  /// engine ledger too).
   std::vector<std::int64_t> bytes_sent;
   std::vector<std::int64_t> bytes_received;
 };

@@ -39,7 +39,10 @@ std::int64_t CostModel::predicted_move_bytes(const remap::RemapVolume& vol,
                                              CostMetric metric) const {
   const Weight elems = metric == CostMetric::kTotalV ? vol.total_elems
                                                      : vol.bottleneck_elems;
-  return static_cast<std::int64_t>(p_.words_per_element) * elems * 8;
+  const int sets = metric == CostMetric::kTotalV ? vol.total_sets
+                                                 : vol.bottleneck_sets;
+  return std::llround(move_bytes_per_element() * static_cast<double>(elems) +
+                      p_.bytes_per_set * static_cast<double>(sets));
 }
 
 double CostModel::adaption_seconds(

@@ -31,6 +31,20 @@ struct MachineParams {
   int words_per_element = 90;  ///< M: solver+adaptor storage per element
   double alpha = 1.0;  ///< MaxV weight on elements sent
   double beta = 1.0;   ///< MaxV weight on elements received
+  /// Byte-level constants for the gate-audit prediction (predicted vs
+  /// measured migration bytes). 0 derives the per-element payload from
+  /// words_per_element * 8; calibration replaces it with the pack size the
+  /// migration layer actually measured.
+  double bytes_per_element = 0;
+  /// Per-(sender, receiver) framing/setup bytes charged once per message
+  /// set. The default mirrors pmesh::kSetFramingBytes (pinned by
+  /// test_calibration) so predictions match the migration layer's
+  /// accounting out of the box.
+  double bytes_per_set = 96;
+  /// Gate slack: accept iff gain > gate_margin * cost. Calibration raises
+  /// it while the model underprices remaps (realized cost ratio > 1) and
+  /// lowers it back toward 1 as predictions converge.
+  double gate_margin = 1.0;
   int solver_iters_per_adaption = 50;  ///< Nadapt
   // Parallel multilevel partitioner constants (separate because they fold
   // in all of coarsening/coloring/refinement, not a single kernel):
@@ -64,16 +78,26 @@ class CostModel {
   [[nodiscard]] double redistribution_cost(const remap::RemapVolume& vol,
                                            CostMetric metric) const;
 
-  /// Bytes the cost model expects the remap to move: M words per element
-  /// times C elements (per `metric`, like redistribution_cost) times 8
-  /// bytes per word. The gate-audit log compares this prediction against
-  /// the bytes the migration actually sent ("drift", obs/gate_audit.hpp).
+  /// Per-element payload the model prices: bytes_per_element when
+  /// calibrated, words_per_element * 8 otherwise.
+  [[nodiscard]] double move_bytes_per_element() const {
+    return p_.bytes_per_element > 0 ? p_.bytes_per_element
+                                    : static_cast<double>(p_.words_per_element) * 8.0;
+  }
+
+  /// Bytes the cost model expects the remap to move: the per-element
+  /// payload times C elements plus bytes_per_set framing per message set
+  /// (C and N per `metric`, like redistribution_cost). The gate-audit log
+  /// compares this prediction against the bytes the migration actually
+  /// sent ("drift", obs/gate_audit.hpp); pricing the per-set framing keeps
+  /// the prediction free of a systematic per-set bias.
   [[nodiscard]] std::int64_t predicted_move_bytes(
       const remap::RemapVolume& vol, CostMetric metric) const;
 
-  /// The framework's gate: accept the new partitioning iff gain > cost.
+  /// The framework's gate: accept the new partitioning iff
+  /// gain > gate_margin * cost (margin 1 is the paper's plain gain > cost).
   [[nodiscard]] bool accept_remap(double gain, double cost) const {
-    return gain > cost;
+    return gain > p_.gate_margin * cost;
   }
 
   // --- phase-time estimates for the figure benches -------------------------

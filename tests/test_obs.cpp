@@ -350,7 +350,12 @@ TEST(TraceRecorder, TagClassNames) {
 }
 
 TEST(GateAudit, DriftAndRecordSerialization) {
-  EXPECT_EQ(obs::gate_drift(0, 100), 0.0);  // nothing predicted
+  // Zero-predicted drift is a deliberate policy, not an accident: a remap
+  // the model priced at zero bytes reports drift 0 whether or not anything
+  // actually moved, because a non-finite ratio would poison JSON dumps and
+  // every mean-drift aggregate downstream (sim::Calibration included).
+  EXPECT_EQ(obs::gate_drift(0, 100), 0.0);  // predicted 0, measured > 0
+  EXPECT_EQ(obs::gate_drift(0, 0), 0.0);    // predicted 0, measured 0
   EXPECT_DOUBLE_EQ(obs::gate_drift(100, 125), 0.25);
   EXPECT_DOUBLE_EQ(obs::gate_drift(200, 100), -0.5);
 
@@ -363,6 +368,8 @@ TEST(GateAudit, DriftAndRecordSerialization) {
   rec.imbalance_new = 1.0625;
   rec.gain_s = 0.75;
   rec.cost_s = 0.25;
+  rec.moved_elems = 40;
+  rec.moved_sets = 6;
   rec.predicted_move_bytes = 4096;
   rec.measured_move_bytes = 5120;
   rec.drift = obs::gate_drift(4096, 5120);
@@ -373,6 +380,7 @@ TEST(GateAudit, DriftAndRecordSerialization) {
             "{\"cycle\":3,\"evaluated\":true,\"accepted\":true,"
             "\"metric\":\"TotalV\",\"imbalance_old\":1.5,"
             "\"imbalance_new\":1.0625,\"gain_s\":0.75,\"cost_s\":0.25,"
+            "\"moved_elems\":40,\"moved_sets\":6,"
             "\"predicted_move_bytes\":4096,\"measured_move_bytes\":5120,"
             "\"drift\":0.25}");
 
@@ -707,6 +715,91 @@ TEST(BenchSchema, V2RejectsMalformedHistogramAndCriticalPath) {
     Json cp = Json::object();
     cp.set("source", Json::str("counters"));  // missing everything else
     run.set("critical_path", std::move(cp));
+    doc.set("runs", Json::array().push(std::move(run)));
+    EXPECT_NE(obs::validate_bench_report(doc), "");
+  }
+}
+
+/// The shape sim::Calibration::to_json() emits (plum-calibration/1); built
+/// by hand here because obs must not depend on sim.
+Json valid_calibration_section() {
+  Json params = Json::object();
+  params.set("t_iter", Json::number(65e-6))
+      .set("t_refine", Json::number(190e-6))
+      .set("t_lat", Json::number(2.4e-6))
+      .set("t_setup", Json::number(80e-6))
+      .set("bytes_per_element", Json::number(720.0))
+      .set("bytes_per_set", Json::number(96.0))
+      .set("gate_margin", Json::number(1.0));
+  Json cal = Json::object();
+  cal.set("schema", Json::str("plum-calibration/1"))
+      .set("enabled", Json::boolean(true))
+      .set("cycles_observed", Json::integer(3))
+      .set("remap_samples", Json::integer(2))
+      .set("mean_abs_drift", Json::number(0.12))
+      .set("params", std::move(params))
+      .set("rank_weight_scale",
+           Json::array().push(Json::number(1.0)).push(Json::number(1.25)));
+  return cal;
+}
+
+TEST(BenchSchema, V2AcceptsCalibrationSectionAndGateRegressors) {
+  Json doc = valid_v2_report();
+  Json run = doc.find("runs")->at(0);
+  run.set("calibration", valid_calibration_section());
+  // Gate records may carry the calibration regressors.
+  obs::GateRecord g;
+  g.cycle = 1;
+  g.evaluated = true;
+  g.accepted = true;
+  g.metric = "TotalV";
+  g.moved_elems = 500;
+  g.moved_sets = 12;
+  g.predicted_move_bytes = 360960;
+  g.measured_move_bytes = 401000;
+  g.drift = obs::gate_drift(g.predicted_move_bytes, g.measured_move_bytes);
+  run.set("gate_audit", obs::gate_audit_json({g}));
+  doc.set("runs", Json::array().push(std::move(run)));
+  EXPECT_EQ(obs::validate_bench_report(doc), "") << doc.dump(2);
+
+  // Calibration is v2-only.
+  Json v1 = doc;
+  v1.set("schema", Json::str("plum-bench/1"));
+  const std::string err = obs::validate_bench_report(v1);
+  EXPECT_NE(err, "");
+  EXPECT_NE(err.find("plum-bench/2"), std::string::npos) << err;
+}
+
+TEST(BenchSchema, V2RejectsMalformedCalibration) {
+  {
+    // Wrong embedded schema tag.
+    Json doc = valid_v2_report();
+    Json run = doc.find("runs")->at(0);
+    Json cal = valid_calibration_section();
+    cal.set("schema", Json::str("plum-calibration/2"));
+    run.set("calibration", std::move(cal));
+    doc.set("runs", Json::array().push(std::move(run)));
+    EXPECT_NE(obs::validate_bench_report(doc), "");
+  }
+  {
+    // Params must carry every calibrated constant.
+    Json doc = valid_v2_report();
+    Json run = doc.find("runs")->at(0);
+    Json cal = valid_calibration_section();
+    Json params = *cal.find("params");
+    params.set("gate_margin", Json::str("wide"));
+    cal.set("params", std::move(params));
+    run.set("calibration", std::move(cal));
+    doc.set("runs", Json::array().push(std::move(run)));
+    EXPECT_NE(obs::validate_bench_report(doc), "");
+  }
+  {
+    // Negative regressors in the gate audit are invalid.
+    Json doc = valid_v2_report();
+    Json run = doc.find("runs")->at(0);
+    Json rec = run.find("gate_audit")->at(0);
+    rec.set("moved_sets", Json::integer(-3));
+    run.set("gate_audit", Json::array().push(std::move(rec)));
     doc.set("runs", Json::array().push(std::move(run)));
     EXPECT_NE(obs::validate_bench_report(doc), "");
   }

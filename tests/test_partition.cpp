@@ -106,6 +106,36 @@ TEST(RefineKway, BalancesOverloadedPart) {
   EXPECT_LT(load_imbalance(g, part, 4), 1.15);
 }
 
+// Regression for two refiner biases. (1) Truncating-average balance
+// condition: with total = 100 over 3 parts, the floor average is 33 but a
+// balanced part holds ceil(100/3) = 34. The only legal move (v1, weight 4,
+// part 0 -> part 1) lands the receiver at exactly 34 with zero cut gain, so
+// the old `to_after <= total / nparts` test rejected it and the 35-heavy
+// part 0 could never shed load toward its only neighbor. (2) Cross-pass
+// stamp staleness: the conn stamps hold vertex ids, so without a per-pass
+// reset a revisited vertex saw accumulated connection weights and phantom
+// cut gains — here that manifested as v1 oscillating 0 -> 1 -> 0 on
+// fictitious gain for all max_passes. The cut_after == cut_before assert
+// pins both: one real move, no phantom-gain churn.
+TEST(RefineKway, DiffusesIntoPartAtCeilingAverage) {
+  // Path graph 0-1-2-3 with unit edge weights: v1 is the sole boundary
+  // vertex with a candidate move (part 2 holds one vertex and may not
+  // empty; v0/v2 moves are not downhill).
+  const std::vector<std::pair<Index, Index>> edges = {{0, 1}, {1, 2}, {2, 3}};
+  auto g = graph::Csr::from_edges(4, edges);
+  g.set_weights({31, 4, 30, 35}, {31, 4, 30, 35});
+  PartVec part = {0, 0, 1, 2};  // loads 35 / 30 / 35
+  Rng rng(8);
+  RefineOptions opt;
+  const auto stats = refine_kway(g, part, 3, opt, rng);
+  EXPECT_EQ(part[1], 1) << "weight-4 vertex must diffuse into the part that "
+                           "ends at the ceiling average";
+  EXPECT_GE(stats.moves, 1);
+  // Cut is unchanged (gain 0): the move is purely a balance move.
+  EXPECT_EQ(stats.cut_after, stats.cut_before);
+  EXPECT_TRUE(is_valid_partition(g, part, 3));
+}
+
 class MultilevelSweep
     : public ::testing::TestWithParam<std::tuple<int, Rank>> {};
 

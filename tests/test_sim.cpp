@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/machine.hpp"
 
 namespace plum::sim {
@@ -93,6 +95,58 @@ TEST(CostModel, RefinementTimeAnchor) {
   const double t = cm.adaption_seconds(work, elems, 3);
   EXPECT_GT(t, 0.3);
   EXPECT_LT(t, 0.9);
+}
+
+TEST(CostModel, AdaptionSecondsSingleRankSingleElement) {
+  // nranks = 1 degenerates cleanly: the lone rank IS the bottleneck.
+  CostModel cm;
+  const auto& p = cm.params();
+  EXPECT_NEAR(cm.adaption_seconds({7}, {3}, 2),
+              p.t_refine * 7.0 + 2.0 * (p.t_mark * 3.0 + p.t_setup), 1e-12);
+}
+
+TEST(CostModel, AdaptionSecondsZeroMarkRoundsIsPureSubdivision) {
+  // mark_rounds = 0 (a cycle that marked nothing) must not charge any
+  // marking or synchronization time.
+  CostModel cm;
+  EXPECT_NEAR(cm.adaption_seconds({50, 80}, {100, 120}, 0),
+              cm.params().t_refine * 80.0, 1e-12);
+}
+
+TEST(CostModel, PartitionSecondsSingleRankHasNoSyncBlowup) {
+  // P = 1 pays the full local sweep but only one rank's worth of sync.
+  CostModel cm;
+  const auto& p = cm.params();
+  EXPECT_NEAR(cm.partition_seconds(1000, 14, 1),
+              p.t_part_vertex * 1000.0 + p.t_part_sync_per_rank, 1e-12);
+  EXPECT_LT(cm.partition_seconds(1, 1, 1), 0.02);  // near-empty graph
+}
+
+TEST(CostModel, PredictedMoveBytesChargesPerSetFraming) {
+  CostModel cm;
+  const auto vol = volume(1000, 12, 300, 5);
+  const auto& p = cm.params();
+  EXPECT_EQ(cm.predicted_move_bytes(vol, CostMetric::kTotalV),
+            std::llround(cm.move_bytes_per_element() * 1000.0 +
+                         p.bytes_per_set * 12.0));
+  EXPECT_EQ(cm.predicted_move_bytes(vol, CostMetric::kMaxV),
+            std::llround(cm.move_bytes_per_element() * 300.0 +
+                         p.bytes_per_set * 5.0));
+  // Default payload is derived from the paper's words-per-element; an
+  // explicit calibrated override wins.
+  EXPECT_DOUBLE_EQ(cm.move_bytes_per_element(),
+                   static_cast<double>(p.words_per_element) * 8.0);
+  MachineParams mp;
+  mp.bytes_per_element = 1234.5;
+  EXPECT_DOUBLE_EQ(CostModel(mp).move_bytes_per_element(), 1234.5);
+}
+
+TEST(CostModel, AcceptGateHonorsCalibratedMargin) {
+  MachineParams strict;
+  strict.gate_margin = 2.0;
+  const CostModel cm(strict);
+  EXPECT_TRUE(cm.accept_remap(2.1, 1.0));
+  EXPECT_FALSE(cm.accept_remap(1.9, 1.0));  // would pass at margin 1.0
 }
 
 }  // namespace

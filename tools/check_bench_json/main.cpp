@@ -10,6 +10,9 @@
 //   plum-run/1     — the trace+metrics document plum-report renders: a
 //                    string "name", a "trace" object holding "phases" and
 //                    "supersteps" arrays, and a "metrics" object.
+//   plum-replay/1  — the recorded timing book deterministic calibration
+//                    replays (sim::ReplayBook, the strict parser the
+//                    frameworks load through FrameworkOptions::replay_path).
 // Exit code 0 iff every file is valid; each failure is reported on stderr.
 
 #include <cstdio>
@@ -19,6 +22,7 @@
 
 #include "obs/bench_schema.hpp"
 #include "obs/json.hpp"
+#include "sim/calibration.hpp"
 
 namespace {
 
@@ -86,6 +90,19 @@ int main(int argc, char** argv) {
       }
       std::printf("%s: ok (plum-run/1, run \"%s\")\n", path,
                   doc.find("name")->as_string().c_str());
+      continue;
+    }
+
+    if (schema != nullptr && schema->is_string() &&
+        schema->as_string() == "plum-replay/1") {
+      plum::sim::ReplayBook book;
+      if (!plum::sim::ReplayBook::parse(doc, &book, &err)) {
+        std::fprintf(stderr, "%s: schema violation: %s\n", path, err.c_str());
+        ++failures;
+        continue;
+      }
+      std::printf("%s: ok (plum-replay/1, %zu cycles)\n", path,
+                  book.cycles.size());
       continue;
     }
 

@@ -5,12 +5,14 @@
 //                   written by bench_distributed,
 //   BENCH_*.json  — "plum-bench/1" / "plum-bench/2" reports,
 //   GATE_*.json   — "plum-gate-audit/1" standalone gate logs,
+//   REPLAY_*.json — "plum-replay/1" recorded timing books,
 //   bare trace documents (obs::TraceRecorder::to_json() output).
 //
 // For each input it prints the per-phase table, the P x P comm matrix with
 // row/column sums, the per-tag-class traffic split, the gauge timelines
-// (imbalance / edge cut / remap volumes), and the gate history with
-// predicted-vs-measured drift.
+// (imbalance / edge cut / remap volumes), the gate history with
+// predicted-vs-measured drift, and the calibrated cost-model constants
+// ("plum-calibration/1" sections, sim/calibration.hpp).
 //
 //   plum-report bench-json/RUN_bench_distributed.json
 //   plum-report bench-json/BENCH_*.json
@@ -282,6 +284,67 @@ void print_gate_audit(const Json& audit) {
   }
 }
 
+// --- calibration -----------------------------------------------------------
+
+void print_calibration(const Json& cal) {
+  if (!cal.is_object()) return;
+  const Json* en = cal.find("enabled");
+  const bool enabled =
+      en && en->kind() == Json::Kind::kBool && en->as_bool();
+  std::printf("\nCalibration (%s): %lld cycles, %lld remap samples, "
+              "mean |drift| %.1f%%\n",
+              enabled ? "enabled" : "disabled",
+              static_cast<long long>(int_or(cal.find("cycles_observed"), 0)),
+              static_cast<long long>(int_or(cal.find("remap_samples"), 0)),
+              100.0 * num_or(cal.find("mean_abs_drift"), 0));
+  const Json* p = cal.find("params");
+  if (p && p->is_object()) {
+    std::printf("  t_iter %.3g  t_refine %.3g  t_lat %.3g  t_setup %.3g\n",
+                num_or(p->find("t_iter"), 0), num_or(p->find("t_refine"), 0),
+                num_or(p->find("t_lat"), 0), num_or(p->find("t_setup"), 0));
+    std::printf("  bytes/element %.1f  bytes/set %.1f  gate margin %.2f\n",
+                num_or(p->find("bytes_per_element"), 0),
+                num_or(p->find("bytes_per_set"), 0),
+                num_or(p->find("gate_margin"), 0));
+  }
+  const Json* ws = cal.find("rank_weight_scale");
+  if (ws && ws->is_array() && ws->size() > 0) {
+    double lo = num_or(&ws->at(0), 1), hi = lo;
+    for (std::size_t r = 1; r < ws->size(); ++r) {
+      const double s = num_or(&ws->at(r), 1);
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+    }
+    std::printf("  Wcomp blend factors: %zu ranks in [%.3f, %.3f]\n",
+                ws->size(), lo, hi);
+  }
+}
+
+int report_replay_doc(const Json& doc) {
+  const Json* cycles = doc.find("cycles");
+  if (!cycles || !cycles->is_array()) {
+    std::fprintf(stderr, "replay book missing \"cycles\" array\n");
+    return 1;
+  }
+  std::printf("Replay book: %zu cycles\n", cycles->size());
+  if (cycles->size() == 0) return 0;
+  std::printf("  %5s %12s %12s %12s %6s\n", "cycle", "solve_s", "remap_s",
+              "subdiv_s", "ranks");
+  for (std::size_t i = 0; i < cycles->size(); ++i) {
+    const Json& c = cycles->at(i);
+    if (!c.is_object()) continue;
+    const Json* rs = c.find("rank_solve_seconds");
+    std::printf("  %5lld %12.6f %12.6f %12.6f %6zu\n",
+                static_cast<long long>(int_or(c.find("cycle"),
+                                              static_cast<std::int64_t>(i))),
+                num_or(c.find("solve_seconds"), 0),
+                num_or(c.find("remap_seconds"), 0),
+                num_or(c.find("subdivide_seconds"), 0),
+                rs && rs->is_array() ? rs->size() : std::size_t{0});
+  }
+  return 0;
+}
+
 // --- document shapes -------------------------------------------------------
 
 void print_trace_doc(const Json& trace) {
@@ -299,6 +362,7 @@ void print_trace_doc(const Json& trace) {
   if (const Json* cm = trace.find("comm_matrix")) print_comm_matrix(*cm);
   if (const Json* bc = trace.find("comm_by_class")) print_comm_by_class(*bc);
   if (const Json* ga = trace.find("gate_audit")) print_gate_audit(*ga);
+  if (const Json* cal = trace.find("calibration")) print_calibration(*cal);
 }
 
 int report_run_doc(const Json& doc) {
@@ -326,6 +390,7 @@ int report_bench_doc(const Json& doc) {
     if (const Json* cp = run.find("critical_path")) print_critical_path(*cp);
     if (const Json* cm = run.find("comm_matrix")) print_comm_matrix(*cm);
     if (const Json* ga = run.find("gate_audit")) print_gate_audit(*ga);
+    if (const Json* cal = run.find("calibration")) print_calibration(*cal);
   }
   return 0;
 }
@@ -357,6 +422,11 @@ int report_file(const std::string& path) {
   const std::string schema = str_or(doc.find("schema"), "");
   if (schema == "plum-run/1") return report_run_doc(doc);
   if (schema.rfind("plum-bench/", 0) == 0) return report_bench_doc(doc);
+  if (schema == "plum-replay/1") return report_replay_doc(doc);
+  if (schema == "plum-calibration/1") {
+    print_calibration(doc);
+    return 0;
+  }
   if (schema == "plum-gate-audit/1") {
     if (const Json* records = doc.find("records")) {
       print_gate_audit(*records);

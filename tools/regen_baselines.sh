@@ -36,9 +36,10 @@ export PLUM_BENCH_JSON_DIR="${out_dir}"
 # (the transport-smoke CI job diffs its pipe run against this baseline).
 "${build_dir}/bench/bench_distributed" --weak --threads 2
 
-# The benches also drop trace / run / gate side files next to the reports;
-# only the BENCH_*.json reports are baselines.
-rm -f "${out_dir}"/TRACE_*.json "${out_dir}"/RUN_*.json "${out_dir}"/GATE_*.json
+# The benches also drop trace / run / gate / replay side files next to the
+# reports; only the BENCH_*.json reports are baselines.
+rm -f "${out_dir}"/TRACE_*.json "${out_dir}"/RUN_*.json \
+  "${out_dir}"/GATE_*.json "${out_dir}"/REPLAY_*.json
 
 echo "baselines:"
 ls -l "${out_dir}"
