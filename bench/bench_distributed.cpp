@@ -48,6 +48,7 @@ struct Cli {
   plum::rt::TransportKind transport = plum::rt::TransportKind::kInProc;
   int transport_procs = 0;
   bool weak = false;
+  std::string scope_stream;  ///< plum-scope/1 NDJSON file ("" = off)
 };
 
 bool parse_cli(int argc, char** argv, Cli* cli) {
@@ -71,6 +72,10 @@ bool parse_cli(int argc, char** argv, Cli* cli) {
       cli->transport_procs = std::atoi(argv[++i]);
     } else if (std::strncmp(a, "--transport-procs=", 18) == 0) {
       cli->transport_procs = std::atoi(a + 18);
+    } else if (std::strcmp(a, "--scope-stream") == 0 && i + 1 < argc) {
+      cli->scope_stream = argv[++i];
+    } else if (std::strncmp(a, "--scope-stream=", 15) == 0) {
+      cli->scope_stream = a + 15;
     } else if (std::strcmp(a, "--weak") == 0) {
       cli->weak = true;
     }
@@ -131,6 +136,11 @@ int main(int argc, char** argv) {
     opt.threads = cli.threads;
     opt.transport = cli.transport;
     opt.transport_procs = cli.transport_procs;
+    // Live monitoring + crash forensics: every sweep size appends its
+    // cycle records to the same stream (tools/plum-top tails it), and the
+    // postmortem file carries the bench name.
+    opt.scope_name = bench_name + "_P" + std::to_string(P);
+    opt.scope_stream = cli.scope_stream;
 
     auto mesh = mesh::make_box_mesh(mesh::small_box(sw.boxn));
     core::DistFramework fw(std::move(mesh), opt);

@@ -18,6 +18,8 @@
 #include <cstring>
 
 #include "adapt/adaptor.hpp"
+#include "json_report.hpp"
+#include "obs/scope.hpp"
 #include "graph/dual.hpp"
 #include "mesh/box_mesh.hpp"
 #include "partition/hem.hpp"
@@ -29,6 +31,7 @@
 #include "runtime/engine.hpp"
 #include "solver/init_conditions.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -206,6 +209,66 @@ void BM_ParallelSolverSweep(benchmark::State& state) {
 BENCHMARK(BM_ParallelSolverSweep)->Arg(16)->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// The flight recorder is always on in DistFramework, so its per-event cost
+// is a budget item: one ring-slot write per rank per superstep must stay in
+// the tens of nanoseconds for "always on" to be defensible. Rotating the
+// rank spreads writes across the per-rank rings like the engines do.
+void BM_ScopeRecorderEvent(benchmark::State& state) {
+  const Rank P = static_cast<Rank>(state.range(0));
+  obs::FlightRecorder rec(P);
+  auto handles = rec.handles();
+  std::int64_t step = 0;
+  for (auto _ : state) {
+    const auto r = static_cast<std::size_t>(step % P);
+    handles[r].record_event(static_cast<int>(step), /*ticks=*/step);
+    ++step;
+  }
+  benchmark::DoNotOptimize(rec.events_recorded(0));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScopeRecorderEvent)->Arg(16);
+
+// Deterministic companion report for the plum-diff gate: a fixed recording
+// workload whose ring-accounting counters (events recorded, survivors,
+// overwrites) are pure functions of the capacity and event count, plus the
+// measured per-event overhead as a wall-named (report-only) metric. Written
+// on every bench_micro invocation, whatever --benchmark_filter selected.
+std::string write_scope_report() {
+  constexpr Rank kRanks = 16;
+  constexpr int kCapacity = 256;
+  constexpr std::int64_t kEventsPerRank = 1000;  // > capacity: ring wraps
+
+  obs::FlightRecorder rec(kRanks, kCapacity);
+  auto handles = rec.handles();
+  const Timer timer;
+  for (std::int64_t e = 0; e < kEventsPerRank; ++e) {
+    for (Rank r = 0; r < kRanks; ++r) {
+      handles[static_cast<std::size_t>(r)].record_event(
+          static_cast<int>(e), /*ticks=*/e);
+    }
+  }
+  const double total_s = timer.seconds();
+  const auto total_events = kEventsPerRank * kRanks;
+
+  std::int64_t recorded = 0, surviving = 0;
+  for (Rank r = 0; r < kRanks; ++r) {
+    recorded += static_cast<std::int64_t>(rec.events_recorded(r));
+    surviving += static_cast<std::int64_t>(rec.last_events(r).size());
+  }
+
+  bench::JsonReport report("bench_micro_scope");
+  report.add_run("ring16", kRanks)
+      .metric_int("events_recorded", recorded)
+      .metric_int("events_surviving", surviving)
+      .metric_int("events_overwritten", recorded - surviving)
+      .metric_int("ring_capacity", rec.capacity())
+      // Wall-named => plum-diff reports it without gating: per-event
+      // recording overhead in nanoseconds.
+      .metric("scope_event_wall_ns",
+              total_s * 1e9 / static_cast<double>(total_events));
+  return report.write();
+}
+
 void BM_Subdivision(benchmark::State& state) {
   // Mesh + marks rebuilt each iteration (refine mutates); time is dominated
   // by refine_mesh itself.
@@ -244,5 +307,8 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // Always emit the deterministic scope-recorder report (plum-diff gates
+  // its ring-accounting counters against bench/baselines/).
+  if (write_scope_report().empty()) return 1;
   return 0;
 }

@@ -55,7 +55,7 @@ std::vector<std::vector<double>> rank_errors(
 
 DistFramework::DistFramework(mesh::TetMesh initial_global,
                              FrameworkOptions opt)
-    : opt_(opt) {
+    : opt_(opt), scope_(opt_.nranks, opt_.scope_ring_capacity) {
   PLUM_ASSERT(opt_.nranks >= 1);
   if (!opt_.replay_path.empty()) {
     std::string err;
@@ -69,6 +69,15 @@ DistFramework::DistFramework(mesh::TetMesh initial_global,
   eng_ = rt::make_engine(opt_.nranks, opt_.threads, opt_.transport,
                          opt_.transport_procs);
   eng_->set_observer(&trace_);
+  // plum-scope: the engine feeds the flight recorder one event per rank per
+  // superstep; the trace keeps its phase stamp in sync; a failed assert
+  // (including the pipe transport's rank-death path) dumps the ring.
+  eng_->set_scope_sink(&scope_);
+  trace_.set_flight_recorder(&scope_);
+  obs::install_postmortem({opt_.scope_name, &scope_, &eng_->transport()});
+  if (!opt_.scope_stream.empty()) {
+    stream_ = std::make_unique<obs::ScopeStreamWriter>(opt_.scope_stream);
+  }
 
   dual_ = initial_global.build_initial_dual();
   partition::MultilevelOptions popt;
@@ -80,6 +89,8 @@ DistFramework::DistFramework(mesh::TetMesh initial_global,
                                           opt_.nranks);
   rebind_solver();
 }
+
+DistFramework::~DistFramework() { obs::uninstall_postmortem(); }
 
 void DistFramework::rebind_solver() {
   solver_ = std::make_unique<pmesh::ParallelEulerSolver>(dm_.get(), eng_.get());
@@ -95,6 +106,7 @@ void DistFramework::rebind_solver() {
 
 DistCycleReport DistFramework::cycle() {
   const Rank P = opt_.nranks;
+  const Timer cycle_timer;  // wall_s of the plum-scope stream record
   DistCycleReport rep;
   rep.elements_before = dm_->total_active_elements();
   const int this_cycle = cycle_index_;
@@ -384,8 +396,10 @@ DistCycleReport DistFramework::cycle() {
   trace_.add_gate_record(gate_rec);
 
   // --- live paper-metric gauges (one sample per series per cycle) -----------
+  double cycle_imbalance = 0;  // also stamped on the plum-scope record
   {
     const auto q = partition::evaluate_quality(dual_, root_part_, P);
+    cycle_imbalance = q.imbalance;
     metrics_.add_sample("imbalance", q.imbalance);
     metrics_.add_sample_int("edge_cut", q.edge_cut);
     for (const auto& [name, value] : remap::volume_fields(rep.volume)) {
@@ -508,6 +522,78 @@ DistCycleReport DistFramework::cycle() {
   // this cycle ran, plus the wall seconds of every phase that closed.
   obs::record_step_histograms(metrics_, trace_, &hist_step_cursor_);
   obs::record_phase_histograms(metrics_, trace_, &hist_phase_cursor_);
+
+  // --- plum-scope: depot telemetry gauges + one live stream record ----------
+  // Depot stats exist only under the pipe transport (empty otherwise). They
+  // are wall-clock sourced (syscall counts, stall ns), so they fold into
+  // wall-marked series and the trace's full view — never the deterministic
+  // views the cross-engine byte-identity tests compare.
+  const auto depot = eng_->transport().depot_stats();
+  if (!depot.empty()) {
+    trace_.set_depot_telemetry(obs::depot_stats_json(depot));
+    rt::DepotStats sum;
+    for (const auto& d : depot) {
+      sum.buffered_bytes += d.buffered_bytes;
+      sum.frames_in += d.frames_in;
+      sum.frames_out += d.frames_out;
+      sum.read_calls += d.read_calls;
+      sum.write_calls += d.write_calls;
+      sum.peak_buffer_bytes =
+          std::max(sum.peak_buffer_bytes, d.peak_buffer_bytes);
+      sum.stall_ns += d.stall_ns;
+    }
+    metrics_.add_wall_sample_int("depot_frames_in", sum.frames_in);
+    metrics_.add_wall_sample_int("depot_frames_out", sum.frames_out);
+    metrics_.add_wall_sample_int("depot_read_calls", sum.read_calls);
+    metrics_.add_wall_sample_int("depot_write_calls", sum.write_calls);
+    metrics_.add_wall_sample_int("depot_peak_buffer_bytes",
+                                 sum.peak_buffer_bytes);
+    metrics_.add_wall_sample_int("depot_stall_ns", sum.stall_ns);
+  }
+  if (stream_ != nullptr) {
+    // Per-rank busy/wait over this cycle's supersteps, counter-sourced:
+    // busy is the rank's compute units, wait is its distance from the
+    // step's critical rank (the same decomposition as plum-path).
+    const auto& steps = trace_.supersteps();
+    // plum-scale: host-only -- per-rank busy fold for one stream record
+    std::vector<std::int64_t> busy(static_cast<std::size_t>(P), 0);
+    // plum-scale: host-only -- per-rank wait fold for one stream record
+    std::vector<std::int64_t> wait(static_cast<std::size_t>(P), 0);
+    for (std::size_t s = scope_step_cursor_; s < steps.size(); ++s) {
+      const auto& cs = steps[s].counters;
+      std::int64_t step_max = 0;
+      for (const auto& c : cs) step_max = std::max(step_max, c.compute_units);
+      for (std::size_t r = 0; r < cs.size() && r < busy.size(); ++r) {
+        busy[r] += cs[r].compute_units;
+        wait[r] += step_max - cs[r].compute_units;
+      }
+    }
+    obs::Json rec_json = obs::Json::object();
+    rec_json.set("schema", obs::Json::str("plum-scope/1"))
+        .set("name", obs::Json::str(opt_.scope_name))
+        .set("cycle", obs::Json::integer(this_cycle))
+        .set("supersteps", obs::Json::integer(static_cast<std::int64_t>(
+                               steps.size() - scope_step_cursor_)))
+        .set("elements", obs::Json::integer(rep.elements_after))
+        .set("imbalance", obs::Json::number(cycle_imbalance))
+        .set("wall_s", obs::Json::number(cycle_timer.seconds()));
+    obs::Json gate_json = obs::Json::object();
+    gate_json.set("evaluated", obs::Json::boolean(rep.evaluated_repartition))
+        .set("accepted", obs::Json::boolean(rep.accepted));
+    rec_json.set("gate", std::move(gate_json));
+    obs::Json ranks_json = obs::Json::array();
+    for (Rank r = 0; r < P; ++r) {
+      obs::Json rj = obs::Json::object();
+      rj.set("rank", obs::Json::integer(r))
+          .set("busy", obs::Json::integer(busy[static_cast<std::size_t>(r)]))
+          .set("wait", obs::Json::integer(wait[static_cast<std::size_t>(r)]));
+      ranks_json.push(std::move(rj));
+    }
+    rec_json.set("ranks", std::move(ranks_json));
+    if (!depot.empty()) rec_json.set("depot", obs::depot_stats_json(depot));
+    stream_->append(rec_json);
+  }
+  scope_step_cursor_ = trace_.supersteps().size();
   return rep;
 }
 

@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "core/framework.hpp"
+#include "obs/scope.hpp"
 #include "pmesh/dist_mesh.hpp"
 #include "pmesh/parallel_solver.hpp"
 
@@ -44,6 +45,13 @@ struct DistCycleReport {
 class DistFramework {
  public:
   DistFramework(mesh::TetMesh initial_global, FrameworkOptions opt);
+  ~DistFramework();
+  // Move-only, like the engine it owns. NB the engine's observer/sink and
+  // the postmortem hook hold addresses into this object, so a framework
+  // may only be moved before use (the factory-return pattern; in practice
+  // NRVO elides even that).
+  DistFramework(DistFramework&&) = default;
+  DistFramework& operator=(DistFramework&&) = delete;
 
   DistCycleReport cycle();
 
@@ -77,6 +85,14 @@ class DistFramework {
     return metrics_;
   }
 
+  /// plum-scope flight recorder: a fixed-capacity per-rank event ring the
+  /// engine feeds as a rt::RankScopeSink (one event per rank per
+  /// superstep, overwrite-oldest). Always on; a failed PLUM_ASSERT —
+  /// including the pipe transport's rank-death path — flushes its last-N
+  /// events per rank to POSTMORTEM_<scope_name>.json before aborting.
+  [[nodiscard]] obs::FlightRecorder& scope() { return scope_; }
+  [[nodiscard]] const obs::FlightRecorder& scope() const { return scope_; }
+
   /// The online calibrator (sim/calibration.hpp); see core::Framework.
   [[nodiscard]] const sim::Calibration& calibration() const { return calib_; }
 
@@ -93,10 +109,12 @@ class DistFramework {
   void rebind_solver();
 
   FrameworkOptions opt_;
-  // Declared before eng_: the engine holds a raw observer pointer to the
-  // recorder, so the recorder must be destroyed after the engine.
+  // Declared before eng_: the engine holds raw observer/sink pointers to
+  // the recorders, so both must be destroyed after the engine.
   obs::TraceRecorder trace_;
+  obs::FlightRecorder scope_;
   std::unique_ptr<rt::Engine> eng_;
+  std::unique_ptr<obs::ScopeStreamWriter> stream_;  ///< opt_.scope_stream
   std::unique_ptr<pmesh::DistMesh> dm_;
   std::unique_ptr<pmesh::ParallelEulerSolver> solver_;
   std::vector<std::vector<solver::State>> states_;
@@ -112,6 +130,9 @@ class DistFramework {
   // histograms (obs::record_step_histograms / record_phase_histograms).
   std::size_t hist_step_cursor_ = 0;
   std::size_t hist_phase_cursor_ = 0;
+  /// First trace_ superstep not yet folded into a plum-scope/1 stream
+  /// record (per-rank busy/wait are summed over [cursor, end) per cycle).
+  std::size_t scope_step_cursor_ = 0;
 };
 
 }  // namespace plum::core

@@ -69,6 +69,17 @@ struct FrameworkOptions {
   /// calibrated constant — and everything it prices — is byte-identical
   /// across engines, thread counts, and transports.
   std::string replay_path;
+  /// Run name stamped on plum-scope/1 stream records and used for the
+  /// crash postmortem file (POSTMORTEM_<scope_name>.json).
+  std::string scope_name = "plum";
+  /// Per-rank capacity of the always-on flight-recorder ring
+  /// (obs::FlightRecorder; DistFramework only). Oldest events are
+  /// overwritten, so this bounds both memory and postmortem size.
+  int scope_ring_capacity = 256;
+  /// Non-empty: append one plum-scope/1 NDJSON record per cycle to this
+  /// file (per-rank busy/wait, gate verdict, imbalance, depot gauges).
+  /// tools/plum-top tails it for a live view. DistFramework only.
+  std::string scope_stream;
 };
 
 /// Everything one solve->adapt->balance cycle measured or decided.

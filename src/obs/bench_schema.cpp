@@ -194,6 +194,33 @@ std::string check_histogram(const Json& h, std::size_t i,
   return "";
 }
 
+/// v2 wall-marked series objects, as rendered by
+/// MetricsRegistry::to_json() for add_wall_sample() gauges.
+std::string check_series_object(const Json& s, std::size_t i,
+                                const std::string& name) {
+  const auto bad = [&](const std::string& what) {
+    return run_error(i, "series metric \"" + name + "\" " + what);
+  };
+  const Json* marker = s.find("series");
+  if (!marker || marker->kind() != Json::Kind::kBool || !marker->as_bool()) {
+    return bad("must carry \"series\": true");
+  }
+  const Json* wall = s.find("wall");
+  if (!wall || wall->kind() != Json::Kind::kBool) {
+    return bad("missing bool field \"wall\"");
+  }
+  const Json* samples = s.find("samples");
+  if (!samples || !samples->is_array()) {
+    return bad("missing array field \"samples\"");
+  }
+  for (std::size_t k = 0; k < samples->size(); ++k) {
+    if (!samples->at(k).is_number()) {
+      return bad("contains a non-number sample");
+    }
+  }
+  return "";
+}
+
 /// v2 per-run critical-path section (obs::CriticalPathAnalysis::to_json()).
 std::string check_critical_path(const Json& cp, std::size_t i) {
   if (!cp.is_object()) {
@@ -258,9 +285,11 @@ std::string check_run(const Json& run, std::size_t i, int version) {
                               "\" is a series, which requires schema "
                               "\"plum-bench/2\"");
     }
-    // ... and fixed-bound histogram objects.
+    // ... and fixed-bound histogram objects / wall-marked series objects.
     if (version >= 2 && value.is_object()) {
-      const std::string err = check_histogram(value, i, name);
+      const std::string err = value.find("series") != nullptr
+                                  ? check_series_object(value, i, name)
+                                  : check_histogram(value, i, name);
       if (!err.empty()) return err;
       continue;
     }

@@ -50,6 +50,17 @@ void MetricsRegistry::add_sample_int(const std::string& name,
   it->second.samples_i.push_back(value);
 }
 
+void MetricsRegistry::add_wall_sample(const std::string& name, double value) {
+  add_sample(name, value);
+  values_[name].wall = true;
+}
+
+void MetricsRegistry::add_wall_sample_int(const std::string& name,
+                                          std::int64_t value) {
+  add_sample_int(name, value);
+  values_[name].wall = true;
+}
+
 void MetricsRegistry::define_histogram(const std::string& name,
                                        std::vector<double> bounds,
                                        bool wall_clock) {
@@ -181,11 +192,22 @@ Json MetricsRegistry::to_json_impl(bool include_wall_clock) const {
       out.set(name, v.integral ? Json::integer(v.i) : Json::number(v.d));
       continue;
     }
+    if (v.wall && !include_wall_clock) continue;
     Json arr = Json::array();
     if (v.integral) {
       for (const auto s : v.samples_i) arr.push(Json::integer(s));
     } else {
       for (const auto s : v.samples_d) arr.push(Json::number(s));
+    }
+    if (v.wall) {
+      // Wall series render as tagged objects so consumers (plum-diff,
+      // plum-report) can tell report-only gauges from gated ones.
+      Json obj = Json::object();
+      obj.set("series", Json::boolean(true))
+          .set("wall", Json::boolean(true))
+          .set("samples", std::move(arr));
+      out.set(name, std::move(obj));
+      continue;
     }
     out.set(name, std::move(arr));
   }

@@ -38,6 +38,16 @@ class MetricsRegistry {
   void add_sample(const std::string& name, double value);
   void add_sample_int(const std::string& name, std::int64_t value);
 
+  /// Appends one sample to a *wall-marked* gauge series: a series fed from
+  /// wall-clock or otherwise nondeterministic measurements (e.g. the pipe
+  /// transport's depot telemetry — syscall counts, stall ns). Wall series
+  /// render in to_json() as {"series":true,"wall":true,"samples":[...]}
+  /// objects and are omitted from deterministic_json(), exactly like
+  /// wall-clock histograms, so recording them never breaks the
+  /// cross-engine/transport byte-identity contract.
+  void add_wall_sample(const std::string& name, double value);
+  void add_wall_sample_int(const std::string& name, std::int64_t value);
+
   /// Defines a fixed-bound histogram: `bounds` are ascending bucket upper
   /// bounds; values above the last bound land in an implicit overflow
   /// bucket, so there are bounds.size() + 1 counts. Bounds are fixed at
@@ -81,14 +91,16 @@ class MetricsRegistry {
   void clear() { values_.clear(); }
 
   /// {"name": value, ...} with names in sorted order; series render as
-  /// arrays of samples in append order; histograms render as objects:
+  /// arrays of samples in append order (wall series as
+  /// {"series":true,"wall":true,"samples":[...]} objects); histograms
+  /// render as objects:
   ///   {"histogram":true,"wall":...,"count":n,"max":...,"p50":...,
   ///    "p95":...,"bounds":[...],"counts":[...]}
   [[nodiscard]] Json to_json() const;
 
-  /// Same document minus every wall-clock histogram. Byte-identical across
-  /// engines and thread counts for deterministic workloads — the view the
-  /// cross-engine tests compare.
+  /// Same document minus every wall-clock histogram and wall-marked
+  /// series. Byte-identical across engines and thread counts for
+  /// deterministic workloads — the view the cross-engine tests compare.
   [[nodiscard]] Json deterministic_json() const;
 
  private:
@@ -96,7 +108,7 @@ class MetricsRegistry {
     bool integral = false;
     bool series = false;
     bool histogram = false;
-    bool wall = false;  ///< histogram holds wall-clock samples
+    bool wall = false;  ///< histogram/series holds wall-clock samples
     double d = 0;
     std::int64_t i = 0;
     std::vector<double> samples_d;

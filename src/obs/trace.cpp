@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include "obs/critical_path.hpp"
+#include "obs/scope.hpp"
 #include "runtime/collectives.hpp"
 #include "util/assert.hpp"
 
@@ -86,6 +87,7 @@ std::size_t TraceRecorder::begin_phase(const std::string& name) {
   const std::size_t idx = phases_.size();
   phases_.push_back(std::move(ph));
   open_.push_back(idx);
+  if (scope_ != nullptr) scope_->set_phase(name);
   return idx;
 }
 
@@ -96,6 +98,13 @@ void TraceRecorder::end_phase(std::size_t idx) {
   ph.wall_s = epoch_.seconds() - ph.t_start_s;
   ph.closed = true;
   open_.pop_back();
+  if (scope_ != nullptr) {
+    if (open_.empty()) {
+      scope_->clear_phase();
+    } else {
+      scope_->set_phase(phases_[open_.back()].name);
+    }
+  }
 }
 
 void TraceRecorder::set_modeled_seconds(std::size_t idx, double seconds) {
@@ -113,6 +122,8 @@ void TraceRecorder::clear() {
   calibration_ = Json{};
   has_calibration_ = false;
   calibration_deterministic_ = false;
+  depot_ = Json{};
+  has_depot_ = false;
   epoch_.start();
 }
 
@@ -164,6 +175,9 @@ Json TraceRecorder::to_json_impl(bool include_wall) const {
   // sections appear in both serializations and stay inside the
   // deterministic_json() byte-identity contract.
   doc.set("comm_matrix", comm_matrix_json(comm_));
+  // Depot telemetry sits next to the comm matrix but is wall-clock sourced
+  // (syscall counts, stall ns), so it stays out of the deterministic view.
+  if (has_depot_ && include_wall) doc.set("depot", depot_);
   Json by_class = Json::object();
   for (const auto& [cls, t] : by_class_) {
     Json entry = Json::object();

@@ -38,6 +38,8 @@
 
 namespace plum::obs {
 
+class FlightRecorder;
+
 /// Aggregate (msgs, bytes) pair for one tag or tag class.
 struct CommTotals {
   std::int64_t msgs = 0;
@@ -106,6 +108,21 @@ class TraceRecorder final : public rt::SuperstepObserver {
   /// supersteps, never from inside a superstep function.
   void add_gate_record(const GateRecord& rec) { gates_.push_back(rec); }
 
+  /// Attaches (or detaches, with nullptr) a plum-scope flight recorder:
+  /// begin_phase/end_phase then keep the recorder's current phase stamp in
+  /// sync with the innermost open phase, so ring events carry the Fig. 1
+  /// phase they happened in. The recorder is borrowed, not owned.
+  void set_flight_recorder(FlightRecorder* rec) { scope_ = rec; }
+
+  /// Attaches (replacing any previous) the latest depot-process telemetry
+  /// (obs::depot_stats_json). Wall-clock sourced, so it renders in
+  /// to_json() only — next to the comm matrix — and never in
+  /// deterministic_json().
+  void set_depot_telemetry(Json doc) {
+    depot_ = std::move(doc);
+    has_depot_ = true;
+  }
+
   /// Attaches (replacing any previous) the current calibration document
   /// (sim::Calibration::to_json). `deterministic` marks it as derived from
   /// replayed/counted inputs only, in which case it also appears in
@@ -158,6 +175,9 @@ class TraceRecorder final : public rt::SuperstepObserver {
   Json calibration_;
   bool has_calibration_ = false;
   bool calibration_deterministic_ = false;
+  FlightRecorder* scope_ = nullptr;  ///< borrowed; phase-stamp feed
+  Json depot_;                       ///< latest depot telemetry (full view)
+  bool has_depot_ = false;
 };
 
 /// RAII wrapper for TraceRecorder phases:

@@ -186,14 +186,20 @@ bool Engine::superstep(const StepFn& fn) {
   if (observer_) rank_seconds.assign(static_cast<std::size_t>(nranks_), 0.0);
   Timer wall;
   bool any_continue = false;
+  const bool timed = observer_ != nullptr || scope_sink_ != nullptr;
   for (Rank r = 0; r < nranks_; ++r) {
-    Inbox inbox(std::move(delivering[static_cast<std::size_t>(r)]));
-    Outbox outbox(r, nranks_, step, &out_queues[static_cast<std::size_t>(r)],
-                  &counters[static_cast<std::size_t>(r)]);
-    if (observer_) {
+    const auto ur = static_cast<std::size_t>(r);
+    Inbox inbox(std::move(delivering[ur]));
+    Outbox outbox(r, nranks_, step, &out_queues[ur], &counters[ur]);
+    if (timed) {
       Timer t;
       any_continue |= fn(r, inbox, outbox);
-      rank_seconds[static_cast<std::size_t>(r)] = t.seconds();
+      const double s = t.seconds();
+      if (observer_) rank_seconds[ur] = s;
+      if (scope_sink_) {
+        scope_sink_->record_rank_step(
+            step, r, counters[ur], static_cast<std::int64_t>(s * 1e9));
+      }
     } else {
       any_continue |= fn(r, inbox, outbox);
     }
@@ -260,10 +266,17 @@ void ParallelEngine::worker_loop() {
       Inbox inbox(std::move((*delivering_)[ur]));
       Outbox outbox(r, nranks_, step_index_, &(*out_queues_)[ur],
                     &(*counters_)[ur]);
-      if (rank_seconds_ != nullptr) {
+      if (rank_seconds_ != nullptr || scope_sink_ != nullptr) {
         Timer t;
         (*want_more_)[ur] = (*fn_)(r, inbox, outbox) ? 1 : 0;
-        (*rank_seconds_)[ur] = t.seconds();
+        const double s = t.seconds();
+        if (rank_seconds_ != nullptr) (*rank_seconds_)[ur] = s;
+        // Rank-safe by the sink contract: this worker claimed rank r, so
+        // the sink call may only touch rank-r-owned slots.
+        if (scope_sink_ != nullptr) {
+          scope_sink_->record_rank_step(step_index_, r, (*counters_)[ur],
+                                        static_cast<std::int64_t>(s * 1e9));
+        }
       } else {
         (*want_more_)[ur] = (*fn_)(r, inbox, outbox) ? 1 : 0;
       }

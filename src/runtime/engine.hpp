@@ -157,6 +157,24 @@ class Outbox {
   StepCounters* counters_;
 };
 
+/// Per-rank in-superstep recording hook (the plum-scope flight-recorder
+/// attachment point; see src/obs/scope.hpp). record_rank_step is invoked
+/// by whichever worker *claimed* rank r, immediately after the rank's step
+/// function returns and before the superstep barrier — unlike
+/// SuperstepObserver there is no merge step, so implementations must be
+/// rank-safe themselves: a call for rank r may touch only rank-r-owned
+/// slots (the rank_seconds_ pattern; per-rank rings qualify, shared
+/// accumulators do not). `wall_ns` is the step function's wall time;
+/// deterministic views must exclude it, exactly like the observer's
+/// rank_seconds.
+class RankScopeSink {
+ public:
+  virtual ~RankScopeSink() = default;
+  virtual void record_rank_step(int step, Rank rank,
+                                const StepCounters& counters,
+                                std::int64_t wall_ns) = 0;
+};
+
 /// Superstep-completion hook (the plum-trace attachment point; see
 /// src/obs/trace.hpp). Called once per superstep on the coordinating
 /// thread at the barrier, after the per-rank counters and per-rank wall
@@ -281,6 +299,14 @@ class Engine {
   void set_observer(SuperstepObserver* obs) { observer_ = obs; }
   [[nodiscard]] SuperstepObserver* observer() const { return observer_; }
 
+  /// Attaches (or detaches, with nullptr) a per-rank scope sink. The engine
+  /// does not own it; it must outlive the runs it records, and it must only
+  /// be (re)attached between runs — workers read the pointer inside
+  /// supersteps. Per-rank wall times are measured while a sink is attached,
+  /// even without an observer.
+  void set_scope_sink(RankScopeSink* sink) { scope_sink_ = sink; }
+  [[nodiscard]] RankScopeSink* scope_sink() const { return scope_sink_; }
+
  protected:
   Rank nranks_;
   std::unique_ptr<Transport> transport_;
@@ -288,6 +314,7 @@ class Engine {
   Ledger ledger_;
   int run_step_ = 0;  // Outbox::step() of the next superstep
   SuperstepObserver* observer_ = nullptr;
+  RankScopeSink* scope_sink_ = nullptr;
 };
 
 /// Runs the ranks of each superstep concurrently on a persistent thread

@@ -46,6 +46,56 @@ void encode_control(CtrlOp op, Rank operand, std::vector<std::byte>* out) {
   encode_frame(f, out);
 }
 
+namespace {
+
+void put_i64(std::int64_t v, std::vector<std::byte>* out) {
+  const auto u = static_cast<std::uint64_t>(v);
+  put_u32(static_cast<std::uint32_t>(u & 0xffffffffu), out);
+  put_u32(static_cast<std::uint32_t>(u >> 32), out);
+}
+
+std::int64_t get_i64(const std::byte* p) {
+  return static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(get_u32(p)) |
+      (static_cast<std::uint64_t>(get_u32(p + 4)) << 32));
+}
+
+constexpr std::size_t kTelemetryPayloadBytes = 7 * 8;
+
+}  // namespace
+
+void encode_telemetry(const DepotStats& stats, std::vector<std::byte>* out) {
+  Frame f;
+  f.from = kCtrlRank;
+  f.to = 0;
+  f.tag = static_cast<int>(CtrlOp::kTelemetry);
+  f.payload.reserve(kTelemetryPayloadBytes);
+  put_i64(stats.buffered_bytes, &f.payload);
+  put_i64(stats.frames_in, &f.payload);
+  put_i64(stats.frames_out, &f.payload);
+  put_i64(stats.read_calls, &f.payload);
+  put_i64(stats.write_calls, &f.payload);
+  put_i64(stats.peak_buffer_bytes, &f.payload);
+  put_i64(stats.stall_ns, &f.payload);
+  encode_frame(f, out);
+}
+
+bool decode_telemetry(const Frame& f, DepotStats* out) {
+  if (!f.is_control() || static_cast<CtrlOp>(f.tag) != CtrlOp::kTelemetry ||
+      f.payload.size() != kTelemetryPayloadBytes) {
+    return false;
+  }
+  const std::byte* p = f.payload.data();
+  out->buffered_bytes = get_i64(p);
+  out->frames_in = get_i64(p + 8);
+  out->frames_out = get_i64(p + 16);
+  out->read_calls = get_i64(p + 24);
+  out->write_calls = get_i64(p + 32);
+  out->peak_buffer_bytes = get_i64(p + 40);
+  out->stall_ns = get_i64(p + 48);
+  return true;
+}
+
 void FrameDecoder::feed(std::span<const std::byte> chunk) {
   buf_.insert(buf_.end(), chunk.begin(), chunk.end());
 }

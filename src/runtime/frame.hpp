@@ -35,9 +35,28 @@ inline constexpr Rank kCtrlRank = -1;
 
 /// Control opcodes carried in the `tag` field of control frames.
 enum class CtrlOp : int {
-  kDeliver = 1,   ///< coordinator -> group: stream buffered frames back
-  kDone = 2,      ///< group -> coordinator: delivery finished
-  kShutdown = 3,  ///< coordinator -> group: exit cleanly
+  kDeliver = 1,    ///< coordinator -> group: stream buffered frames back
+  kDone = 2,       ///< group -> coordinator: delivery finished
+  kShutdown = 3,   ///< coordinator -> group: exit cleanly
+  kTelemetry = 4,  ///< group -> coordinator: DepotStats payload, sent once
+                   ///< per barrier immediately before kDone
+};
+
+/// Depot-child self-accounting, piggybacked on the delivery stream as one
+/// kTelemetry control frame per barrier (plum-scope depot telemetry). All
+/// counters are cumulative since the child forked, except buffered_bytes
+/// (bytes held at the instant of the Deliver command) and stall_ns (time
+/// blocked in read() waiting for the coordinator).
+struct DepotStats {
+  std::int64_t buffered_bytes = 0;    ///< held frame bytes at Deliver time
+  std::int64_t frames_in = 0;         ///< frames decoded from the coordinator
+  std::int64_t frames_out = 0;        ///< frames streamed back
+  std::int64_t read_calls = 0;        ///< read() syscalls issued
+  std::int64_t write_calls = 0;       ///< write() syscalls issued
+  std::int64_t peak_buffer_bytes = 0; ///< high-water mark of held bytes
+  std::int64_t stall_ns = 0;          ///< ns blocked in read() between frames
+
+  friend bool operator==(const DepotStats&, const DepotStats&) = default;
 };
 
 struct Frame {
@@ -56,6 +75,13 @@ void encode_frame(const Frame& f, std::vector<std::byte>* out);
 
 /// Convenience: encodes a payload-free control frame.
 void encode_control(CtrlOp op, Rank operand, std::vector<std::byte>* out);
+
+/// Appends a kTelemetry control frame carrying `stats` (7 LE int64s).
+void encode_telemetry(const DepotStats& stats, std::vector<std::byte>* out);
+
+/// Decodes a kTelemetry control frame's payload. Returns false unless `f`
+/// is a well-formed telemetry frame.
+bool decode_telemetry(const Frame& f, DepotStats* out);
 
 /// Incremental decoder. Feed it arbitrary chunks of the byte stream; poll
 /// next() for completed frames. Any header whose magic does not match is a

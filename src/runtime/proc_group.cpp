@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <csignal>
 
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -15,10 +16,14 @@ ProcGroup::ProcGroup(int ngroups, const ChildMain& child_main) {
   PLUM_ASSERT(ngroups >= 1);
   pids_.reserve(static_cast<std::size_t>(ngroups));
   fds_.reserve(static_cast<std::size_t>(ngroups));
+  err_fds_.reserve(static_cast<std::size_t>(ngroups));
+  err_text_.resize(static_cast<std::size_t>(ngroups));
   for (int g = 0; g < ngroups; ++g) {
     int sv[2];
     PLUM_ASSERT_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0,
                     "ProcGroup: socketpair failed");
+    int ep[2];  // ep[0] = parent read end, ep[1] = child stderr
+    PLUM_ASSERT_MSG(::pipe(ep) == 0, "ProcGroup: stderr pipe failed");
     const pid_t pid = ::fork();
     PLUM_ASSERT_MSG(pid >= 0, "ProcGroup: fork failed");
     if (pid == 0) {
@@ -26,15 +31,25 @@ ProcGroup::ProcGroup(int ngroups, const ChildMain& child_main) {
       // fds were inherited; close them so each parent fd has exactly one
       // peer process and death shows up as EOF.
       ::close(sv[0]);
+      ::close(ep[0]);
       for (const int earlier : fds_) ::close(earlier);
+      for (const int earlier : err_fds_) ::close(earlier);
+      // Route this child's stderr into the capture pipe so the parent can
+      // include its last words in rank-death diagnostics.
+      ::dup2(ep[1], 2);
+      if (ep[1] != 2) ::close(ep[1]);
       ::signal(SIGPIPE, SIG_IGN);
       child_main(g, sv[1]);
       ::close(sv[1]);
       ::_exit(0);
     }
     ::close(sv[1]);
+    ::close(ep[1]);
+    // Non-blocking: drain_stderr must never wait on a silent child.
+    ::fcntl(ep[0], F_SETFL, ::fcntl(ep[0], F_GETFL) | O_NONBLOCK);
     pids_.push_back(pid);
     fds_.push_back(sv[0]);
+    err_fds_.push_back(ep[0]);
   }
 }
 
@@ -50,6 +65,10 @@ ProcGroup::~ProcGroup() {
       }
     }
     pid = -1;
+  }
+  for (int& fd : err_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
   }
 }
 
@@ -72,6 +91,25 @@ bool ProcGroup::alive(int group) {
   if (r == 0) return true;  // still running
   pid = -1;                 // exited (or waitpid failed): reaped, gone
   return false;
+}
+
+const std::string& ProcGroup::drain_stderr(int group) {
+  PLUM_ASSERT(group >= 0 && group < size());
+  const auto g = static_cast<std::size_t>(group);
+  std::string& acc = err_text_[g];
+  const int fd = err_fds_[g];
+  if (fd < 0) return acc;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n > 0) {
+      acc.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // 0 = EOF (child gone), EAGAIN = nothing buffered right now
+  }
+  return acc;
 }
 
 }  // namespace plum::rt

@@ -15,6 +15,11 @@
 //   - alive(g) probes a child non-blockingly (waitpid WNOHANG), which is
 //     how the transport turns an unexpected exit into a named diagnostic
 //     ("rank group g died") instead of a hang;
+//   - each child's stderr (fd 2) is redirected into a per-child pipe whose
+//     read end the parent keeps; drain_stderr(g) collects whatever the
+//     child has written so far, so a dying depot's last words survive into
+//     the rank-death abort message and the postmortem document instead of
+//     being lost to the parent's terminal (or dropped under ctest);
 //   - the destructor closes all sockets and reaps every child; callers
 //     wanting a clean shutdown send their own protocol message first.
 //
@@ -24,6 +29,7 @@
 // (glibc reinitializes its allocator locks across fork).
 
 #include <functional>
+#include <string>
 #include <sys/types.h>
 #include <vector>
 
@@ -50,9 +56,16 @@ class ProcGroup {
   /// lazily here). A dead group can never become alive again.
   [[nodiscard]] bool alive(int group);
 
+  /// Everything group g has written to stderr so far (accumulated across
+  /// calls; non-blocking, never waits for the child). Safe to call on a
+  /// dead group — the pipe read end survives the child.
+  [[nodiscard]] const std::string& drain_stderr(int group);
+
  private:
   std::vector<pid_t> pids_;   // -1 once reaped
   std::vector<int> fds_;      // parent ends; -1 once closed
+  std::vector<int> err_fds_;  // stderr pipe read ends; -1 once closed
+  std::vector<std::string> err_text_;  // accumulated child stderr per group
 };
 
 }  // namespace plum::rt

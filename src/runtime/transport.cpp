@@ -1,8 +1,12 @@
 #include "runtime/transport.hpp"
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <iterator>
 #include <string>
+
+#include <unistd.h>
 
 #include "runtime/frame.hpp"
 #include "runtime/proc_group.hpp"
@@ -54,25 +58,50 @@ namespace {
 constexpr std::size_t kIoChunk = 64 * 1024;
 
 /// Child side: buffer every data frame between barriers; on kDeliver,
-/// stream the buffer back followed by a kDone marker. Touches nothing but
-/// its own vectors and the socket fd (fork-safety contract of ProcGroup).
-void depot_loop(int fd) {
+/// stream the buffer back followed by one kTelemetry frame (this depot's
+/// DepotStats, piggybacked per barrier — plum-scope) and a kDone marker.
+/// Touches nothing but its own vectors and the socket fd (fork-safety
+/// contract of ProcGroup). The startup banner on stderr lands in the
+/// ProcGroup capture pipe, so even a SIGKILLed child leaves identifiable
+/// last words for the postmortem.
+void depot_loop(int group, int fd) {
+  std::fprintf(stderr, "plum-depot group=%d pid=%ld started\n", group,
+               static_cast<long>(::getpid()));
+  using SteadyClock = std::chrono::steady_clock;
   FrameDecoder dec;
+  DepotStats stats;
+  std::int64_t held_frames = 0;  // data frames buffered since last Deliver
   std::vector<std::byte> held;   // re-encoded data frames, arrival order
   std::vector<std::byte> chunk(kIoChunk);
   Frame f;
   for (;;) {
+    const SteadyClock::time_point t0 = SteadyClock::now();
     const std::ptrdiff_t n = read_some(fd, chunk.data(), chunk.size());
+    stats.stall_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          SteadyClock::now() - t0)
+                          .count();
+    ++stats.read_calls;
     if (n <= 0) return;  // coordinator died or closed: exit quietly
     dec.feed(std::span<const std::byte>(chunk.data(),
                                         static_cast<std::size_t>(n)));
     while (dec.next(&f)) {
       if (!f.is_control()) {
+        ++stats.frames_in;
+        ++held_frames;
         encode_frame(f, &held);
+        const auto held_bytes = static_cast<std::int64_t>(held.size());
+        if (held_bytes > stats.peak_buffer_bytes) {
+          stats.peak_buffer_bytes = held_bytes;
+        }
         continue;
       }
       switch (static_cast<CtrlOp>(f.tag)) {
         case CtrlOp::kDeliver: {
+          stats.buffered_bytes = static_cast<std::int64_t>(held.size());
+          stats.frames_out += held_frames;
+          held_frames = 0;
+          ++stats.write_calls;  // the write_all below
+          encode_telemetry(stats, &held);
           encode_control(CtrlOp::kDone, 0, &held);
           if (!write_all(fd, held.data(), held.size())) return;
           held.clear();
@@ -82,6 +111,7 @@ void depot_loop(int fd) {
         case CtrlOp::kShutdown:
           return;
         case CtrlOp::kDone:
+        case CtrlOp::kTelemetry:
           return;  // protocol violation; die visibly (EOF upstream)
       }
     }
@@ -94,6 +124,7 @@ class PipeTransport::Impl {
  public:
   std::vector<std::vector<std::byte>> stage;  // per-group outgoing bytes
   std::vector<FrameDecoder> decoders;         // per-group incoming streams
+  std::vector<DepotStats> depot;              // latest telemetry per group
 };
 
 PipeTransport::PipeTransport(Rank nranks, PipeTransportOptions opt)
@@ -106,8 +137,9 @@ PipeTransport::PipeTransport(Rank nranks, PipeTransportOptions opt)
   impl_ = std::make_unique<Impl>();
   impl_->stage.resize(static_cast<std::size_t>(g));
   impl_->decoders.resize(static_cast<std::size_t>(g));
+  impl_->depot.resize(static_cast<std::size_t>(g));
   procs_ = std::make_unique<ProcGroup>(
-      g, [](int /*group*/, int fd) { depot_loop(fd); });
+      g, [](int group, int fd) { depot_loop(group, fd); });
 }
 
 PipeTransport::~PipeTransport() {
@@ -128,8 +160,21 @@ void PipeTransport::exchange(std::vector<SendQueue>& queues,
 
   auto group_died = [&](int g) {
     const bool dead = !procs_->alive(g);
-    PLUM_ASSERT_MSG(!dead, "pipe transport: rank group child died "
-                           "mid-superstep (rank death detected)");
+    if (dead) {
+      // Capture the child's last words before aborting: they go into both
+      // the abort message and (via the crash note) the postmortem document
+      // obs::install_postmortem flushes from the abort hook.
+      const std::string& err = procs_->drain_stderr(g);
+      plum::detail::note_crash("dead_group", std::to_string(g));
+      plum::detail::note_crash("child_stderr", err);
+      std::string msg =
+          "pipe transport: rank group child died mid-superstep (rank death "
+          "detected; group " +
+          std::to_string(g) + ")";
+      if (!err.empty()) msg += "\n  child stderr:\n" + err;
+      plum::detail::assert_fail("procs_->alive(g)", __FILE__, __LINE__,
+                                msg.c_str());
+    }
     PLUM_ASSERT_MSG(false, "pipe transport: socket error to live rank group");
   };
 
@@ -170,6 +215,13 @@ void PipeTransport::exchange(std::vector<SendQueue>& queues,
     while (!done) {
       if (dec.next(&f)) {
         if (f.is_control()) {
+          if (static_cast<CtrlOp>(f.tag) == CtrlOp::kTelemetry) {
+            PLUM_ASSERT_MSG(
+                decode_telemetry(f,
+                                 &impl_->depot[static_cast<std::size_t>(g)]),
+                "pipe transport: malformed telemetry frame");
+            continue;
+          }
           PLUM_ASSERT_MSG(static_cast<CtrlOp>(f.tag) == CtrlOp::kDone,
                           "pipe transport: unexpected control frame");
           done = true;
@@ -193,6 +245,10 @@ void PipeTransport::exchange(std::vector<SendQueue>& queues,
   for (const auto& s : stage) resident += s.capacity();
   for (const auto& d : decoders) resident += d.buffered_bytes();
   note_resident_bytes(resident);
+}
+
+std::vector<DepotStats> PipeTransport::depot_stats() const {
+  return impl_->depot;
 }
 
 std::unique_ptr<Transport> make_transport(TransportKind kind, Rank nranks,

@@ -44,6 +44,7 @@
 #include <string_view>
 #include <vector>
 
+#include "runtime/frame.hpp"
 #include "runtime/message.hpp"
 #include "util/types.hpp"
 
@@ -117,6 +118,16 @@ class Transport {
     return peak_resident_bytes_;
   }
 
+  /// Latest per-depot-process telemetry, one entry per rank group
+  /// (plum-scope). Empty for transports without depot processes; the pipe
+  /// transport refreshes it at every exchange barrier from the kTelemetry
+  /// frames its children piggyback on the delivery stream. Wall-clock
+  /// sourced (syscall counts, stall ns) — report-only, never fed into
+  /// deterministic views.
+  [[nodiscard]] virtual std::vector<DepotStats> depot_stats() const {
+    return {};
+  }
+
  protected:
   /// Called by implementations at the top of exchange().
   void note_queue_usage(const std::vector<SendQueue>& queues) {
@@ -171,6 +182,9 @@ class PipeTransport final : public Transport {
   }
   /// Test access (rank-death simulation).
   [[nodiscard]] ProcGroup& procs() { return *procs_; }
+
+  /// One DepotStats per rank group, refreshed each exchange (see base).
+  [[nodiscard]] std::vector<DepotStats> depot_stats() const override;
 
  private:
   class Impl;

@@ -2,16 +2,73 @@
 // Always-on invariant checking. Unlike <cassert> these fire in release
 // builds too: the adaption/remapping data structures are intricate enough
 // that silent corruption is far more expensive than the branch.
+//
+// Crash forensics: assert_fail() invokes an optional process-wide abort
+// hook exactly once before abort(). obs::install_postmortem() uses it to
+// flush the flight-recorder rings and depot telemetry to a
+// POSTMORTEM_<name>.json document, so a failed PLUM_ASSERT (including the
+// pipe transport's rank-death path) leaves evidence behind instead of
+// destroying it. Callers with extra context (e.g. a dead depot child's
+// captured stderr) attach it via note_crash() before asserting; the hook
+// reads it back through crash_notes().
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <string>
 
 namespace plum::detail {
+
+/// Everything the failing assertion knows, handed to the abort hook.
+struct AbortInfo {
+  const char* expr = nullptr;
+  const char* file = nullptr;
+  int line = 0;
+  const char* msg = nullptr;  ///< may be null
+};
+
+using AbortHook = void (*)(const AbortInfo&);
+
+/// Process-wide abort hook slot (header-only storage).
+inline AbortHook& abort_hook_slot() {
+  static AbortHook hook = nullptr;
+  return hook;
+}
+
+/// Installs (or clears, with nullptr) the hook run once before abort().
+/// Returns the previous hook so scoped installers can restore it.
+inline AbortHook set_abort_hook(AbortHook hook) {
+  AbortHook& slot = abort_hook_slot();
+  const AbortHook prev = slot;
+  slot = hook;
+  return prev;
+}
+
+/// Free-form key -> text notes attached to the next abort (e.g. the dead
+/// depot child's captured stderr). Host-side only; not thread-safe against
+/// concurrent note_crash() calls, which is fine because notes are written
+/// on the coordinating thread immediately before the assert fires.
+inline std::map<std::string, std::string>& crash_notes() {
+  static std::map<std::string, std::string> notes;
+  return notes;
+}
+
+inline void note_crash(const std::string& key, std::string text) {
+  crash_notes()[key] = std::move(text);
+}
 
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line, const char* msg) {
   std::fprintf(stderr, "plum assertion failed: %s\n  at %s:%d\n  %s\n", expr,
                file, line, msg ? msg : "");
+  // Run the postmortem hook at most once, even if the dump itself asserts.
+  static std::atomic<bool> dumping{false};
+  if (!dumping.exchange(true)) {
+    if (const AbortHook hook = abort_hook_slot()) {
+      hook(AbortInfo{expr, file, line, msg});
+    }
+  }
   std::abort();
 }
 

@@ -1,0 +1,37 @@
+// plum-lint fixture (lint-only, never compiled): flight-recorder writes
+// from inside a superstep lambda. obs::FlightRecorder::record_event on the
+// shared recorder is host-side state: ranks racing on the ring under
+// ParallelEngine corrupt the event order, and even sequentially the ring
+// contents depend on rank execution order. The rank-safe pattern — a
+// per-rank obs::ScopeRecorder handle from FlightRecorder::handles(), indexed
+// by the lambda's own rank — must NOT be flagged.
+// Expected: 3x shared-accumulator.
+#include <cstdint>
+#include <vector>
+
+#include "obs/scope.hpp"
+#include "runtime/engine.hpp"
+
+namespace plum::fixture {
+
+void bad_scope_in_superstep(rt::Engine& eng, obs::FlightRecorder& recorder) {
+  const Rank P = eng.nranks();
+  auto handles = recorder.handles();
+  int step = 0;
+  eng.run([&](Rank r, const rt::Inbox& inbox, rt::Outbox& outbox) {
+    outbox.charge(1);
+    recorder.record_event(step, 1);                                 // BAD
+    recorder.record_event(
+        step, static_cast<std::int64_t>(inbox.messages().size()));  // BAD
+    recorder.record_event(step, static_cast<std::int64_t>(r));      // BAD
+    // OK: rank-owned handle; each rank writes only its own ring.
+    handles[static_cast<std::size_t>(r)].record_event(
+        step, static_cast<std::int64_t>(inbox.messages().size()));
+    return false;
+  });
+  ++step;
+  // OK: outside the superstep the host may stamp the shared recorder.
+  recorder.record_event(step, static_cast<std::int64_t>(P));
+}
+
+}  // namespace plum::fixture

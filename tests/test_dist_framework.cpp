@@ -4,13 +4,23 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <vector>
+
+#include <sys/wait.h>
 
 #include "core/dist_framework.hpp"
 #include "mesh/box_mesh.hpp"
 #include "obs/gate_audit.hpp"
+#include "obs/scope.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/proc_group.hpp"
+#include "runtime/transport.hpp"
 #include "solver/init_conditions.hpp"
 #include "util/stats.hpp"
 
@@ -198,6 +208,131 @@ TEST(DistFramework, ObservabilityCommMatrixGaugesAndGateAudit) {
               obs::gate_drift(g.predicted_move_bytes, g.measured_move_bytes));
   }
   EXPECT_EQ(audited_accepts, accepted);
+}
+
+// plum-scope: the always-on flight recorder fills one ring per rank, the
+// scope stream appends exactly one validating plum-scope/1 NDJSON record
+// per cycle, and the recorder's deterministic view is transport-invariant.
+TEST(DistFramework, ScopeStreamWritesOneValidatedRecordPerCycle) {
+  const std::string stream =
+      ::testing::TempDir() + "dist_scope_stream.ndjson";
+  std::remove(stream.c_str());
+
+  FrameworkOptions opt;
+  opt.nranks = 4;
+  opt.refine_fraction = 0.05;
+  opt.imbalance_trigger = 1.05;
+  opt.solver_steps_per_cycle = 5;
+  opt.scope_name = "stream_unit";
+  opt.scope_stream = stream;
+  const int cycles = 3;
+  std::string scope_det;
+  {
+    auto fw = make_dist(opt, 4);
+    for (int i = 0; i < cycles; ++i) fw.cycle();
+    // The engine fed the ring: every rank recorded every superstep.
+    const auto steps =
+        static_cast<std::uint64_t>(fw.trace().supersteps().size());
+    ASSERT_GT(steps, 0u);
+    for (Rank r = 0; r < opt.nranks; ++r) {
+      EXPECT_EQ(fw.scope().events_recorded(r), steps) << "rank " << r;
+    }
+    EXPECT_FALSE(fw.scope().phase_names().empty());
+    scope_det = fw.scope().deterministic_json().dump();
+  }
+
+  std::ifstream in(stream);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int n = 0;
+  std::int64_t busy_total = 0;
+  while (std::getline(in, line)) {
+    obs::Json rec;
+    std::string err;
+    ASSERT_TRUE(obs::Json::parse(line, &rec, &err)) << err;
+    ASSERT_EQ(obs::validate_scope_record(rec), "") << line;
+    EXPECT_EQ(rec.find("name")->as_string(), "stream_unit");
+    EXPECT_EQ(rec.find("cycle")->as_int(), n);
+    const obs::Json* ranks = rec.find("ranks");
+    ASSERT_EQ(ranks->size(), static_cast<std::size_t>(opt.nranks));
+    for (std::size_t r = 0; r < ranks->size(); ++r) {
+      busy_total += ranks->at(r).find("busy")->as_int();
+    }
+    EXPECT_EQ(rec.find("depot"), nullptr);  // in-proc: no depot children
+    ++n;
+  }
+  EXPECT_EQ(n, cycles);
+  EXPECT_GT(busy_total, 0);
+  std::remove(stream.c_str());
+
+  // Same workload over the pipe transport: identical deterministic rings.
+  FrameworkOptions popt = opt;
+  popt.scope_stream.clear();
+  popt.transport = rt::TransportKind::kPipe;
+  popt.transport_procs = 2;
+  auto pfw = make_dist(popt, 4);
+  for (int i = 0; i < cycles; ++i) pfw.cycle();
+  EXPECT_EQ(pfw.scope().deterministic_json().dump(), scope_det);
+}
+
+// Killing a depot child mid-run must leave a validating plum-postmortem/1
+// document behind: the assert's rank-death reason, >= 1 ring event for
+// every surviving rank, and the dead child's captured stderr.
+TEST(DistFrameworkDeathTest, RankDeathWritesValidatingPostmortem) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string dir = ::testing::TempDir();
+  const std::string pm_path = dir + "POSTMORTEM_death_unit.json";
+  std::remove(pm_path.c_str());
+  ASSERT_EQ(setenv("PLUM_BENCH_JSON_DIR", dir.c_str(), 1), 0);
+
+  EXPECT_DEATH(
+      {
+        FrameworkOptions opt;
+        opt.nranks = 4;
+        opt.refine_fraction = 0.05;
+        opt.imbalance_trigger = 1.05;
+        opt.solver_steps_per_cycle = 3;
+        opt.transport = rt::TransportKind::kPipe;
+        opt.transport_procs = 2;
+        opt.scope_name = "death_unit";
+        auto fw = make_dist(opt, 4);
+        fw.cycle();  // populate the rings before the crash
+        auto& pipe = dynamic_cast<rt::PipeTransport&>(fw.engine().transport());
+        ::kill(pipe.procs().pid(0), SIGKILL);
+        int status = 0;
+        ::waitpid(pipe.procs().pid(0), &status, 0);
+        fw.cycle();
+      },
+      "rank group child died");
+  ASSERT_EQ(unsetenv("PLUM_BENCH_JSON_DIR"), 0);
+
+  std::ifstream in(pm_path);
+  ASSERT_TRUE(in.good()) << "death run left no " << pm_path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  obs::Json doc;
+  std::string err;
+  ASSERT_TRUE(obs::Json::parse(buf.str(), &doc, &err)) << err;
+  ASSERT_EQ(obs::validate_postmortem(doc), "");
+  EXPECT_EQ(doc.find("name")->as_string(), "death_unit");
+  EXPECT_NE(doc.find("reason")->find("msg")->as_string().find(
+                "rank group child died"),
+            std::string::npos);
+  // Every rank kept flight-recorder evidence of the run that crashed.
+  const obs::Json* scope = doc.find("scope");
+  ASSERT_NE(scope, nullptr);
+  const obs::Json* ranks = scope->find("ranks");
+  ASSERT_EQ(ranks->size(), 4u);
+  for (std::size_t r = 0; r < ranks->size(); ++r) {
+    EXPECT_GE(ranks->at(r).find("events")->size(), 1u) << "rank " << r;
+  }
+  // The dead child's captured stderr made it into the document.
+  EXPECT_NE(doc.find("child_stderr")->as_string().find("plum-depot group=0"),
+            std::string::npos);
+  const obs::Json* depot = doc.find("depot");
+  ASSERT_NE(depot, nullptr);
+  EXPECT_EQ(depot->size(), 2u);
+  std::remove(pm_path.c_str());
 }
 
 TEST(DistFramework, MatchesSerialFrameworkElementCounts) {

@@ -55,6 +55,14 @@ TEST(LintFixtures, MetricRecordingInsideSuperstep) {
   EXPECT_EQ(r.unsuppressed_count(), 3) << plumlint::to_json(r);
 }
 
+TEST(LintFixtures, ScopeRecordingInsideSuperstep) {
+  const LintResult r = lint_fixture("bad_scope_in_superstep.cpp");
+  // record_event on the captured FlightRecorder; the rank-indexed
+  // ScopeRecorder handle and the post-run host call must not be flagged.
+  EXPECT_EQ(r.count_of("shared-accumulator"), 3);
+  EXPECT_EQ(r.unsuppressed_count(), 3) << plumlint::to_json(r);
+}
+
 TEST(LintFixtures, NondeterminismSources) {
   const LintResult r = lint_fixture("bad_nondeterminism.cpp");
   EXPECT_EQ(r.count_of("nondeterminism-source"), 4);
@@ -128,7 +136,8 @@ TEST(LintFixtures, WholeDirectoryLintsWithSameTotals) {
   for (const char* name :
        {"bad_rank_guard.cpp", "bad_unordered_iter.cpp",
         "bad_shared_accumulator.cpp", "bad_metrics_in_superstep.cpp",
-        "bad_nondeterminism.cpp", "bad_wallclock_in_superstep.cpp",
+        "bad_scope_in_superstep.cpp", "bad_nondeterminism.cpp",
+        "bad_wallclock_in_superstep.cpp",
         "bad_raw_fd_in_superstep.cpp", "clean_superstep.cpp",
         "suppressed.cpp", "bad_suppression.cpp", "raw_strings.cpp",
         "nested_lambdas.cpp"}) {
@@ -141,13 +150,14 @@ TEST(LintFixtures, WholeDirectoryLintsWithSameTotals) {
   const LintResult r = plumlint::lint_files(files);
   EXPECT_EQ(r.count_of("rank-guard-mutation"), 3);  // 2 + raw_strings
   EXPECT_EQ(r.count_of("unordered-iteration"), 3);
-  // 3 writes + 3 method calls + 3 raw_strings + 3 nested_lambdas.
-  EXPECT_EQ(r.count_of("shared-accumulator"), 12);
+  // 3 writes + 3 metric calls + 3 record_event calls + 3 raw_strings +
+  // 3 nested_lambdas.
+  EXPECT_EQ(r.count_of("shared-accumulator"), 15);
   EXPECT_EQ(r.count_of("nondeterminism-source"), 5);  // 4 + rand() above
   EXPECT_EQ(r.count_of("wall-clock-in-superstep"), 2);
   EXPECT_EQ(r.count_of("raw-fd-in-superstep"), 3);
   EXPECT_EQ(r.suppressed_count(), 3);
-  EXPECT_EQ(r.files_scanned, 12);
+  EXPECT_EQ(r.files_scanned, 13);
 }
 
 // --- API-level cases ---------------------------------------------------------

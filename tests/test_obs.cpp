@@ -18,9 +18,11 @@
 #include "obs/critical_path.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/scope.hpp"
 #include "obs/trace.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/engine.hpp"
+#include "util/assert.hpp"
 
 namespace plum {
 namespace {
@@ -899,6 +901,273 @@ TEST(JsonReport, WritesValidatedFileHonoringDirOverride) {
 TEST(JsonReport, RefusesToWriteInvalidReport) {
   bench::JsonReport report("empty");  // no runs -> schema violation
   EXPECT_EQ(report.write(), "");
+}
+
+// --- plum-scope: flight recorder, live stream records, postmortems ----------
+
+TEST(FlightRecorder, RingOverwritesOldestKeepingNewestEvents) {
+  obs::FlightRecorder rec(2, /*capacity=*/4);
+  auto handles = rec.handles();
+  ASSERT_EQ(handles.size(), 2u);
+  for (int i = 0; i < 10; ++i) handles[0].record_event(i, i * 100);
+  handles[1].record_event(7, 42);
+
+  EXPECT_EQ(rec.events_recorded(0), 10u);
+  EXPECT_EQ(rec.events_recorded(1), 1u);
+  const auto ev0 = rec.last_events(0);
+  ASSERT_EQ(ev0.size(), 4u);  // capacity events survive, oldest first
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(ev0[static_cast<std::size_t>(i)].step, 6 + i);
+    EXPECT_EQ(ev0[static_cast<std::size_t>(i)].ticks, (6 + i) * 100);
+    EXPECT_EQ(ev0[static_cast<std::size_t>(i)].rank, 0);
+  }
+  ASSERT_EQ(rec.last_events(1).size(), 1u);
+  EXPECT_EQ(rec.last_events(1)[0].ticks, 42);
+
+  rec.clear();
+  EXPECT_EQ(rec.events_recorded(0), 0u);
+  EXPECT_TRUE(rec.last_events(0).empty());
+  EXPECT_EQ(rec.capacity(), 4);  // capacity survives a clear
+}
+
+TEST(FlightRecorder, PhaseStampingInternsNamesOnce) {
+  obs::FlightRecorder rec(1, 8);
+  auto h = rec.handles();
+  h[0].record_event(0, 1);  // outside any phase
+  rec.set_phase("solve");
+  h[0].record_event(1, 1);
+  rec.set_phase("mark");
+  h[0].record_event(2, 1);
+  rec.set_phase("solve");  // re-entering reuses the interned id
+  h[0].record_event(3, 1);
+  rec.clear_phase();
+  h[0].record_event(4, 1);
+
+  const auto ev = rec.last_events(0);
+  ASSERT_EQ(ev.size(), 5u);
+  EXPECT_EQ(ev[0].phase, -1);
+  EXPECT_EQ(ev[1].phase, 0);
+  EXPECT_EQ(ev[2].phase, 1);
+  EXPECT_EQ(ev[3].phase, 0);
+  EXPECT_EQ(ev[4].phase, -1);
+  ASSERT_EQ(rec.phase_names().size(), 2u);
+  EXPECT_EQ(rec.phase_names()[0], "solve");
+  EXPECT_EQ(rec.phase_names()[1], "mark");
+}
+
+TEST(FlightRecorder, DeterministicJsonExcludesWallClock) {
+  auto fill = [](std::int64_t wall) {
+    obs::FlightRecorder rec(2, 4);
+    auto h = rec.handles();
+    rec.set_phase("solve");
+    h[0].record_event(0, 10, wall);
+    h[1].record_event(0, 20, wall * 3);
+    return rec;
+  };
+  const obs::FlightRecorder fast = fill(1);
+  const obs::FlightRecorder slow = fill(999999);
+  // The full forensic view carries the differing wall clocks...
+  EXPECT_NE(fast.to_json().dump(), slow.to_json().dump());
+  EXPECT_NE(fast.to_json().dump().find("wall_ns"), std::string::npos);
+  // ...but the deterministic view is byte-identical and wall-free.
+  EXPECT_EQ(fast.deterministic_json().dump(), slow.deterministic_json().dump());
+  EXPECT_EQ(fast.deterministic_json().dump().find("wall_ns"),
+            std::string::npos);
+}
+
+Json valid_scope_record() {
+  Json gate = Json::object();
+  gate.set("evaluated", Json::boolean(true))
+      .set("accepted", Json::boolean(false));
+  Json ranks = Json::array();
+  for (int r = 0; r < 2; ++r) {
+    Json rk = Json::object();
+    rk.set("rank", Json::integer(r))
+        .set("busy", Json::integer(10 + r))
+        .set("wait", Json::integer(2 - r));
+    ranks.push(std::move(rk));
+  }
+  Json rec = Json::object();
+  rec.set("schema", Json::str("plum-scope/1"))
+      .set("name", Json::str("unit"))
+      .set("cycle", Json::integer(0))
+      .set("supersteps", Json::integer(12))
+      .set("elements", Json::integer(500))
+      .set("imbalance", Json::number(1.25))
+      .set("wall_s", Json::number(0.25))
+      .set("gate", std::move(gate))
+      .set("ranks", std::move(ranks));
+  return rec;
+}
+
+TEST(ScopeSchema, AcceptsRecordAndRejectsViolations) {
+  EXPECT_EQ(obs::validate_scope_record(valid_scope_record()), "");
+
+  {
+    Json bad = valid_scope_record();
+    bad.set("schema", Json::str("plum-scope/2"));
+    EXPECT_NE(obs::validate_scope_record(bad), "");
+  }
+  {
+    Json bad = valid_scope_record();
+    bad.set("name", Json::str(""));
+    EXPECT_NE(obs::validate_scope_record(bad), "");
+  }
+  {
+    Json bad = valid_scope_record();
+    bad.set("cycle", Json::integer(-1));
+    EXPECT_NE(obs::validate_scope_record(bad), "");
+  }
+  {
+    Json bad = valid_scope_record();
+    bad.set("gate", Json::object().set("evaluated", Json::boolean(true)));
+    EXPECT_NE(obs::validate_scope_record(bad), "");  // accepted missing
+  }
+  {
+    Json bad = valid_scope_record();
+    Json rk = bad.find("ranks")->at(0);
+    rk.set("busy", Json::integer(-3));
+    bad.set("ranks", Json::array().push(std::move(rk)));
+    EXPECT_NE(obs::validate_scope_record(bad), "");
+  }
+  {
+    Json bad = valid_scope_record();
+    bad.set("depot", Json::str("not an array"));
+    EXPECT_NE(obs::validate_scope_record(bad), "");
+  }
+}
+
+TEST(ScopeStreamWriter, AppendsOneValidatedLinePerRecord) {
+  const std::string path = testing::TempDir() + "scope_stream_unit.ndjson";
+  std::remove(path.c_str());
+  {
+    obs::ScopeStreamWriter w(path);
+    ASSERT_TRUE(w.ok());
+    EXPECT_TRUE(w.append(valid_scope_record()));
+    Json second = valid_scope_record();
+    second.set("cycle", Json::integer(1));
+    EXPECT_TRUE(w.append(second));
+  }
+  // A second writer appends rather than truncates — exactly what a
+  // multi-sweep bench run relies on.
+  {
+    obs::ScopeStreamWriter w(path);
+    ASSERT_TRUE(w.ok());
+    Json third = valid_scope_record();
+    third.set("cycle", Json::integer(2));
+    EXPECT_TRUE(w.append(third));
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int n = 0;
+  while (std::getline(in, line)) {
+    Json rec;
+    std::string err;
+    ASSERT_TRUE(Json::parse(line, &rec, &err)) << err;
+    EXPECT_EQ(obs::validate_scope_record(rec), "");
+    EXPECT_EQ(rec.find("cycle")->as_int(), n);
+    ++n;
+  }
+  EXPECT_EQ(n, 3);
+  std::remove(path.c_str());
+}
+
+TEST(Postmortem, BuilderEmitsValidatedDocumentWithCrashNotes) {
+  obs::FlightRecorder rec(2, 4);
+  auto h = rec.handles();
+  h[0].record_event(0, 5, 123);
+  h[1].record_event(0, 7, 456);
+
+  plum::detail::note_crash("child_stderr", "plum-depot group=1 pid=7 started");
+  plum::detail::note_crash("dead_group", "1");
+  obs::PostmortemConfig cfg;
+  cfg.name = "unit";
+  cfg.recorder = &rec;
+  const Json doc = obs::postmortem_json(cfg, "x == y", "file.cpp", 42, "boom");
+  plum::detail::crash_notes().clear();
+
+  EXPECT_EQ(obs::validate_postmortem(doc), "");
+  EXPECT_EQ(doc.find("name")->as_string(), "unit");
+  EXPECT_EQ(doc.find("reason")->find("expr")->as_string(), "x == y");
+  EXPECT_EQ(doc.find("reason")->find("line")->as_int(), 42);
+  EXPECT_EQ(doc.find("reason")->find("msg")->as_string(), "boom");
+  EXPECT_EQ(doc.find("child_stderr")->as_string(),
+            "plum-depot group=1 pid=7 started");
+  // child_stderr is surfaced top-level, the rest stays under notes.
+  EXPECT_EQ(doc.find("notes")->find("child_stderr"), nullptr);
+  EXPECT_EQ(doc.find("notes")->find("dead_group")->as_string(), "1");
+  const Json* scope = doc.find("scope");
+  ASSERT_NE(scope, nullptr);
+  EXPECT_EQ(scope->find("ranks")->size(), 2u);
+  // Postmortems keep wall clocks: forensic output, never diffed.
+  EXPECT_NE(doc.dump().find("wall_ns"), std::string::npos);
+  EXPECT_EQ(doc.find("depot"), nullptr);  // no transport attached
+
+  {
+    Json bad = doc;
+    bad.set("schema", Json::str("plum-bench/2"));
+    EXPECT_NE(obs::validate_postmortem(bad), "");
+  }
+  {
+    Json bad = doc;
+    bad.set("reason", Json::object());  // expr/file/line/msg all missing
+    EXPECT_NE(obs::validate_postmortem(bad), "");
+  }
+  {
+    Json bad = doc;
+    bad.set("child_stderr", Json::integer(0));
+    EXPECT_NE(obs::validate_postmortem(bad), "");
+  }
+  {
+    Json bad = doc;
+    bad.set("scope", Json::object());  // capacity/nranks/ranks missing
+    EXPECT_NE(obs::validate_postmortem(bad), "");
+  }
+}
+
+TEST(Metrics, WallSeriesMarkedAndExcludedFromDeterministicView) {
+  obs::MetricsRegistry m;
+  m.add_sample("imbalance", 1.5);
+  m.add_wall_sample_int("depot_stall_ns", 100);
+  m.add_wall_sample_int("depot_stall_ns", 250);
+  m.add_wall_sample("depot_occupancy", 0.5);
+
+  const Json full = m.to_json();
+  const Json* wall = full.find("depot_stall_ns");
+  ASSERT_NE(wall, nullptr);
+  ASSERT_TRUE(wall->is_object());
+  EXPECT_TRUE(wall->find("series")->as_bool());
+  EXPECT_TRUE(wall->find("wall")->as_bool());
+  ASSERT_EQ(wall->find("samples")->size(), 2u);
+  EXPECT_EQ(wall->find("samples")->at(1).as_int(), 250);
+
+  // Deterministic view drops every wall-marked series, nothing else.
+  const Json det = m.deterministic_json();
+  EXPECT_EQ(det.find("depot_stall_ns"), nullptr);
+  EXPECT_EQ(det.find("depot_occupancy"), nullptr);
+  ASSERT_NE(det.find("imbalance"), nullptr);
+}
+
+TEST(BenchSchema, V2AcceptsWallSeriesObjects) {
+  Json doc = valid_v2_report();
+  Json run = doc.find("runs")->at(0);
+  Json metrics = *run.find("metrics");
+  metrics.set("depot_stall_ns",
+              Json::object()
+                  .set("series", Json::boolean(true))
+                  .set("wall", Json::boolean(true))
+                  .set("samples", Json::array()
+                                      .push(Json::integer(100))
+                                      .push(Json::integer(250))));
+  run.set("metrics", std::move(metrics));
+  doc.set("runs", Json::array().push(std::move(run)));
+  EXPECT_EQ(obs::validate_bench_report(doc), "");
+
+  // Same object under schema v1 must be rejected.
+  doc.set("schema", Json::str("plum-bench/1"));
+  EXPECT_NE(obs::validate_bench_report(doc), "");
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 #include <numeric>
 
 #include "core/dist_framework.hpp"
+#include "obs/scope.hpp"
+#include "obs/trace.hpp"
 #include "mesh/box_mesh.hpp"
 #include "partition/multilevel.hpp"
 #include "pmesh/dist_mesh.hpp"
@@ -107,6 +109,61 @@ TEST(CrossTransport, MessageStormIdenticalInboxesLedgersAndCommMatrices) {
       }
     }
   }
+}
+
+// plum-scope determinism contract: with a FlightRecorder attached as the
+// engine's RankScopeSink, the recorder's deterministic view (steps, phases,
+// ticks — wall_ns excluded) must be byte-identical across the sequential
+// engine and the parallel engine at every thread count, and attaching the
+// recorder must not perturb the trace's own deterministic view.
+TEST(CrossEngine, FlightRecorderDeterministicViewByteIdentical) {
+  const Rank p = 8;
+  auto run_with_scope = [&](Engine& eng) {
+    obs::FlightRecorder scope(p, 16);
+    obs::TraceRecorder trace;
+    eng.set_observer(&trace);
+    eng.set_scope_sink(&scope);
+    trace.set_flight_recorder(&scope);
+    {
+      obs::PhaseScope ph(trace, "storm");
+      run_storm(eng, 6);
+    }
+    eng.set_observer(nullptr);
+    eng.set_scope_sink(nullptr);
+    return std::make_pair(scope.deterministic_json().dump(),
+                          trace.deterministic_json());
+  };
+
+  Engine seq(p);
+  const auto want = run_with_scope(seq);
+  // Every rank ran 7 supersteps (6 sending + the final quiescent one).
+  {
+    obs::FlightRecorder probe(p, 16);
+    Engine again(p);
+    again.set_scope_sink(&probe);
+    run_storm(again, 6);
+    for (Rank r = 0; r < p; ++r) {
+      EXPECT_EQ(probe.events_recorded(r), 7u) << "rank " << r;
+    }
+  }
+
+  for (int threads : {1, 2, 4}) {
+    ParallelEngine par(p, threads);
+    const auto got = run_with_scope(par);
+    EXPECT_EQ(got.first, want.first) << "threads=" << threads;
+    EXPECT_EQ(got.second, want.second) << "threads=" << threads;
+  }
+
+  // The recorder must not change what the trace records: a recorder-free
+  // run serializes the identical deterministic trace.
+  Engine bare(p);
+  obs::TraceRecorder bare_trace;
+  bare.set_observer(&bare_trace);
+  {
+    obs::PhaseScope ph(bare_trace, "storm");
+    run_storm(bare, 6);
+  }
+  EXPECT_EQ(bare_trace.deterministic_json(), want.second);
 }
 
 TEST(CrossEngine, RingPassMatches) {

@@ -598,6 +598,89 @@ TEST(PipeTransport, GroupsPartitionRanksContiguously) {
   EXPECT_EQ(t2.nprocs(), 4);
 }
 
+TEST(ProcGroup, ChildStderrIsCapturedNotInherited) {
+  ProcGroup pg(2, [](int group, int) {
+    std::fprintf(stderr, "child %d says hello\n", group);
+  });
+  // drain_stderr never blocks; poll until the pipe delivers the write.
+  std::string seen;
+  for (int i = 0; i < 100000; ++i) {
+    seen = pg.drain_stderr(1);
+    if (seen.find("hello") != std::string::npos) break;
+  }
+  EXPECT_NE(seen.find("child 1 says hello"), std::string::npos) << seen;
+  // Accumulates across calls and survives the child's exit.
+  EXPECT_EQ(pg.drain_stderr(1), seen);
+}
+
+TEST(PipeTransport, DepotTelemetryCountsFramesAndSyscalls) {
+  PipeTransportOptions opt;
+  opt.nprocs = 2;
+  auto transport = std::make_unique<PipeTransport>(4, opt);
+  PipeTransport* pipe = transport.get();
+
+  // Before any exchange the depots have reported nothing yet.
+  for (const DepotStats& s : pipe->depot_stats()) {
+    EXPECT_EQ(s.frames_in, 0);
+    EXPECT_EQ(s.frames_out, 0);
+  }
+
+  Engine eng(4, std::move(transport));
+  run_ring_exchange(eng, 4);
+
+  // Each depot child's startup banner landed in the parent-side capture.
+  auto& pipe_ref = *pipe;
+  for (int g = 0; g < pipe_ref.nprocs(); ++g) {
+    std::string banner;
+    for (int i = 0; i < 100000; ++i) {
+      banner = pipe_ref.procs().drain_stderr(g);
+      if (banner.find("started") != std::string::npos) break;
+    }
+    EXPECT_NE(banner.find("plum-depot group=" + std::to_string(g)),
+              std::string::npos)
+        << banner;
+  }
+
+  const auto stats = pipe_ref.depot_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  for (std::size_t g = 0; g < stats.size(); ++g) {
+    const DepotStats& s = stats[g];
+    // A ring pass routes every rank's sends through its group's depot.
+    EXPECT_GT(s.frames_in, 0) << "group " << g;
+    EXPECT_GT(s.frames_out, 0) << "group " << g;
+    EXPECT_GT(s.read_calls, 0) << "group " << g;
+    EXPECT_GT(s.write_calls, 0) << "group " << g;
+    EXPECT_GT(s.peak_buffer_bytes, 0) << "group " << g;
+    EXPECT_GE(s.stall_ns, 0) << "group " << g;
+    // At a barrier every queued frame has been flushed back out.
+    EXPECT_EQ(s.buffered_bytes, 0) << "group " << g;
+  }
+}
+
+TEST(Frame, TelemetryRoundTrip) {
+  DepotStats s;
+  s.buffered_bytes = 12;
+  s.frames_in = 34;
+  s.frames_out = 56;
+  s.read_calls = 7;
+  s.write_calls = 8;
+  s.peak_buffer_bytes = 9001;
+  s.stall_ns = 123456789;
+  std::vector<std::byte> wire;
+  encode_telemetry(s, &wire);
+
+  FrameDecoder dec;
+  dec.feed(wire);
+  Frame f;
+  ASSERT_TRUE(dec.next(&f));
+  ASSERT_TRUE(f.is_control());
+  EXPECT_EQ(f.tag, static_cast<int>(CtrlOp::kTelemetry));
+  DepotStats back;
+  ASSERT_TRUE(decode_telemetry(f, &back));
+  EXPECT_EQ(back, s);
+  EXPECT_FALSE(dec.next(&f));  // exactly one frame on the wire
+}
+
 TEST(PipeTransportDeathTest, AbortsWhenRankGroupChildDies) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(

@@ -105,6 +105,32 @@ class Differ {
     record(std::move(d));
   }
 
+  /// Report-only surfacing of a wall-sourced drift (e.g. a depot gauge
+  /// present in a pipe-transport run but absent from the inproc baseline).
+  void wall_entry(const std::string& where, std::string base,
+                  std::string cur) {
+    Delta d;
+    d.where = where;
+    d.baseline = std::move(base);
+    d.current = std::move(cur);
+    d.wall = true;
+    record(std::move(d));
+  }
+
+  /// Wall-sourced metric entries are report-only even when one side lacks
+  /// them entirely: wall-named scalars/series, and the registry's
+  /// wall-flagged histogram/series objects. The pipe transport's depot_*
+  /// gauges only exist under pipe runs, so presence asymmetry vs an
+  /// inproc-generated baseline must not breach.
+  static bool is_wall_entry(const std::string& name, const Json* v) {
+    if (is_wall_name(name)) return true;
+    if (v != nullptr && v->is_object()) {
+      const Json* w = v->find("wall");
+      return w != nullptr && w->kind() == Json::Kind::kBool && w->as_bool();
+    }
+    return false;
+  }
+
   /// Numeric leaf. `leaf` is the bare metric name used for tolerance
   /// lookup; `wall` marks the value report-only.
   void compare_number(const Json* b, const Json* c, const std::string& where,
@@ -175,6 +201,32 @@ class Differ {
                          const std::string& where, const std::string& leaf) {
     const Json* bw = b.find("wall");
     const bool wall = bw && bw->kind() == Json::Kind::kBool && bw->as_bool();
+    // Tagged series object ({"series":true,...}, obs::MetricsRegistry's
+    // wall-marked series): compare the samples arrays, honoring the flag.
+    if (const Json* bs = b.find("series");
+        bs && bs->kind() == Json::Kind::kBool && bs->as_bool()) {
+      const Json* bsamp = b.find("samples");
+      const Json* csamp = c.find("samples");
+      if (!bsamp || !csamp || !bsamp->is_array() || !csamp->is_array()) {
+        if (wall) {
+          wall_entry(where + ".samples", bsamp ? "present" : "MISSING",
+                     csamp ? "present" : "MISSING");
+        } else {
+          breach_entry(where + ".samples", bsamp ? "present" : "MISSING",
+                       csamp ? "present" : "MISSING");
+        }
+        return;
+      }
+      if (wall && bsamp->size() != csamp->size()) {
+        // Report-only series may legitimately differ in length (e.g. depot
+        // gauges sampled once per cycle across different cycle counts).
+        wall_entry(where + ".len", std::to_string(bsamp->size()),
+                   std::to_string(csamp->size()));
+        return;
+      }
+      compare_series(*bsamp, *csamp, where, leaf, wall);
+      return;
+    }
     if (wall) {
       // Report-only: surface a count/max drift line, never breach.
       compare_number(b.find("count"), c.find("count"), where + ".count",
@@ -198,7 +250,11 @@ class Differ {
       const Json* cv = c.find(name);
       const std::string w = where + "." + name;
       if (!cv) {
-        breach_entry(w, render(bv), "MISSING");
+        if (is_wall_entry(name, &bv)) {
+          wall_entry(w, "present", "MISSING");
+        } else {
+          breach_entry(w, render(bv), "MISSING");
+        }
         continue;
       }
       const bool wall = is_wall_name(name);
@@ -214,7 +270,11 @@ class Differ {
     }
     for (const auto& [name, cv] : c.items()) {
       if (!b.find(name)) {
-        breach_entry(where + "." + name, "MISSING", render(cv));
+        if (is_wall_entry(name, &cv)) {
+          wall_entry(where + "." + name, "MISSING", "present");
+        } else {
+          breach_entry(where + "." + name, "MISSING", render(cv));
+        }
       }
     }
   }

@@ -26,8 +26,8 @@ const std::set<std::string>& mutating_methods() {
       "add",         "add_gate_record", "add_sample", "add_sample_int",
       "append",      "assign",          "clear",      "emplace",
       "emplace_back", "erase",          "insert",     "merge_from",
-      "push_back",   "record",          "resize",     "set",
-      "set_int"};
+      "push_back",   "record",          "record_event", "resize",
+      "set",         "set_int"};
   return m;
 }
 

@@ -6,6 +6,10 @@
 //   BENCH_*.json  — "plum-bench/1" / "plum-bench/2" reports,
 //   GATE_*.json   — "plum-gate-audit/1" standalone gate logs,
 //   REPLAY_*.json — "plum-replay/1" recorded timing books,
+//   SCOPE streams — "plum-scope/1" NDJSON live-run streams (one record
+//                   per cycle; rendered as a cycle timeline),
+//   POSTMORTEM_*.json — "plum-postmortem/1" crash dumps (reason, last-N
+//                   ring events per rank, depot telemetry, child stderr),
 //   bare trace documents (obs::TraceRecorder::to_json() output).
 //
 // For each input it prints the per-phase table, the P x P comm matrix with
@@ -29,6 +33,7 @@
 
 #include "obs/bench_schema.hpp"
 #include "obs/json.hpp"
+#include "obs/scope.hpp"
 
 namespace {
 
@@ -345,6 +350,187 @@ int report_replay_doc(const Json& doc) {
   return 0;
 }
 
+// --- plum-scope (flight recorder / stream / postmortem) --------------------
+
+void print_depot(const Json& depot) {
+  if (!depot.is_array() || depot.size() == 0) return;
+  std::printf("\nDepot telemetry (per rank-group child):\n");
+  std::printf("  %5s %10s %10s %10s %10s %12s %12s\n", "group", "frames_in",
+              "frames_out", "reads", "writes", "peak_buf_B", "stall_ms");
+  for (std::size_t g = 0; g < depot.size(); ++g) {
+    const Json& d = depot.at(g);
+    if (!d.is_object()) continue;
+    std::printf("  %5lld %10lld %10lld %10lld %10lld %12lld %12.3f\n",
+                static_cast<long long>(int_or(d.find("group"),
+                                              static_cast<std::int64_t>(g))),
+                static_cast<long long>(int_or(d.find("frames_in"), 0)),
+                static_cast<long long>(int_or(d.find("frames_out"), 0)),
+                static_cast<long long>(int_or(d.find("read_calls"), 0)),
+                static_cast<long long>(int_or(d.find("write_calls"), 0)),
+                static_cast<long long>(int_or(d.find("peak_buffer_bytes"), 0)),
+                static_cast<double>(int_or(d.find("stall_ns"), 0)) / 1e6);
+  }
+}
+
+/// One plum-scope/1 record as one timeline row.
+void print_scope_record(const Json& rec) {
+  const Json* gate = rec.find("gate");
+  const Json* ev = gate ? gate->find("evaluated") : nullptr;
+  const Json* acc = gate ? gate->find("accepted") : nullptr;
+  const bool evaluated =
+      ev && ev->kind() == Json::Kind::kBool && ev->as_bool();
+  const bool accepted =
+      acc && acc->kind() == Json::Kind::kBool && acc->as_bool();
+  const char* decision =
+      !evaluated ? "skipped" : (accepted ? "ACCEPT" : "reject");
+
+  // Straggler summary from the per-rank busy/wait pairs.
+  std::int64_t busy_total = 0, wait_total = 0, worst_wait = -1;
+  std::int64_t worst_rank = -1;
+  const Json* ranks = rec.find("ranks");
+  const std::size_t nranks = ranks && ranks->is_array() ? ranks->size() : 0;
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const Json& rk = ranks->at(r);
+    const std::int64_t busy = int_or(rk.find("busy"), 0);
+    const std::int64_t wait = int_or(rk.find("wait"), 0);
+    busy_total += busy;
+    wait_total += wait;
+    if (wait > worst_wait) {
+      worst_wait = wait;
+      worst_rank = int_or(rk.find("rank"), static_cast<std::int64_t>(r));
+    }
+  }
+  const double denom = static_cast<double>(busy_total + wait_total);
+  std::printf("  %5lld %6lld %9lld %9.4f %-8s %10.6f %6.1f%% %10lld\n",
+              static_cast<long long>(int_or(rec.find("cycle"), 0)),
+              static_cast<long long>(int_or(rec.find("supersteps"), 0)),
+              static_cast<long long>(int_or(rec.find("elements"), 0)),
+              num_or(rec.find("imbalance"), 0), decision,
+              num_or(rec.find("wall_s"), 0),
+              denom > 0 ? 100.0 * static_cast<double>(wait_total) / denom : 0.0,
+              static_cast<long long>(worst_rank));
+}
+
+void print_scope_header() {
+  std::printf("  %5s %6s %9s %9s %-8s %10s %6s %10s\n", "cycle", "steps",
+              "elems", "imb", "gate", "wall_s", "wait%", "worst_rank");
+}
+
+int report_scope_stream(const std::string& text, const std::string& path) {
+  std::printf("Scope stream (plum-scope/1 cycle timeline):\n");
+  print_scope_header();
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t lineno = 0;
+  int failures = 0;
+  const Json* last_depot = nullptr;
+  Json last_record;
+  bool have_record = false;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Json rec;
+    std::string err;
+    if (!Json::parse(line, &rec, &err)) {
+      std::fprintf(stderr, "%s:%zu: parse error: %s\n", path.c_str(), lineno,
+                   err.c_str());
+      ++failures;
+      continue;
+    }
+    err = plum::obs::validate_scope_record(rec);
+    if (!err.empty()) {
+      std::fprintf(stderr, "%s:%zu: invalid record: %s\n", path.c_str(),
+                   lineno, err.c_str());
+      ++failures;
+      continue;
+    }
+    print_scope_record(rec);
+    last_record = std::move(rec);
+    have_record = true;
+  }
+  if (have_record) {
+    last_depot = last_record.find("depot");
+    if (last_depot) print_depot(*last_depot);
+    std::printf("\nRun: %s\n",
+                str_or(last_record.find("name"), "(unnamed)").c_str());
+  }
+  return failures == 0 && have_record ? 0 : 1;
+}
+
+int report_postmortem_doc(const Json& doc) {
+  const std::string err = plum::obs::validate_postmortem(doc);
+  if (!err.empty()) {
+    std::fprintf(stderr, "invalid postmortem: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("Postmortem: %s\n", str_or(doc.find("name"), "?").c_str());
+  const Json* reason = doc.find("reason");
+  std::printf("  assertion: %s\n", str_or(reason->find("expr"), "?").c_str());
+  std::printf("  at:        %s:%lld\n", str_or(reason->find("file"), "?").c_str(),
+              static_cast<long long>(int_or(reason->find("line"), 0)));
+  const std::string msg = str_or(reason->find("msg"), "");
+  if (!msg.empty()) std::printf("  message:   %s\n", msg.c_str());
+
+  if (const Json* scope = doc.find("scope")) {
+    const Json* phases = scope->find("phases");
+    const Json* ranks = scope->find("ranks");
+    std::printf("\nFlight recorder (last events per rank, oldest first; "
+                "ring capacity %lld):\n",
+                static_cast<long long>(int_or(scope->find("capacity"), 0)));
+    for (std::size_t r = 0; ranks && r < ranks->size(); ++r) {
+      const Json& rk = ranks->at(r);
+      const Json* events = rk.find("events");
+      std::printf("  rank %lld: %lld events recorded, %zu surviving\n",
+                  static_cast<long long>(int_or(rk.find("rank"), 0)),
+                  static_cast<long long>(int_or(rk.find("written"), 0)),
+                  events && events->is_array() ? events->size() : 0);
+      if (!events || !events->is_array()) continue;
+      // Last 8 events per rank keep the dump readable; the JSON has all.
+      const std::size_t n = events->size();
+      const std::size_t first = n > 8 ? n - 8 : 0;
+      for (std::size_t k = first; k < n; ++k) {
+        const Json& e = events->at(k);
+        const std::int64_t phase_id = int_or(e.find("phase"), -1);
+        std::string phase = "(none)";
+        if (phases && phases->is_array() && phase_id >= 0 &&
+            static_cast<std::size_t>(phase_id) < phases->size()) {
+          phase = str_or(&phases->at(static_cast<std::size_t>(phase_id)),
+                         "(none)");
+        }
+        std::printf("    step %-6lld %-12s ticks %-10lld",
+                    static_cast<long long>(int_or(e.find("step"), 0)),
+                    phase.c_str(),
+                    static_cast<long long>(int_or(e.find("ticks"), 0)));
+        if (const Json* wall_ns = e.find("wall_ns")) {
+          std::printf(" wall %.3fms",
+                      static_cast<double>(int_or(wall_ns, 0)) / 1e6);
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  if (const Json* depot = doc.find("depot")) print_depot(*depot);
+  const std::string child_stderr = str_or(doc.find("child_stderr"), "");
+  if (!child_stderr.empty()) {
+    std::printf("\nCaptured child stderr:\n");
+    std::istringstream lines(child_stderr);
+    std::string line;
+    while (std::getline(lines, line)) {
+      std::printf("  | %s\n", line.c_str());
+    }
+  }
+  if (const Json* notes = doc.find("notes")) {
+    if (notes->is_object() && notes->size() > 0) {
+      std::printf("\nCrash notes:\n");
+      for (const auto& [key, text] : notes->items()) {
+        std::printf("  %-16s %s\n", key.c_str(),
+                    str_or(&text, "?").c_str());
+      }
+    }
+  }
+  return 0;
+}
+
 // --- document shapes -------------------------------------------------------
 
 void print_trace_doc(const Json& trace) {
@@ -360,6 +546,7 @@ void print_trace_doc(const Json& trace) {
     print_critical_path(*cpw);
   }
   if (const Json* cm = trace.find("comm_matrix")) print_comm_matrix(*cm);
+  if (const Json* depot = trace.find("depot")) print_depot(*depot);
   if (const Json* bc = trace.find("comm_by_class")) print_comm_by_class(*bc);
   if (const Json* ga = trace.find("gate_audit")) print_gate_audit(*ga);
   if (const Json* cal = trace.find("calibration")) print_calibration(*cal);
@@ -406,6 +593,21 @@ int report_file(const std::string& path) {
   Json doc;
   std::string err;
   if (!Json::parse(buf.str(), &doc, &err)) {
+    // Multi-record plum-scope/1 streams are NDJSON: retry line by line
+    // before reporting the whole-document parse error.
+    const std::string text = buf.str();
+    Json first;
+    std::string line_err;
+    const std::size_t eol = text.find('\n');
+    if (eol != std::string::npos &&
+        Json::parse(text.substr(0, eol), &first, &line_err) &&
+        first.is_object() &&
+        str_or(first.find("schema"), "") == "plum-scope/1") {
+      print_rule('=');
+      std::printf("%s\n", path.c_str());
+      print_rule('=');
+      return report_scope_stream(text, path);
+    }
     std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(), err.c_str());
     return 1;
   }
@@ -421,6 +623,11 @@ int report_file(const std::string& path) {
 
   const std::string schema = str_or(doc.find("schema"), "");
   if (schema == "plum-run/1") return report_run_doc(doc);
+  if (schema == "plum-postmortem/1") return report_postmortem_doc(doc);
+  if (schema == "plum-scope/1") {
+    // Single-record stream that parsed as one document.
+    return report_scope_stream(buf.str(), path);
+  }
   if (schema.rfind("plum-bench/", 0) == 0) return report_bench_doc(doc);
   if (schema == "plum-replay/1") return report_replay_doc(doc);
   if (schema == "plum-calibration/1") {

@@ -19,7 +19,7 @@ out_dir="${repo_root}/bench/baselines"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j --target \
-  bench_fig4 bench_fig5 bench_fig6 bench_table2 bench_distributed
+  bench_micro bench_fig4 bench_fig5 bench_fig6 bench_table2 bench_distributed
 
 mkdir -p "${out_dir}"
 rm -f "${out_dir}"/BENCH_*.json
@@ -27,6 +27,10 @@ rm -f "${out_dir}"/BENCH_*.json
 # Same flags as .github/workflows/ci.yml bench-smoke.
 export PLUM_BENCH_SMALL=1
 export PLUM_BENCH_JSON_DIR="${out_dir}"
+# bench_micro writes BENCH_bench_micro_scope.json (flight-recorder ring
+# survival counts are deterministic and gated; ns/event is wall, report-only).
+"${build_dir}/bench/bench_micro" --threads 2 \
+  --benchmark_filter='ScopeRecorder' --benchmark_min_time=0.05
 "${build_dir}/bench/bench_fig4"
 "${build_dir}/bench/bench_fig5"
 "${build_dir}/bench/bench_fig6"
