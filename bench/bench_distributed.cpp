@@ -48,6 +48,7 @@ struct Cli {
   plum::rt::TransportKind transport = plum::rt::TransportKind::kInProc;
   int transport_procs = 0;
   bool weak = false;
+  int leak_check = 0;  ///< > 0: steady-state leak gate over N extra cycles
   std::string scope_stream;  ///< plum-scope/1 NDJSON file ("" = off)
 };
 
@@ -76,6 +77,10 @@ bool parse_cli(int argc, char** argv, Cli* cli) {
       cli->scope_stream = argv[++i];
     } else if (std::strncmp(a, "--scope-stream=", 15) == 0) {
       cli->scope_stream = a + 15;
+    } else if (std::strcmp(a, "--leak-check") == 0 && i + 1 < argc) {
+      cli->leak_check = std::atoi(argv[++i]);
+    } else if (std::strncmp(a, "--leak-check=", 13) == 0) {
+      cli->leak_check = std::atoi(a + 13);
     } else if (std::strcmp(a, "--weak") == 0) {
       cli->weak = true;
     }
@@ -93,6 +98,74 @@ int main(int argc, char** argv) {
 
   const char* small_env = std::getenv("PLUM_BENCH_SMALL");
   const bool small = small_env && small_env[0] == '1';
+
+  // --leak-check N: the steady-state memory gate. Run the full adaption
+  // cycle repeatedly on one framework; after a warm-up (arena chunks and
+  // interned phases settle) the tracked live bytes at every cycle boundary
+  // must not grow — scratch dies with the cycle (DESIGN.md's scratch-memory
+  // contract). The plum-heap/1 profile is written either way so CI can
+  // upload it as the forensics artifact when the gate fails.
+  if (cli.leak_check > 0) {
+    core::FrameworkOptions opt;
+    opt.nranks = 8;
+    opt.refine_fraction = 0.08;
+    opt.imbalance_trigger = 1.05;
+    opt.solver_steps_per_cycle = 4;
+    opt.threads = cli.threads;
+    opt.transport = cli.transport;
+    opt.transport_procs = cli.transport_procs;
+    opt.scope_name = "bench_distributed_leak";
+    auto mesh = mesh::make_box_mesh(mesh::small_box(small ? 6 : 8));
+    core::DistFramework fw(std::move(mesh), opt);
+    solver::BlastSpec blast;
+    blast.radius = 0.2;
+    for (Rank r = 0; r < opt.nranks; ++r) {
+      solver::init_blast(fw.dist_mesh().local(r).mesh,
+                         fw.solver().solution(r), blast);
+    }
+
+    constexpr int kWarmup = 2;
+    for (int c = 0; c < kWarmup; ++c) fw.cycle();
+    const std::int64_t baseline = fw.memory().total_live_bytes();
+    const std::int64_t reserved0 =
+        fw.memory().host_arena().reserved_bytes();
+
+    bool ok = true;
+    for (int c = 0; c < cli.leak_check; ++c) {
+      fw.cycle();
+      const std::int64_t live = fw.memory().total_live_bytes();
+      std::printf("leak-check cycle %d: live %lld B (baseline %lld B)\n",
+                  kWarmup + c, static_cast<long long>(live),
+                  static_cast<long long>(baseline));
+      if (live > baseline) ok = false;
+    }
+    fw.dist_mesh().validate();
+
+    const char* dir = std::getenv("PLUM_BENCH_JSON_DIR");
+    const std::string heap_path =
+        std::string((dir && dir[0]) ? dir : ".") +
+        "/HEAP_bench_distributed.json";
+    std::ofstream heap_out(heap_path);
+    heap_out << fw.memory().to_json().dump(2) << '\n';
+    if (!heap_out) {
+      std::fprintf(stderr, "failed to write %s\n", heap_path.c_str());
+      return 1;
+    }
+    std::printf("heap profile: %s (host arena reserved %lld -> %lld B)\n",
+                heap_path.c_str(), static_cast<long long>(reserved0),
+                static_cast<long long>(
+                    fw.memory().host_arena().reserved_bytes()));
+    if (!ok) {
+      std::fprintf(stderr,
+                   "leak-check FAILED: tracked live bytes grew across "
+                   "steady-state cycles (see %s)\n",
+                   heap_path.c_str());
+      return 1;
+    }
+    std::printf("leak-check ok: %d cycles, live bytes flat at %lld B\n",
+                cli.leak_check, static_cast<long long>(baseline));
+    return 0;
+  }
 
   // Weak scaling holds 6*boxn^3 / P roughly constant (~21-24 elements per
   // rank small, ~47-52 full); strong scaling fixes the mesh.

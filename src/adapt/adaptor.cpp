@@ -36,10 +36,10 @@ PredictedWeights MeshAdaptor::predicted_weights() const {
   return w;
 }
 
-RefineStats MeshAdaptor::refine() {
+RefineStats MeshAdaptor::refine(const obs::MemScratch& scratch) {
   PLUM_ASSERT_MSG(has_marks_, "refine requires a pending mark()");
   refine_timer.begin();
-  const RefineStats stats = refine_mesh(*mesh_, marks_);
+  const RefineStats stats = refine_mesh(*mesh_, marks_, scratch);
   refine_timer.end();
   has_marks_ = false;
   return stats;

@@ -40,8 +40,9 @@ class MeshAdaptor {
   /// already taken place" (paper §4.6). Valid after mark().
   [[nodiscard]] PredictedWeights predicted_weights() const;
 
-  /// Subdivision phase for the pending marks.
-  RefineStats refine();
+  /// Subdivision phase for the pending marks. `scratch` arena-backs the
+  /// pass-local leaf snapshot (plum-mem); default = plain heap, uncounted.
+  RefineStats refine(const obs::MemScratch& scratch = {});
 
   /// Coarsening (invalidates any pending marking — ids change). The hook
   /// semantics are those of coarsen_mesh's on_compaction.

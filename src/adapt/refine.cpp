@@ -129,7 +129,8 @@ Index subdivide_bface(TetMesh& m, Index f) {
 
 }  // namespace
 
-RefineStats refine_mesh(mesh::TetMesh& mesh, const MarkingResult& marks) {
+RefineStats refine_mesh(mesh::TetMesh& mesh, const MarkingResult& marks,
+                        const obs::MemScratch& scratch) {
   RefineStats stats;
 
   // 1. Bisect every marked edge (once, globally shared).
@@ -142,7 +143,17 @@ RefineStats refine_mesh(mesh::TetMesh& mesh, const MarkingResult& marks) {
 
   // 2. Subdivide each targeted element independently — after marking, "each
   //    element is independently subdivided based on its binary pattern".
-  const auto snapshot = mesh.active_elements();
+  //    The leaf-id snapshot must be taken up front (adding children grows
+  //    the element table); it dies with this pass, so it stages through the
+  //    plum-mem arena instead of mesh-side heap.
+  // plum-scale: scratch -- subdivision-pass leaf snapshot, arena staging
+  obs::TrackedVec<Index> snapshot{obs::TrackingAllocator<Index>{scratch}};
+  snapshot.reserve(static_cast<std::size_t>(mesh.num_elements()));
+  for (Index t = 0; t < mesh.num_elements(); ++t) {
+    if (mesh.element(t).alive && mesh.element(t).is_leaf()) {
+      snapshot.push_back(t);
+    }
+  }
   for (Index t : snapshot) {
     const Pattern p = marks.pattern[t];
     const PatternClass pc = classify_pattern(p);

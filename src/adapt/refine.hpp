@@ -5,6 +5,7 @@
 // (i.e. propagate_marks already ran).
 
 #include "adapt/marking.hpp"
+#include "obs/memory.hpp"
 
 namespace plum::adapt {
 
@@ -18,6 +19,9 @@ struct RefineStats {
   [[nodiscard]] Index work_units() const { return children_created; }
 };
 
-RefineStats refine_mesh(mesh::TetMesh& mesh, const MarkingResult& marks);
+/// `scratch` (optional) arena-backs the subdivision pass's leaf-id
+/// snapshot and attributes its churn (plum-mem).
+RefineStats refine_mesh(mesh::TetMesh& mesh, const MarkingResult& marks,
+                        const obs::MemScratch& scratch = {});
 
 }  // namespace plum::adapt

@@ -10,6 +10,7 @@
 #include "pmesh/parallel_coarsen.hpp"
 #include "runtime/collectives.hpp"
 #include "util/assert.hpp"
+#include "util/rss.hpp"
 #include "util/stats.hpp"
 
 namespace plum::core {
@@ -55,7 +56,9 @@ std::vector<std::vector<double>> rank_errors(
 
 DistFramework::DistFramework(mesh::TetMesh initial_global,
                              FrameworkOptions opt)
-    : opt_(opt), scope_(opt_.nranks, opt_.scope_ring_capacity) {
+    : opt_(opt),
+      scope_(opt_.nranks, opt_.scope_ring_capacity),
+      mem_(opt_.nranks, opt_.arena_chunk_bytes) {
   PLUM_ASSERT(opt_.nranks >= 1);
   if (!opt_.replay_path.empty()) {
     std::string err;
@@ -74,6 +77,9 @@ DistFramework::DistFramework(mesh::TetMesh initial_global,
   // (including the pipe transport's rank-death path) dumps the ring.
   eng_->set_scope_sink(&scope_);
   trace_.set_flight_recorder(&scope_);
+  // plum-mem: the trace's phase scopes stamp the tracker; the heap section
+  // joins trace().to_json().
+  trace_.set_memory_tracker(&mem_);
   obs::install_postmortem({opt_.scope_name, &scope_, &eng_->transport()});
   if (!opt_.scope_stream.empty()) {
     stream_ = std::make_unique<obs::ScopeStreamWriter>(opt_.scope_stream);
@@ -83,7 +89,9 @@ DistFramework::DistFramework(mesh::TetMesh initial_global,
   partition::MultilevelOptions popt;
   popt.nparts = opt_.nranks;
   popt.seed = opt_.seed;
+  popt.scratch = mem_.host_scratch();  // serial phase: host row
   root_part_ = partition::partition(dual_, popt).part;
+  mem_.reset_arenas();  // constructor scratch dies here
 
   dm_ = std::make_unique<pmesh::DistMesh>(initial_global, root_part_,
                                           opt_.nranks);
@@ -108,6 +116,9 @@ DistCycleReport DistFramework::cycle() {
   const Rank P = opt_.nranks;
   const Timer cycle_timer;  // wall_s of the plum-scope stream record
   DistCycleReport rep;
+  // Scratch-memory contract: phase scratch never outlives the cycle, so
+  // rewinding here makes steady-state cycles reuse-only (zero chunk traffic).
+  mem_.reset_arenas();
   rep.elements_before = dm_->total_active_elements();
   const int this_cycle = cycle_index_;
   // Price this cycle with the calibrated constants; while calibration is
@@ -210,7 +221,7 @@ DistCycleReport DistFramework::cycle() {
 
   // --- 3. parallel marking -----------------------------------------------------
   auto seeds = threshold_marks(*dm_, err, threshold);
-  auto pm = pmesh::parallel_mark(*dm_, *eng_, seeds);
+  auto pm = pmesh::parallel_mark(*dm_, *eng_, seeds, &mem_);
   rep.mark_comm_rounds = pm.comm_rounds;
   trace_.set_modeled_seconds(
       mark_phase, mp.t_mark * static_cast<double>(rep.elements_before) *
@@ -289,6 +300,7 @@ DistCycleReport DistFramework::cycle() {
     partition::MultilevelOptions popt;
     popt.nparts = P;
     popt.seed = opt_.seed;
+    popt.scratch = mem_.host_scratch();  // serial phase: host row
     partition::MultilevelResult repart;
     {
       obs::PhaseScope ph(trace_, "repartition");
@@ -374,7 +386,7 @@ DistCycleReport DistFramework::cycle() {
       // --- 6. migrate subtrees + solution (remap before subdivision) -------
       states_.clear();
       for (Rank r = 0; r < P; ++r) states_.push_back(solver_->solution(r));
-      const auto ms = pmesh::migrate(*dm_, *eng_, new_part, &states_);
+      const auto ms = pmesh::migrate(*dm_, *eng_, new_part, &states_, &mem_);
       rep.elements_migrated = ms.elements_moved;
       root_part_ = new_part;
       rebind_solver();
@@ -390,7 +402,7 @@ DistCycleReport DistFramework::cycle() {
       // states, same threshold => the same global mark set).
       err = rank_errors(*dm_, *solver_);
       seeds = threshold_marks(*dm_, err, threshold);
-      pm = pmesh::parallel_mark(*dm_, *eng_, seeds);
+      pm = pmesh::parallel_mark(*dm_, *eng_, seeds, &mem_);
     }
   }
   trace_.add_gate_record(gate_rec);
@@ -428,7 +440,7 @@ DistCycleReport DistFramework::cycle() {
         }
       };
     }
-    const auto pf = pmesh::parallel_refine(*dm_, *eng_, pm);
+    const auto pf = pmesh::parallel_refine(*dm_, *eng_, pm, &mem_);
     rep.refine_work_per_rank = pf.work_per_rank;
     subdivide.set_modeled_seconds(
         mp.t_refine * static_cast<double>(vec_max(pf.work_per_rank)));
@@ -541,6 +553,8 @@ DistCycleReport DistFramework::cycle() {
       sum.peak_buffer_bytes =
           std::max(sum.peak_buffer_bytes, d.peak_buffer_bytes);
       sum.stall_ns += d.stall_ns;
+      sum.vm_rss_bytes = std::max(sum.vm_rss_bytes, d.vm_rss_bytes);
+      sum.vm_hwm_bytes = std::max(sum.vm_hwm_bytes, d.vm_hwm_bytes);
     }
     metrics_.add_wall_sample_int("depot_frames_in", sum.frames_in);
     metrics_.add_wall_sample_int("depot_frames_out", sum.frames_out);
@@ -549,6 +563,16 @@ DistCycleReport DistFramework::cycle() {
     metrics_.add_wall_sample_int("depot_peak_buffer_bytes",
                                  sum.peak_buffer_bytes);
     metrics_.add_wall_sample_int("depot_stall_ns", sum.stall_ns);
+    // Worst depot child's resident set — wall-class, like all depot gauges.
+    metrics_.add_wall_sample_int("depot_vm_rss_bytes", sum.vm_rss_bytes);
+    metrics_.add_wall_sample_int("depot_vm_hwm_bytes", sum.vm_hwm_bytes);
+  }
+  // Coordinator resident set (plum-mem wall gauges; the deterministic heap
+  // counters live in the trace's plum-heap/1 section instead).
+  {
+    const util::RssSample rss = util::read_rss();
+    metrics_.add_wall_sample_int("vm_rss_bytes", rss.vm_rss_bytes);
+    metrics_.add_wall_sample_int("vm_hwm_bytes", rss.vm_hwm_bytes);
   }
   if (stream_ != nullptr) {
     // Per-rank busy/wait over this cycle's supersteps, counter-sourced:
@@ -586,10 +610,14 @@ DistCycleReport DistFramework::cycle() {
       obs::Json rj = obs::Json::object();
       rj.set("rank", obs::Json::integer(r))
           .set("busy", obs::Json::integer(busy[static_cast<std::size_t>(r)]))
-          .set("wait", obs::Json::integer(wait[static_cast<std::size_t>(r)]));
+          .set("wait", obs::Json::integer(wait[static_cast<std::size_t>(r)]))
+          .set("live_bytes",
+               obs::Json::integer(mem_.live_bytes(static_cast<int>(r))));
       ranks_json.push(std::move(rj));
     }
     rec_json.set("ranks", std::move(ranks_json));
+    // Coordinator RSS for plum-top's live memory column (wall-class).
+    rec_json.set("rss", obs::rss_json());
     if (!depot.empty()) rec_json.set("depot", obs::depot_stats_json(depot));
     stream_->append(rec_json);
   }

@@ -93,6 +93,15 @@ class DistFramework {
   [[nodiscard]] obs::FlightRecorder& scope() { return scope_; }
   [[nodiscard]] const obs::FlightRecorder& scope() const { return scope_; }
 
+  /// plum-mem tracker: per-rank/per-phase allocation counters and the
+  /// per-row scratch arenas the hot phases allocate through (HEM match and
+  /// KL-FM refine on the host row; mark/migrate/refine staging on the rank
+  /// rows, written by the claiming worker). The plum-heap/1 section of
+  /// trace().to_json() is byte-identical across engines, thread counts,
+  /// and transports.
+  [[nodiscard]] obs::MemoryTracker& memory() { return mem_; }
+  [[nodiscard]] const obs::MemoryTracker& memory() const { return mem_; }
+
   /// The online calibrator (sim/calibration.hpp); see core::Framework.
   [[nodiscard]] const sim::Calibration& calibration() const { return calib_; }
 
@@ -113,6 +122,7 @@ class DistFramework {
   // the recorders, so both must be destroyed after the engine.
   obs::TraceRecorder trace_;
   obs::FlightRecorder scope_;
+  obs::MemoryTracker mem_;  ///< rank rows written inside supersteps
   std::unique_ptr<rt::Engine> eng_;
   std::unique_ptr<obs::ScopeStreamWriter> stream_;  ///< opt_.scope_stream
   std::unique_ptr<pmesh::DistMesh> dm_;

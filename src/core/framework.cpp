@@ -47,9 +47,14 @@ remap::Assignment run_mapper(MapperKind kind,
 }  // namespace
 
 Framework::Framework(mesh::TetMesh mesh, FrameworkOptions opt)
-    : opt_(opt), mesh_(std::make_unique<mesh::TetMesh>(std::move(mesh))) {
+    : opt_(opt),
+      mesh_(std::make_unique<mesh::TetMesh>(std::move(mesh))),
+      mem_(opt.nranks, opt.arena_chunk_bytes) {
   PLUM_ASSERT(opt_.nranks >= 1);
   PLUM_ASSERT(opt_.partitions_per_proc >= 1);
+  // Phase stamps follow the trace scopes; the heap section joins
+  // trace().to_json().
+  trace_.set_memory_tracker(&mem_);
   if (!opt_.replay_path.empty()) {
     std::string err;
     const bool loaded =
@@ -73,7 +78,9 @@ Framework::Framework(mesh::TetMesh mesh, FrameworkOptions opt)
   partition::MultilevelOptions popt;
   popt.nparts = opt_.nranks;  // initial mapping: one partition per processor
   popt.seed = opt_.seed;
+  popt.scratch = mem_.host_scratch();  // serial phase: host row
   root_part_ = partition::partition(dual_, popt).part;
+  mem_.reset_arenas();  // constructor scratch dies here
 }
 
 std::vector<Weight> Framework::processor_loads() const {
@@ -83,6 +90,9 @@ std::vector<Weight> Framework::processor_loads() const {
 
 CycleReport Framework::cycle() {
   CycleReport rep;
+  // Scratch-memory contract: phase scratch never outlives the cycle, so
+  // rewinding here makes steady-state cycles reuse-only (zero chunk traffic).
+  mem_.reset_arenas();
   rep.elements_before = mesh_->num_active_elements();
   const int this_cycle = cycle_index_;
   // Price this cycle with the calibrated constants; while calibration is
@@ -165,6 +175,7 @@ CycleReport Framework::cycle() {
     partition::MultilevelOptions popt;
     popt.nparts = opt_.nranks * opt_.partitions_per_proc;
     popt.seed = opt_.seed;
+    popt.scratch = mem_.host_scratch();  // serial phase: host row
     partition::MultilevelResult repart;
     {
       obs::PhaseScope ph(trace_, "repartition");
@@ -282,7 +293,7 @@ CycleReport Framework::cycle() {
   const std::size_t subdivide_phase = trace_.phases().size();
   {
     obs::PhaseScope ph(trace_, "subdivide");
-    adaptor_->refine();
+    adaptor_->refine(mem_.host_scratch());
     solver_->rebuild();
     // Modeled SP2 time: bottleneck processor's tree growth under the final
     // ownership (matches the gate's ref_old/ref_new arithmetic).

@@ -16,6 +16,7 @@
 
 #include "adapt/adaptor.hpp"
 #include "mesh/tet_mesh.hpp"
+#include "obs/memory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "partition/multilevel.hpp"
@@ -80,6 +81,11 @@ struct FrameworkOptions {
   /// file (per-rank busy/wait, gate verdict, imbalance, depot gauges).
   /// tools/plum-top tails it for a live view. DistFramework only.
   std::string scope_stream;
+  /// Chunk size of the per-row plum-mem scratch arenas (obs::MemoryTracker).
+  /// Phase scratch buffers (HEM matching, KL-FM refine, remap staging,
+  /// subdivision snapshots) bump-allocate from these; smaller chunks stress
+  /// the overflow path, larger ones amortize chunk requests.
+  std::size_t arena_chunk_bytes = obs::Arena::kDefaultChunkBytes;
 };
 
 /// Everything one solve->adapt->balance cycle measured or decided.
@@ -148,6 +154,14 @@ class Framework {
     return metrics_;
   }
 
+  /// plum-mem tracker: per-phase allocation counters plus the per-row
+  /// scratch arenas the hot phases (HEM match, KL-FM refine, remap staging,
+  /// subdivision snapshots) allocate from. Its plum-heap/1 profile joins
+  /// trace().to_json(); the deterministic view is byte-identical across
+  /// engines, thread counts, and transports.
+  [[nodiscard]] obs::MemoryTracker& memory() { return mem_; }
+  [[nodiscard]] const obs::MemoryTracker& memory() const { return mem_; }
+
   /// The online calibrator (sim/calibration.hpp). Holds the static machine
   /// constants while calibration is disabled; under replay it is the
   /// deterministic control loop the gate prices with.
@@ -171,6 +185,7 @@ class Framework {
   partition::PartVec root_part_;  ///< initial element -> processor
   obs::TraceRecorder trace_;
   obs::MetricsRegistry metrics_;
+  obs::MemoryTracker mem_;
   sim::Calibration calib_;
   sim::ReplayBook replay_book_;  ///< loaded from opt_.replay_path
   bool replay_ = false;

@@ -171,7 +171,9 @@ Json depot_stats_json(const std::vector<rt::DepotStats>& stats) {
         .set("read_calls", Json::integer(s.read_calls))
         .set("write_calls", Json::integer(s.write_calls))
         .set("peak_buffer_bytes", Json::integer(s.peak_buffer_bytes))
-        .set("stall_ns", Json::integer(s.stall_ns));
+        .set("stall_ns", Json::integer(s.stall_ns))
+        .set("vm_rss_bytes", Json::integer(s.vm_rss_bytes))
+        .set("vm_hwm_bytes", Json::integer(s.vm_hwm_bytes));
     arr.push(std::move(d));
   }
   return arr;
@@ -385,6 +387,43 @@ std::string validate_scope_record(const Json& doc) {
     }
   }
   return "";
+}
+
+TailStatus latest_stream_record(std::string_view text, Json* out) {
+  if (text.empty()) return TailStatus::kNone;
+  bool saw_bytes = false;
+  std::size_t end = text.size();
+  // A tail without a trailing newline is a writer caught mid-append; skip
+  // it (it will complete, or be superseded, by the next poll) but remember
+  // that bytes exist so an all-torn stream reports kPartial, not kNone.
+  if (text.back() != '\n') {
+    const std::size_t nl = text.rfind('\n');
+    saw_bytes = true;
+    if (nl == std::string_view::npos) return TailStatus::kPartial;
+    end = nl + 1;
+  }
+  while (end > 0) {
+    std::size_t start = 0;
+    if (end >= 2) {
+      const std::size_t nl = text.rfind('\n', end - 2);
+      if (nl != std::string_view::npos) start = nl + 1;
+    }
+    const std::string_view line = text.substr(start, end - 1 - start);
+    if (!line.empty()) {
+      saw_bytes = true;
+      Json doc;
+      std::string err;
+      if (Json::parse(std::string(line), &doc, &err) &&
+          validate_scope_record(doc).empty()) {
+        *out = std::move(doc);
+        return TailStatus::kRecord;
+      }
+      // Truncated or malformed line (crash mid-write, or a torn read that
+      // happened to end on '\n'): fall through to older lines.
+    }
+    end = start;
+  }
+  return saw_bytes ? TailStatus::kPartial : TailStatus::kNone;
 }
 
 }  // namespace plum::obs

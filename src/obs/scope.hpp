@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -202,5 +203,21 @@ void uninstall_postmortem();
 /// Returns "" when `line` parses as one valid plum-scope/1 NDJSON record,
 /// else a description of the first violation.
 [[nodiscard]] std::string validate_scope_record(const Json& doc);
+
+/// Outcome of scanning the tail of a live plum-scope/1 NDJSON stream.
+enum class TailStatus {
+  kNone,     ///< stream holds no record bytes at all
+  kRecord,   ///< *out filled with the latest valid record
+  kPartial,  ///< only a torn/partial trailing record so far — skip and retry
+};
+
+/// Finds the latest valid record in `text` (the raw bytes of a stream
+/// file): newline-terminated lines are scanned backwards and the first one
+/// that parses and validates wins. A trailing chunk without a newline — a
+/// writer caught mid-append — or a line truncated by a crash yields
+/// kPartial instead of an error, so tailing readers (tools/plum-top) skip
+/// the torn record and retry on the next poll.
+[[nodiscard]] TailStatus latest_stream_record(std::string_view text,
+                                              Json* out);
 
 }  // namespace plum::obs

@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include "obs/critical_path.hpp"
+#include "obs/memory.hpp"
 #include "obs/scope.hpp"
 #include "runtime/collectives.hpp"
 #include "util/assert.hpp"
@@ -88,6 +89,7 @@ std::size_t TraceRecorder::begin_phase(const std::string& name) {
   phases_.push_back(std::move(ph));
   open_.push_back(idx);
   if (scope_ != nullptr) scope_->set_phase(name);
+  if (mem_ != nullptr) mem_->set_phase(name);
   return idx;
 }
 
@@ -103,6 +105,13 @@ void TraceRecorder::end_phase(std::size_t idx) {
       scope_->clear_phase();
     } else {
       scope_->set_phase(phases_[open_.back()].name);
+    }
+  }
+  if (mem_ != nullptr) {
+    if (open_.empty()) {
+      mem_->clear_phase();
+    } else {
+      mem_->set_phase(phases_[open_.back()].name);
     }
   }
 }
@@ -178,6 +187,10 @@ Json TraceRecorder::to_json_impl(bool include_wall) const {
   // Depot telemetry sits next to the comm matrix but is wall-clock sourced
   // (syscall counts, stall ns), so it stays out of the deterministic view.
   if (has_depot_ && include_wall) doc.set("depot", depot_);
+  // plum-heap/1: the per-rank, per-phase allocation counters are
+  // deterministic (rank-bound taps, claiming-worker writes) and live in
+  // both views; the tracker appends its RSS gauge only when include_wall.
+  if (mem_ != nullptr) doc.set("heap", mem_->heap_json(include_wall));
   Json by_class = Json::object();
   for (const auto& [cls, t] : by_class_) {
     Json entry = Json::object();

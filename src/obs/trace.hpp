@@ -39,6 +39,7 @@
 namespace plum::obs {
 
 class FlightRecorder;
+class MemoryTracker;
 
 /// Aggregate (msgs, bytes) pair for one tag or tag class.
 struct CommTotals {
@@ -114,6 +115,13 @@ class TraceRecorder final : public rt::SuperstepObserver {
   /// phase they happened in. The recorder is borrowed, not owned.
   void set_flight_recorder(FlightRecorder* rec) { scope_ = rec; }
 
+  /// Attaches (or detaches, with nullptr) a plum-mem tracker: phase opens
+  /// and closes keep its phase stamp in sync exactly like the flight
+  /// recorder's, and both serializations embed its "plum-heap/1" section
+  /// (deterministic counters in both views, the RSS gauge only in
+  /// to_json()). The tracker is borrowed, not owned.
+  void set_memory_tracker(MemoryTracker* mem) { mem_ = mem; }
+
   /// Attaches (replacing any previous) the latest depot-process telemetry
   /// (obs::depot_stats_json). Wall-clock sourced, so it renders in
   /// to_json() only — next to the comm matrix — and never in
@@ -176,6 +184,7 @@ class TraceRecorder final : public rt::SuperstepObserver {
   bool has_calibration_ = false;
   bool calibration_deterministic_ = false;
   FlightRecorder* scope_ = nullptr;  ///< borrowed; phase-stamp feed
+  MemoryTracker* mem_ = nullptr;     ///< borrowed; phase stamps + heap section
   Json depot_;                       ///< latest depot telemetry (full view)
   bool has_depot_ = false;
 };

@@ -6,12 +6,17 @@
 
 namespace plum::partition {
 
-CoarseLevel coarsen_hem(const graph::Csr& g, Rng& rng) {
+CoarseLevel coarsen_hem(const graph::Csr& g, Rng& rng,
+                        const obs::MemScratch& scratch) {
   const Index n = g.num_vertices();
-  std::vector<Index> match(static_cast<std::size_t>(n), kInvalidIndex);
+  const obs::TrackingAllocator<Index> alloc{scratch};
+  // plum-scale: scratch -- HEM match state is phase-local arena scratch
+  obs::TrackedVec<Index> match(static_cast<std::size_t>(n), kInvalidIndex,
+                               alloc);
 
   // Random visit order decorrelates matchings across levels.
-  std::vector<Index> order(static_cast<std::size_t>(n));
+  // plum-scale: scratch -- visit permutation dies with the match pass
+  obs::TrackedVec<Index> order(static_cast<std::size_t>(n), alloc);
   std::iota(order.begin(), order.end(), 0);
   for (Index i = n - 1; i > 0; --i) {
     std::swap(order[static_cast<std::size_t>(i)],
@@ -53,13 +58,18 @@ CoarseLevel coarsen_hem(const graph::Csr& g, Rng& rng) {
   }
 
   // Coarse adjacency: merge parallel edges by weight.
-  std::vector<std::pair<Index, Index>> cedges;
-  std::vector<Weight> cwts;
+  // plum-scale: scratch -- edge-merge staging; from_edges copies it out
+  obs::TrackedVec<std::pair<Index, Index>> cedges{
+      obs::TrackingAllocator<std::pair<Index, Index>>{scratch}};
+  // plum-scale: scratch -- merged weights staging, same lifetime as cedges
+  obs::TrackedVec<Weight> cwts{obs::TrackingAllocator<Weight>{scratch}};
   {
-    // plum-lint: allow(unordered-iteration) -- dedupe index only: cedges /
-    // cwts are appended in the deterministic v = 0..n-1 scan order and the
-    // map itself is never iterated.
-    std::unordered_map<std::uint64_t, std::size_t> seen;
+    using SeenEntry = std::pair<const std::uint64_t, std::size_t>;
+    // plum-scale: scratch -- dedupe map is phase-local arena scratch
+    // plum-lint: allow(unordered-iteration) -- dedupe index only: cedges/cwts append in the deterministic v scan order; the map is never iterated
+    std::unordered_map<std::uint64_t, std::size_t, std::hash<std::uint64_t>,
+                       std::equal_to<>, obs::TrackingAllocator<SeenEntry>>
+        seen{obs::TrackingAllocator<SeenEntry>{scratch}};
     for (Index v = 0; v < n; ++v) {
       const auto nbrs = g.neighbors(v);
       const auto wts = g.edge_weights(v);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "obs/memory.hpp"
 #include "util/rng.hpp"
 
 namespace plum::partition {
@@ -19,6 +20,10 @@ struct CoarseLevel {
 
 /// One HEM pass: visits vertices in a seeded random order; each unmatched
 /// vertex matches its heaviest-edge unmatched neighbor (or stays single).
-CoarseLevel coarsen_hem(const graph::Csr& g, Rng& rng);
+/// `scratch` (optional) backs the matching's phase-local buffers with a
+/// plum-mem arena and attributes their churn; the result never aliases
+/// arena memory.
+CoarseLevel coarsen_hem(const graph::Csr& g, Rng& rng,
+                        const obs::MemScratch& scratch = {});
 
 }  // namespace plum::partition

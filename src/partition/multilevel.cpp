@@ -32,7 +32,7 @@ MultilevelResult partition(const graph::Csr& g,
   std::vector<std::vector<Index>> cmaps;
   graphs.push_back(g);
   while (graphs.back().num_vertices() > coarse_target) {
-    CoarseLevel level = coarsen_hem(graphs.back(), rng);
+    CoarseLevel level = coarsen_hem(graphs.back(), rng, opt.scratch);
     const Index before = graphs.back().num_vertices();
     const Index after = level.graph.num_vertices();
     if (after >= before || after > static_cast<Index>(before * 0.9) ||
@@ -50,7 +50,8 @@ MultilevelResult partition(const graph::Csr& g,
   RefineOptions ropt;
   ropt.imbalance_tol = opt.imbalance_tol;
   ropt.max_passes = opt.refine_passes;
-  refine_kway(graphs.back(), part, opt.nparts, ropt, rng);
+  refine_kway(graphs.back(), part, opt.nparts, ropt, rng,
+              opt.scratch);
 
   // --- Uncoarsening + refinement --------------------------------------------
   for (int lvl = static_cast<int>(cmaps.size()) - 1; lvl >= 0; --lvl) {
@@ -61,7 +62,7 @@ MultilevelResult partition(const graph::Csr& g,
     }
     part = std::move(fine);
     refine_kway(graphs[static_cast<std::size_t>(lvl)], part, opt.nparts, ropt,
-                rng);
+                rng, opt.scratch);
   }
 
   PLUM_ASSERT(is_valid_partition(g, part, opt.nparts));
@@ -82,7 +83,7 @@ MultilevelResult repartition(const graph::Csr& g, const PartVec& previous,
   ropt.imbalance_tol = opt.imbalance_tol;
   ropt.max_passes = opt.refine_passes * 2;  // diffusion needs more passes
   ropt.allow_balancing_moves = true;
-  refine_kway(g, part, opt.nparts, ropt, rng);
+  refine_kway(g, part, opt.nparts, ropt, rng, opt.scratch);
 
   const double imb = load_imbalance(g, part, opt.nparts);
   if (imb <= 1.0 + opt.imbalance_tol + 0.02 &&

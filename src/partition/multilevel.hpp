@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "obs/memory.hpp"
 #include "partition/quality.hpp"
 #include "util/rng.hpp"
 
@@ -27,6 +28,10 @@ struct MultilevelOptions {
   Index coarsen_to_per_part = 15;
   int refine_passes = 8;
   std::uint64_t seed = 12345;
+  /// Optional plum-mem scratch bundle threaded down to coarsen_hem and
+  /// refine_kway so their phase-local buffers are arena-backed and their
+  /// churn is attributed. Empty (the default) means plain heap, uncounted.
+  obs::MemScratch scratch{};
 };
 
 struct LevelStat {

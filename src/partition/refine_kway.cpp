@@ -8,14 +8,19 @@
 namespace plum::partition {
 
 RefineStats refine_kway(const graph::Csr& g, PartVec& part, Rank nparts,
-                        const RefineOptions& opt, Rng& rng) {
+                        const RefineOptions& opt, Rng& rng,
+                        const obs::MemScratch& scratch) {
   const Index n = g.num_vertices();
   RefineStats stats;
   stats.cut_before = edge_cut(g, part);
 
-  std::vector<Weight> loads = part_loads(g, part, nparts);
-  // plum-scale: host-only -- serial host-side k-way refiner scratch
-  std::vector<Index> counts(static_cast<std::size_t>(nparts), 0);
+  const obs::TrackingAllocator<Weight> walloc{scratch};
+  const obs::TrackingAllocator<Index> ialloc{scratch};
+  const std::vector<Weight> loads_init = part_loads(g, part, nparts);
+  // plum-scale: scratch -- pass-local load table, arena-backed
+  obs::TrackedVec<Weight> loads(loads_init.begin(), loads_init.end(), walloc);
+  // plum-scale: scratch -- pass-local part population counts, arena-backed
+  obs::TrackedVec<Index> counts(static_cast<std::size_t>(nparts), 0, ialloc);
   for (Rank p : part) ++counts[static_cast<std::size_t>(p)];
 
   const Weight total = std::accumulate(loads.begin(), loads.end(), Weight{0});
@@ -27,16 +32,18 @@ RefineStats refine_kway(const graph::Csr& g, PartVec& part, Rank nparts,
   const Weight avg_ceil = (total + static_cast<Weight>(nparts) - 1) /
                           static_cast<Weight>(nparts);
 
-  std::vector<Index> order(static_cast<std::size_t>(n));
+  // plum-scale: scratch -- random visit order dies with the refine call
+  obs::TrackedVec<Index> order(static_cast<std::size_t>(n), ialloc);
   std::iota(order.begin(), order.end(), 0);
 
   // Per-candidate-part connection weights, reset per vertex via a stamp.
   // The stamp holds vertex ids, so it must be Index-typed — an `int` stamp
   // would silently truncate if Index ever widened past 32 bits.
-  // plum-scale: host-only -- serial host-side k-way refiner scratch
-  std::vector<Weight> conn(static_cast<std::size_t>(nparts), 0);
-  // plum-scale: host-only -- serial host-side k-way refiner scratch
-  std::vector<Index> stamp(static_cast<std::size_t>(nparts), kInvalidIndex);
+  // plum-scale: scratch -- per-part connection table, arena-backed
+  obs::TrackedVec<Weight> conn(static_cast<std::size_t>(nparts), 0, walloc);
+  // plum-scale: scratch -- per-part stamp table, arena-backed
+  obs::TrackedVec<Index> stamp(static_cast<std::size_t>(nparts), kInvalidIndex,
+                               ialloc);
 
   for (int pass = 0; pass < opt.max_passes; ++pass) {
     ++stats.passes;

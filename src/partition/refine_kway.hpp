@@ -4,6 +4,7 @@
 // vertices move to the adjacent part with the best cut gain, subject to a
 // balance constraint; negative-gain moves are only taken to fix imbalance.
 
+#include "obs/memory.hpp"
 #include "partition/quality.hpp"
 #include "util/rng.hpp"
 
@@ -24,8 +25,11 @@ struct RefineStats {
   Weight cut_after = 0;
 };
 
-/// Refines `part` in place. Never empties a part.
+/// Refines `part` in place. Never empties a part. `scratch` (optional)
+/// backs the KL-FM pass buffers (loads, counts, order, connection/stamp
+/// tables) with a plum-mem arena and attributes their churn.
 RefineStats refine_kway(const graph::Csr& g, PartVec& part, Rank nparts,
-                        const RefineOptions& opt, Rng& rng);
+                        const RefineOptions& opt, Rng& rng,
+                        const obs::MemScratch& scratch = {});
 
 }  // namespace plum::partition

@@ -16,7 +16,8 @@ constexpr std::int64_t kEdgeBytes = sizeof(mesh::Edge);
 
 MigrateStats migrate(DistMesh& dm, rt::Engine& eng,
                      const partition::PartVec& new_root_part,
-                     std::vector<std::vector<solver::State>>* states) {
+                     std::vector<std::vector<solver::State>>* states,
+                     obs::MemoryTracker* mem) {
   const Rank P = dm.nranks();
   MigrateStats stats;
   // plum-scale: host-only -- migration statistics table for the report, not rank-resident
@@ -28,11 +29,15 @@ MigrateStats migrate(DistMesh& dm, rt::Engine& eng,
   // For every local root whose assignment moved away: the subtree elements,
   // plus (upper bound on) the vertices/edges referenced by them, plus one
   // framing header per (sender, receiver) set actually exchanged.
+  const obs::MemScratch host_ms =
+      mem != nullptr ? mem->host_scratch() : obs::MemScratch{};
   for (Rank r = 0; r < P; ++r) {
     const LocalMesh& lm = dm.local(r);
     const auto weights = lm.mesh.root_weights();
-    // plum-scale: dist(P) -- per-destination payload sizes for this rank's sets
-    std::vector<std::int64_t> per_dest(static_cast<std::size_t>(P), 0);
+    // plum-scale: scratch -- per-destination pack sizes, arena staging
+    obs::TrackedVec<std::int64_t> per_dest(
+        static_cast<std::size_t>(P), 0,
+        obs::TrackingAllocator<std::int64_t>{host_ms});
     for (Index lr = 0; lr < static_cast<Index>(lm.root_global.size()); ++lr) {
       const Index groot = lm.root_global[static_cast<std::size_t>(lr)];
       const Rank dest = new_root_part[static_cast<std::size_t>(groot)];
@@ -62,8 +67,14 @@ MigrateStats migrate(DistMesh& dm, rt::Engine& eng,
   eng.run([&](Rank r, const rt::Inbox&, rt::Outbox& out) {
     // One logical message per destination with the measured payload size.
     // (Payload content is reconstructed below; the ledger only needs size.)
-    // plum-scale: dist(P) -- per-destination element counts used to stage sends
-    std::vector<std::int64_t> per_dest(static_cast<std::size_t>(P), 0);
+    // The claiming worker stages through its own rank's scratch row —
+    // rank-indexed arenas/taps, the rank_seconds_ ownership rule.
+    const obs::MemScratch ms =
+        mem != nullptr ? mem->scratch(r) : obs::MemScratch{};
+    // plum-scale: scratch -- per-destination pack staging, arena-backed
+    obs::TrackedVec<std::int64_t> per_dest(
+        static_cast<std::size_t>(P), 0,
+        obs::TrackingAllocator<std::int64_t>{ms});
     const LocalMesh& lm = dm.local(r);
     const auto weights = lm.mesh.root_weights();
     for (Index lr = 0; lr < static_cast<Index>(lm.root_global.size()); ++lr) {

@@ -11,6 +11,7 @@
 // redistribution path (DESIGN.md §3 documents this substitution for the
 // pack/unpack plumbing).
 
+#include "obs/memory.hpp"
 #include "pmesh/dist_mesh.hpp"
 #include "solver/euler.hpp"
 
@@ -43,10 +44,14 @@ struct MigrateStats {
 /// `eng`. If `states` is non-null it holds one per-vertex solution vector
 /// per rank (aligned with the old local meshes) and is rewritten to follow
 /// the new distribution — the "all necessary data is appropriately
-/// redistributed" of the paper's Fig. 1.
+/// redistributed" of the paper's Fig. 1. A non-null `mem` arena-backs the
+/// per-destination pack staging tables (host measuring pass on the host
+/// row, the superstep's staging on each rank's row) and attributes their
+/// churn to the open phase.
 MigrateStats migrate(DistMesh& dm, rt::Engine& eng,
                      const partition::PartVec& new_root_part,
                      std::vector<std::vector<solver::State>>* states =
-                         nullptr);
+                         nullptr,
+                     obs::MemoryTracker* mem = nullptr);
 
 }  // namespace plum::pmesh

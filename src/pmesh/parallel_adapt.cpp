@@ -56,7 +56,8 @@ void add_shared(SplMap& map, Index local, Rank rank, Index remote) {
 
 ParallelMarkResult parallel_mark(
     DistMesh& dm, rt::Engine& eng,
-    const std::vector<std::vector<char>>& seed_marks) {
+    const std::vector<std::vector<char>>& seed_marks,
+    obs::MemoryTracker* mem) {
   const Rank P = dm.nranks();
   PLUM_ASSERT(static_cast<Rank>(seed_marks.size()) == P);
 
@@ -106,9 +107,15 @@ ParallelMarkResult parallel_mark(
     // starts from the fixpoint.
     my_seeds = result.edge_marked;
 
-    // Send newly marked shared-edge copies to their SPL ranks.
-    // plum-scale: dist(P) -- per-destination staging buckets for mark messages
-    std::vector<std::vector<MarkMsg>> outgoing(static_cast<std::size_t>(P));
+    // Send newly marked shared-edge copies to their SPL ranks. The
+    // claiming worker stages through its own rank's scratch row.
+    const obs::MemScratch ms =
+        mem != nullptr ? mem->scratch(r) : obs::MemScratch{};
+    // plum-scale: scratch -- per-destination mark staging buckets, arena-backed
+    obs::TrackedVec<obs::TrackedVec<MarkMsg>> outgoing(
+        static_cast<std::size_t>(P),
+        obs::TrackedVec<MarkMsg>{obs::TrackingAllocator<MarkMsg>{ms}},
+        obs::TrackingAllocator<obs::TrackedVec<MarkMsg>>{ms});
     auto& my_sent = sent[static_cast<std::size_t>(r)];
     bool sent_any = false;
     for (Index e : result.marked_edges) {
@@ -148,7 +155,8 @@ ParallelMarkResult parallel_mark(
 }
 
 ParallelRefineResult parallel_refine(DistMesh& dm, rt::Engine& eng,
-                                     const ParallelMarkResult& marks) {
+                                     const ParallelMarkResult& marks,
+                                     obs::MemoryTracker* mem) {
   const Rank P = dm.nranks();
   ParallelRefineResult out;
   // plum-scale: dist(P) -- driver output: one adaptation summary per rank
@@ -169,7 +177,12 @@ ParallelRefineResult parallel_refine(DistMesh& dm, rt::Engine& eng,
     old_ne[static_cast<std::size_t>(r)] = lm.mesh.num_edges();
     old_edge_spl[static_cast<std::size_t>(r)] = lm.shared_edges;
     auto& stats = out.per_rank[static_cast<std::size_t>(r)];
-    stats = adapt::refine_mesh(lm.mesh, marks.per_rank[static_cast<std::size_t>(r)]);
+    // Serial host loop, but rank-attributed: rank r's subdivision snapshot
+    // stages through rank r's scratch row (no superstep is open here, so
+    // the host may write any row without racing a claiming worker).
+    stats = adapt::refine_mesh(
+        lm.mesh, marks.per_rank[static_cast<std::size_t>(r)],
+        mem != nullptr ? mem->scratch(r) : obs::MemScratch{});
     out.work_per_rank[static_cast<std::size_t>(r)] = stats.work_units();
   }
 
@@ -186,9 +199,13 @@ ParallelRefineResult parallel_refine(DistMesh& dm, rt::Engine& eng,
 
     if (outbox.step() == 0) {
       outbox.charge(out.work_per_rank[static_cast<std::size_t>(r)]);
-      // plum-scale: dist(P) -- per-destination staging buckets for bisection messages
-      std::vector<std::vector<BisectMsg>> outgoing(
-          static_cast<std::size_t>(P));
+      const obs::MemScratch ms =
+          mem != nullptr ? mem->scratch(r) : obs::MemScratch{};
+      // plum-scale: scratch -- per-destination bisect staging, arena-backed
+      obs::TrackedVec<obs::TrackedVec<BisectMsg>> outgoing(
+          static_cast<std::size_t>(P),
+          obs::TrackedVec<BisectMsg>{obs::TrackingAllocator<BisectMsg>{ms}},
+          obs::TrackingAllocator<obs::TrackedVec<BisectMsg>>{ms});
       for (const auto& [e, spl] : old_edge_spl[static_cast<std::size_t>(r)]) {
         const auto& ed = lm.mesh.edge(e);
         // Bisected this round: children are fresh edge ids.
@@ -238,9 +255,14 @@ ParallelRefineResult parallel_refine(DistMesh& dm, rt::Engine& eng,
     LocalMesh& lm = dm.local(r);
 
     if (outbox.step() == 0) {
-      // plum-scale: dist(P) -- per-destination staging buckets for face-edge messages
-      std::vector<std::vector<FaceEdgeMsg>> outgoing(
-          static_cast<std::size_t>(P));
+      const obs::MemScratch ms =
+          mem != nullptr ? mem->scratch(r) : obs::MemScratch{};
+      // plum-scale: scratch -- per-destination face-edge staging, arena-backed
+      obs::TrackedVec<obs::TrackedVec<FaceEdgeMsg>> outgoing(
+          static_cast<std::size_t>(P),
+          obs::TrackedVec<FaceEdgeMsg>{
+              obs::TrackingAllocator<FaceEdgeMsg>{ms}},
+          obs::TrackingAllocator<obs::TrackedVec<FaceEdgeMsg>>{ms});
       for (Index e = old_ne[static_cast<std::size_t>(r)];
            e < lm.mesh.num_edges(); ++e) {
         const auto& ed = lm.mesh.edge(e);

@@ -19,6 +19,7 @@
 
 #include "adapt/marking.hpp"
 #include "adapt/refine.hpp"
+#include "obs/memory.hpp"
 #include "pmesh/dist_mesh.hpp"
 
 namespace plum::pmesh {
@@ -33,10 +34,13 @@ struct ParallelMarkResult {
 };
 
 /// Runs distributed marking from per-rank seed marks (indexed by local edge
-/// id). The engine's ledger accumulates the traffic.
+/// id). The engine's ledger accumulates the traffic. A non-null `mem`
+/// arena-backs each rank's per-destination mark staging buckets through
+/// that rank's scratch row (plum-mem ownership rule).
 ParallelMarkResult parallel_mark(
     DistMesh& dm, rt::Engine& eng,
-    const std::vector<std::vector<char>>& seed_marks);
+    const std::vector<std::vector<char>>& seed_marks,
+    obs::MemoryTracker* mem = nullptr);
 
 struct ParallelRefineResult {
   std::vector<adapt::RefineStats> per_rank;
@@ -49,8 +53,11 @@ struct ParallelRefineResult {
 };
 
 /// Subdivides every rank's local mesh per `marks` (from parallel_mark) and
-/// repairs the SPL maps for objects created on partition boundaries.
+/// repairs the SPL maps for objects created on partition boundaries. A
+/// non-null `mem` arena-backs the subdivision snapshots and the
+/// post-processing staging buckets per rank row.
 ParallelRefineResult parallel_refine(DistMesh& dm, rt::Engine& eng,
-                                     const ParallelMarkResult& marks);
+                                     const ParallelMarkResult& marks,
+                                     obs::MemoryTracker* mem = nullptr);
 
 }  // namespace plum::pmesh

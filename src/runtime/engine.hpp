@@ -136,6 +136,12 @@ class Outbox {
   void send_vec(Rank to, int tag, const std::vector<T>& items) {
     send(to, tag, pack(items));
   }
+  // Allocator-generic overload so arena-backed staging buckets
+  // (obs::TrackedVec) send exactly like plain vectors.
+  template <typename T, typename Alloc>
+  void send_vec(Rank to, int tag, const std::vector<T, Alloc>& items) {
+    send(to, tag, pack(items));
+  }
 
   /// Charges abstract local work (e.g. elements touched) to this rank.
   void charge(std::int64_t units) { counters_->compute_units += units; }

@@ -60,7 +60,7 @@ std::int64_t get_i64(const std::byte* p) {
       (static_cast<std::uint64_t>(get_u32(p + 4)) << 32));
 }
 
-constexpr std::size_t kTelemetryPayloadBytes = 7 * 8;
+constexpr std::size_t kTelemetryPayloadBytes = 9 * 8;
 
 }  // namespace
 
@@ -77,6 +77,8 @@ void encode_telemetry(const DepotStats& stats, std::vector<std::byte>* out) {
   put_i64(stats.write_calls, &f.payload);
   put_i64(stats.peak_buffer_bytes, &f.payload);
   put_i64(stats.stall_ns, &f.payload);
+  put_i64(stats.vm_rss_bytes, &f.payload);
+  put_i64(stats.vm_hwm_bytes, &f.payload);
   encode_frame(f, out);
 }
 
@@ -93,6 +95,8 @@ bool decode_telemetry(const Frame& f, DepotStats* out) {
   out->write_calls = get_i64(p + 32);
   out->peak_buffer_bytes = get_i64(p + 40);
   out->stall_ns = get_i64(p + 48);
+  out->vm_rss_bytes = get_i64(p + 56);
+  out->vm_hwm_bytes = get_i64(p + 64);
   return true;
 }
 

@@ -55,6 +55,8 @@ struct DepotStats {
   std::int64_t write_calls = 0;       ///< write() syscalls issued
   std::int64_t peak_buffer_bytes = 0; ///< high-water mark of held bytes
   std::int64_t stall_ns = 0;          ///< ns blocked in read() between frames
+  std::int64_t vm_rss_bytes = 0;      ///< child VmRSS at Deliver time (plum-mem)
+  std::int64_t vm_hwm_bytes = 0;      ///< child peak RSS (VmHWM)
 
   friend bool operator==(const DepotStats&, const DepotStats&) = default;
 };
@@ -76,7 +78,7 @@ void encode_frame(const Frame& f, std::vector<std::byte>* out);
 /// Convenience: encodes a payload-free control frame.
 void encode_control(CtrlOp op, Rank operand, std::vector<std::byte>* out);
 
-/// Appends a kTelemetry control frame carrying `stats` (7 LE int64s).
+/// Appends a kTelemetry control frame carrying `stats` (9 LE int64s).
 void encode_telemetry(const DepotStats& stats, std::vector<std::byte>* out);
 
 /// Decodes a kTelemetry control frame's payload. Returns false unless `f`

@@ -36,9 +36,11 @@ std::vector<std::byte> pack(std::span<const T> items) {
   return out;
 }
 
-template <typename T>
-std::vector<std::byte> pack(const std::vector<T>& items) {
-  return pack(std::span<const T>(items));
+template <typename T, typename Alloc>
+std::vector<std::byte> pack(const std::vector<T, Alloc>& items) {
+  // Allocator-generic so arena-backed staging buckets (obs::TrackedVec)
+  // pack exactly like plain vectors.
+  return pack(std::span<const T>(items.data(), items.size()));
 }
 
 /// Deserializes a payload produced by pack<T>.

@@ -11,6 +11,7 @@
 #include "runtime/frame.hpp"
 #include "runtime/proc_group.hpp"
 #include "util/assert.hpp"
+#include "util/rss.hpp"
 
 namespace plum::rt {
 
@@ -101,6 +102,12 @@ void depot_loop(int group, int fd) {
           stats.frames_out += held_frames;
           held_frames = 0;
           ++stats.write_calls;  // the write_all below
+          // Sample this child's resident set right before reporting, so
+          // the coordinator's depot telemetry carries per-process heap
+          // gauges (wall-class; excluded from deterministic views).
+          const util::RssSample rss = util::read_rss();
+          stats.vm_rss_bytes = rss.vm_rss_bytes;
+          stats.vm_hwm_bytes = rss.vm_hwm_bytes;
           encode_telemetry(stats, &held);
           encode_control(CtrlOp::kDone, 0, &held);
           if (!write_all(fd, held.data(), held.size())) return;

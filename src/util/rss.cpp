@@ -1,0 +1,58 @@
+#include "util/rss.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace plum::util {
+
+namespace {
+
+/// Parses the "<digits> kB" tail of a VmRSS/VmHWM line. Returns 0 on any
+/// malformed input rather than asserting: procfs formats drift and a
+/// missing gauge must never kill a run.
+std::int64_t parse_kb_value(std::string_view rest) {
+  std::size_t i = 0;
+  while (i < rest.size() && (rest[i] == ' ' || rest[i] == '\t')) ++i;
+  std::int64_t kb = 0;
+  bool any = false;
+  while (i < rest.size() && rest[i] >= '0' && rest[i] <= '9') {
+    kb = kb * 10 + (rest[i] - '0');
+    any = true;
+    ++i;
+  }
+  return any ? kb * 1024 : 0;
+}
+
+}  // namespace
+
+RssSample parse_proc_status(std::string_view text) {
+  RssSample out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    if (line.rfind("VmRSS:", 0) == 0) {
+      out.vm_rss_bytes = parse_kb_value(line.substr(6));
+    } else if (line.rfind("VmHWM:", 0) == 0) {
+      out.vm_hwm_bytes = parse_kb_value(line.substr(6));
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
+RssSample read_rss() {
+  std::FILE* f = std::fopen("/proc/self/status", "re");
+  if (f == nullptr) return RssSample{};
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return parse_proc_status(text);
+}
+
+}  // namespace plum::util

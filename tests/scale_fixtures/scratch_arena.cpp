@@ -1,0 +1,38 @@
+// plum-scale fixture (analyzed-only, never compiled): the `scratch`
+// annotation class — plum-mem arena-backed phase scratch. Expected
+// diagnostics:
+//   dense-rank-container: 3 total, 1 acknowledged by scratch (suppressed;
+//                         the malformed-annotation site stays flagged)
+//   bad-annotation: 1 (scratch without a justification)
+//   unused-annotation: 0 (scratch is declarative; the marker on the
+//                         non-diagnostic line must NOT go stale)
+#include <cstdint>
+#include <vector>
+
+namespace plum::fixture {
+
+using Rank = std::int32_t;
+
+void staging_buckets(Rank nranks) {
+  // plum-scale: scratch -- per-destination staging dies with the superstep
+  std::vector<std::int64_t> per_dest(static_cast<std::size_t>(nranks), 0);
+  std::vector<double> leak;
+  leak.resize(static_cast<std::size_t>(nranks));  // flagged: unannotated
+  (void)per_dest;
+}
+
+void declarative_marker(int n) {
+  // Not rank-sized, so no check fires here; the scratch marker documents
+  // the arena backing and must not be reported unused-annotation.
+  // plum-scale: scratch -- match state is phase-local arena scratch
+  std::vector<int> match(static_cast<std::size_t>(n), -1);
+  (void)match;
+}
+
+void missing_why(Rank nranks) {
+  // plum-scale: scratch
+  std::vector<int> counts(static_cast<std::size_t>(nranks));
+  (void)counts;
+}
+
+}  // namespace plum::fixture

@@ -63,7 +63,8 @@ TEST(DistFramework, PipeTransportCyclesIdenticalToInProc) {
     return std::make_tuple(std::move(reps), fw.elements_per_rank(),
                            std::move(rho), fw.engine().ledger(),
                            fw.trace().deterministic_json(),
-                           fw.metrics().deterministic_json().dump());
+                           fw.metrics().deterministic_json().dump(),
+                           fw.memory().deterministic_json().dump());
   };
 
   const auto inproc = run_cycles(rt::TransportKind::kInProc);
@@ -84,6 +85,11 @@ TEST(DistFramework, PipeTransportCyclesIdenticalToInProc) {
   EXPECT_EQ(std::get<3>(pipe), std::get<3>(inproc));  // full ledger
   EXPECT_EQ(std::get<4>(pipe), std::get<4>(inproc));  // deterministic trace
   EXPECT_EQ(std::get<5>(pipe), std::get<5>(inproc));  // deterministic metrics
+  // plum-mem: rank lambdas always run in the coordinator (depot children
+  // only buffer), so the per-phase allocation profile is transport-
+  // invariant — and embedded in the trace bytes compared above.
+  EXPECT_EQ(std::get<6>(pipe), std::get<6>(inproc));
+  EXPECT_NE(std::get<4>(inproc).find("\"plum-heap/1\""), std::string::npos);
 }
 
 TEST(DistFramework, CycleRefinesAndStaysConsistent) {

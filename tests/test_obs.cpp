@@ -17,12 +17,14 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/json.hpp"
+#include "obs/memory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scope.hpp"
 #include "obs/trace.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/engine.hpp"
 #include "util/assert.hpp"
+#include "util/rss.hpp"
 
 namespace plum {
 namespace {
@@ -1168,6 +1170,242 @@ TEST(BenchSchema, V2AcceptsWallSeriesObjects) {
   // Same object under schema v1 must be rejected.
   doc.set("schema", Json::str("plum-bench/1"));
   EXPECT_NE(obs::validate_bench_report(doc), "");
+}
+
+// --------------------------------------------------------------- plum-mem
+
+TEST(Arena, AlignmentAndBumpReuseAfterReset) {
+  obs::Arena arena(1024);
+  void* a = arena.allocate(3, 1);
+  void* b = arena.allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  void* c = arena.allocate(16, 16);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 16, 0u);
+  EXPECT_EQ(arena.live_bytes(), 3 + 8 + 16);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+
+  // reset() rewinds: the same chunk is handed out again, no new chunk.
+  arena.reset();
+  EXPECT_EQ(arena.live_bytes(), 0);
+  EXPECT_EQ(arena.allocate(3, 1), a);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+}
+
+TEST(Arena, PeakSurvivesReset) {
+  obs::Arena arena(256);
+  arena.allocate(100, 8);
+  arena.allocate(100, 8);
+  EXPECT_EQ(arena.peak_live_bytes(), 200);
+  arena.reset();
+  EXPECT_EQ(arena.live_bytes(), 0);
+  EXPECT_EQ(arena.peak_live_bytes(), 200);
+  arena.allocate(50, 8);
+  EXPECT_EQ(arena.peak_live_bytes(), 200);  // below the old high water
+}
+
+TEST(Arena, OversizedAndOveralignedGetDedicatedBlocksFreedOnReset) {
+  obs::Arena arena(128);
+  EXPECT_NE(arena.allocate(4096, 8), nullptr);  // > chunk size
+  EXPECT_EQ(arena.oversized_count(), 1u);
+  void* aligned = arena.allocate(64, 128);  // beyond max_align_t
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(aligned) % 128, 0u);
+  EXPECT_EQ(arena.oversized_count(), 2u);
+  arena.reset();
+  EXPECT_EQ(arena.oversized_count(), 0u);
+}
+
+TEST(TrackingAllocator, CountsThroughTapOnArenaAndHeapPaths) {
+  obs::MemoryTracker mem(2);
+  {
+    obs::TrackedVec<std::int64_t> v{
+        obs::TrackingAllocator<std::int64_t>{mem.scratch(0)}};
+    v.reserve(8);
+    EXPECT_EQ(mem.stats(0, -1).allocs, 1);
+    EXPECT_EQ(mem.stats(0, -1).bytes_requested, 64);
+    EXPECT_EQ(mem.live_bytes(0), 64);
+  }
+  EXPECT_EQ(mem.stats(0, -1).frees, 1);
+  EXPECT_EQ(mem.live_bytes(0), 0);
+  EXPECT_EQ(mem.arena(0).peak_live_bytes(), 64);
+
+  // Heap path (no arena bound): identical counting on rank 1's row.
+  obs::MemScratch heap_scratch = mem.scratch(1);
+  heap_scratch.arena = nullptr;
+  {
+    obs::TrackedVec<std::int64_t> v{
+        obs::TrackingAllocator<std::int64_t>{heap_scratch}};
+    v.reserve(8);
+    EXPECT_EQ(mem.stats(1, -1).allocs, 1);
+    EXPECT_EQ(mem.stats(1, -1).bytes_requested, 64);
+  }
+  EXPECT_EQ(mem.stats(1, -1).frees, 1);
+  EXPECT_EQ(mem.live_bytes(1), 0);
+  EXPECT_EQ(mem.arena(1).peak_live_bytes(), 0);  // never touched
+}
+
+TEST(TrackingAllocator, RebindSharesSourceAndPropagatesOnMove) {
+  obs::MemoryTracker mem(1);
+  const obs::TrackingAllocator<std::int64_t> a{mem.scratch(0)};
+  const obs::TrackingAllocator<char> rebound(a);  // converting ctor
+  EXPECT_TRUE(a == rebound);  // same arena => interchangeable
+  const obs::TrackingAllocator<std::int64_t> plain;
+  EXPECT_TRUE(a != plain);
+
+  // propagate_on_container_move_assignment: the allocator travels with the
+  // storage, so arena-backed contents land intact in a default-allocated
+  // destination.
+  obs::TrackedVec<std::int64_t> src{
+      obs::TrackingAllocator<std::int64_t>{mem.scratch(0)}};
+  src.assign(16, 7);
+  obs::TrackedVec<std::int64_t> dst;
+  dst = std::move(src);
+  EXPECT_TRUE(dst.get_allocator() == a);
+  ASSERT_EQ(dst.size(), 16u);
+  EXPECT_EQ(dst.back(), 7);
+}
+
+TEST(MemoryTracker, PhaseAttributionHostRowAndClear) {
+  obs::MemoryTracker mem(2);
+  mem.set_phase("alpha");
+  {
+    obs::TrackedVec<char> v(100, 'x',
+                            obs::TrackingAllocator<char>{mem.scratch(0)});
+  }
+  mem.set_phase("beta");
+  {
+    obs::TrackedVec<char> v(40, 'y',
+                            obs::TrackingAllocator<char>{mem.host_scratch()});
+  }
+  mem.clear_phase();
+  {
+    obs::TrackedVec<char> v(8, 'z',
+                            obs::TrackingAllocator<char>{mem.scratch(1)});
+  }
+
+  ASSERT_EQ(mem.phase_names().size(), 2u);
+  EXPECT_EQ(mem.phase_names()[0], "alpha");
+  EXPECT_EQ(mem.stats(0, 0).allocs, 1);
+  EXPECT_EQ(mem.stats(0, 0).bytes_requested, 100);
+  EXPECT_EQ(mem.stats(0, 0).frees, 1);  // freed while alpha was open
+  EXPECT_EQ(mem.stats(0, 0).peak_live_bytes, 100);
+  EXPECT_EQ(mem.stats(2, 1).allocs, 1);  // host row, phase beta
+  EXPECT_EQ(mem.stats(2, 1).bytes_requested, 40);
+  EXPECT_EQ(mem.stats(1, -1).allocs, 1);  // unphased bucket
+  EXPECT_EQ(mem.total_live_bytes(), 0);
+
+  // Re-opening a phase reuses the interned id instead of minting a new one.
+  mem.set_phase("alpha");
+  EXPECT_EQ(mem.phase_names().size(), 2u);
+
+  mem.clear();
+  EXPECT_TRUE(mem.phase_names().empty());
+  EXPECT_EQ(mem.stats(0, 0).allocs, 0);
+}
+
+TEST(MemoryTracker, HeapJsonValidatesAndOnlyWallViewCarriesRss) {
+  obs::MemoryTracker mem(2);
+  mem.set_phase("alpha");
+  {
+    obs::TrackedVec<char> v(64, 'x',
+                            obs::TrackingAllocator<char>{mem.scratch(0)});
+  }
+  mem.clear_phase();
+
+  const Json det = mem.deterministic_json();
+  EXPECT_EQ(obs::validate_heap_section(det), "");
+  EXPECT_EQ(det.find("rss"), nullptr);
+  ASSERT_EQ(det.find("rows")->size(), 3u);  // 2 ranks + host
+  EXPECT_EQ(det.find("rows")->at(2).find("rank")->as_int(), -1);
+
+  const Json full = mem.to_json();
+  EXPECT_EQ(obs::validate_heap_section(full), "");
+  ASSERT_NE(full.find("rss"), nullptr);
+  EXPECT_GT(full.find("rss")->find("vm_rss_bytes")->as_int(), 0);
+}
+
+TEST(MemoryTracker, ValidateHeapSectionRejectsViolations) {
+  obs::MemoryTracker mem(1);
+  const Json good = mem.deterministic_json();
+  ASSERT_EQ(obs::validate_heap_section(good), "");
+  {
+    Json bad = good;
+    bad.set("schema", Json::str("plum-heap/2"));
+    EXPECT_NE(obs::validate_heap_section(bad), "");
+  }
+  {
+    Json bad = good;
+    bad.set("rows", Json::array());  // row count must be nranks + 1
+    EXPECT_NE(obs::validate_heap_section(bad), "");
+  }
+  {
+    Json bad = good;
+    Json row = bad.find("rows")->at(0);
+    row.set("rank", Json::integer(5));  // out of order / out of range
+    Json rows = Json::array();
+    rows.push(std::move(row));
+    rows.push(bad.find("rows")->at(1));
+    bad.set("rows", std::move(rows));
+    EXPECT_NE(obs::validate_heap_section(bad), "");
+  }
+}
+
+TEST(ScopeTail, LatestStreamRecordTriState) {
+  const std::string rec = valid_scope_record().dump();
+  Json out;
+
+  // No bytes at all.
+  EXPECT_EQ(obs::latest_stream_record("", &out), obs::TailStatus::kNone);
+  EXPECT_EQ(obs::latest_stream_record("\n", &out), obs::TailStatus::kNone);
+
+  // A complete record, with and without newer torn tails.
+  EXPECT_EQ(obs::latest_stream_record(rec + "\n", &out),
+            obs::TailStatus::kRecord);
+  EXPECT_EQ(out.find("cycle")->as_int(), 0);
+
+  Json newer = valid_scope_record();
+  newer.set("cycle", Json::integer(3));
+  const std::string two = rec + "\n" + newer.dump() + "\n";
+  EXPECT_EQ(obs::latest_stream_record(two, &out), obs::TailStatus::kRecord);
+  EXPECT_EQ(out.find("cycle")->as_int(), 3);  // newest wins
+
+  // Mid-append tail (no trailing newline): the older complete record is
+  // served; the torn bytes are ignored.
+  const std::string torn = two + rec.substr(0, rec.size() / 2);
+  EXPECT_EQ(obs::latest_stream_record(torn, &out), obs::TailStatus::kRecord);
+  EXPECT_EQ(out.find("cycle")->as_int(), 3);
+
+  // Only torn bytes: kPartial (retryable), never kNone and never a parse
+  // error escaping.
+  EXPECT_EQ(obs::latest_stream_record(rec.substr(0, 20), &out),
+            obs::TailStatus::kPartial);
+  // A truncated line that happened to end on '\n' (crash mid-write).
+  EXPECT_EQ(obs::latest_stream_record(rec.substr(0, 20) + "\n", &out),
+            obs::TailStatus::kPartial);
+  // Garbage that parses as JSON but is not a scope record.
+  EXPECT_EQ(obs::latest_stream_record("{\"schema\":\"nope\"}\n", &out),
+            obs::TailStatus::kPartial);
+  // Older complete record survives a truncated newline-terminated tail.
+  EXPECT_EQ(
+      obs::latest_stream_record(two + rec.substr(0, rec.size() / 2) + "\n",
+                                &out),
+      obs::TailStatus::kRecord);
+  EXPECT_EQ(out.find("cycle")->as_int(), 3);
+}
+
+TEST(Rss, ParseProcStatusAndReadSelf) {
+  const std::string text =
+      "Name:\tunit\nVmPeak:\t  999 kB\nVmRSS:\t    1234 kB\nVmHWM:\t2048 "
+      "kB\nThreads:\t1\n";
+  const auto s = util::parse_proc_status(text);
+  EXPECT_EQ(s.vm_rss_bytes, 1234 * 1024);
+  EXPECT_EQ(s.vm_hwm_bytes, 2048 * 1024);
+
+  // Missing fields stay zero instead of inventing values.
+  EXPECT_EQ(util::parse_proc_status("Name:\tx\n").vm_rss_bytes, 0);
+
+  const auto self = util::read_rss();
+  EXPECT_GT(self.vm_rss_bytes, 0);
+  EXPECT_GE(self.vm_hwm_bytes, self.vm_rss_bytes);
 }
 
 }  // namespace

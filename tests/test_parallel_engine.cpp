@@ -376,7 +376,8 @@ TEST(CrossEngine, DistFrameworkCyclesIdentical) {
                            fw.engine().ledger(),
                            fw.trace().deterministic_json(),
                            fw.metrics().deterministic_json().dump(),
-                           fw.metrics().to_json().dump());
+                           fw.metrics().to_json().dump(),
+                           fw.memory().deterministic_json().dump());
   };
 
   const auto seq = run_cycles(1);
@@ -427,10 +428,19 @@ TEST(CrossEngine, DistFrameworkCyclesIdentical) {
             std::string::npos);
   EXPECT_NE(std::get<6>(seq).find("\"phase_wall_seconds\""),
             std::string::npos);
+  // plum-mem: the per-rank, per-phase allocation profile is embedded in
+  // the deterministic trace compared above AND byte-identical on its own —
+  // rank-bound taps under the claiming-worker rule make scratch churn
+  // engine-invariant. The deterministic view must exclude the RSS gauge.
+  EXPECT_EQ(std::get<7>(par), std::get<7>(seq));
+  EXPECT_NE(std::get<4>(seq).find("\"plum-heap/1\""), std::string::npos);
+  EXPECT_NE(std::get<7>(seq).find("\"repartition\""), std::string::npos);
+  EXPECT_EQ(std::get<7>(seq).find("\"rss\""), std::string::npos);
   // Intermediate pool size: same bytes again.
   const auto par2 = run_cycles(2);
   EXPECT_EQ(std::get<4>(par2), std::get<4>(seq));
   EXPECT_EQ(std::get<5>(par2), std::get<5>(seq));
+  EXPECT_EQ(std::get<7>(par2), std::get<7>(seq));
   // Sanity: the workload actually exercised the remap machinery.
   EXPECT_TRUE(rs[0].evaluated_repartition || rs[1].evaluated_repartition);
 }

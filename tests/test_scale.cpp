@@ -37,6 +37,7 @@ FileInput fixture_input(const std::string& name) {
 std::vector<FileInput> all_fixtures() {
   return {fixture_input("dense_rank.cpp"), fixture_input("helpers_tu.cpp"),
           fixture_input("replicated_state.cpp"),
+          fixture_input("scratch_arena.cpp"),
           fixture_input("superstep_tu.cpp")};
 }
 
@@ -196,21 +197,36 @@ TEST(ScaleFixtures, InterproceduralNeedsTheCrossFileIndex) {
   EXPECT_EQ(alone.count_of("interprocedural-superstep-mutation"), 0);
 }
 
+TEST(ScaleFixtures, ScratchAnnotationExactCounts) {
+  const LintResult r =
+      plumlint::scale_files({fixture_input("scratch_arena.cpp")});
+  // 3 rank-sized containers: one acknowledged by `scratch`, one plain, one
+  // next to a justification-less scratch (malformed, so not suppressed).
+  EXPECT_EQ(r.count_of("dense-rank-container", true), 3)
+      << plumlint::scale_to_json(r);
+  EXPECT_EQ(r.count_of("dense-rank-container"), 2);
+  EXPECT_EQ(r.count_of("bad-annotation"), 1);
+  // scratch is declarative: the marker on the non-diagnostic line in
+  // declarative_marker() must not surface as unused-annotation.
+  EXPECT_EQ(r.count_of("unused-annotation"), 0);
+  EXPECT_EQ(r.suppressed_count(), 1);
+}
+
 TEST(ScaleFixtures, WholeDirectoryTotals) {
   const LintResult r = plumlint::scale_files(all_fixtures());
-  EXPECT_EQ(r.files_scanned, 4);
-  EXPECT_EQ(r.count_of("dense-rank-container", true), 6);
+  EXPECT_EQ(r.files_scanned, 5);
+  EXPECT_EQ(r.count_of("dense-rank-container", true), 9);
   EXPECT_EQ(r.count_of("replicated-global-state", true), 2);
   EXPECT_EQ(r.count_of("interprocedural-superstep-mutation", true), 2);
-  EXPECT_EQ(r.count_of("bad-annotation", true), 2);
+  EXPECT_EQ(r.count_of("bad-annotation", true), 3);
   EXPECT_EQ(r.count_of("unused-annotation", true), 1);
-  EXPECT_EQ(r.suppressed_count(), 3) << plumlint::scale_to_json(r);
+  EXPECT_EQ(r.suppressed_count(), 4) << plumlint::scale_to_json(r);
 }
 
 TEST(ScaleFixtures, JsonReportCarriesScaleCounts) {
   const LintResult r = plumlint::scale_files(all_fixtures());
   const std::string json = plumlint::scale_to_json(r);
-  EXPECT_NE(json.find("\"dense-rank-container\": 6"), std::string::npos)
+  EXPECT_NE(json.find("\"dense-rank-container\": 9"), std::string::npos)
       << json;
   EXPECT_NE(json.find("\"replicated-global-state\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"interprocedural-superstep-mutation\": 2"),

@@ -28,6 +28,7 @@
 
 #include "obs/bench_schema.hpp"
 #include "obs/json.hpp"
+#include "obs/memory.hpp"
 #include "obs/scope.hpp"
 #include "sim/calibration.hpp"
 
@@ -54,6 +55,13 @@ std::string validate_run_doc(const Json& doc) {
   const Json* metrics = doc.find("metrics");
   if (metrics == nullptr || !metrics->is_object()) {
     return "missing or non-object \"metrics\"";
+  }
+  // A trace written with a MemoryTracker attached carries the plum-heap/1
+  // section; when present it must validate (same checker as the tests).
+  const Json* heap = trace->find("heap");
+  if (heap != nullptr) {
+    const std::string herr = plum::obs::validate_heap_section(*heap);
+    if (!herr.empty()) return "heap section: " + herr;
   }
   return "";
 }

@@ -317,14 +317,15 @@ void check_interprocedural(const SymbolIndex& index, const std::string& file,
 
 struct Annotation {
   int line = 0;
-  std::string kind;   ///< "dist", "host-only", or a check name (allow)
+  /// "dist", "host-only", "scratch", or a check name (allow).
+  std::string kind;
   std::string justification;
   bool used = false;
 };
 
 bool annotation_matches(const Annotation& a, const Diagnostic& d) {
   if (a.line != d.line && a.line != d.line - 1) return false;
-  if (a.kind == "dist" || a.kind == "host-only") {
+  if (a.kind == "dist" || a.kind == "host-only" || a.kind == "scratch") {
     return d.check == kDense || d.check == kReplicated;
   }
   return a.kind == d.check;
@@ -348,6 +349,13 @@ void parse_annotations(const std::string& file,
     } else if (rest.rfind("host-only", 0) == 0) {
       kind = "host-only";
       body_at = 9;
+    } else if (rest.rfind("scratch", 0) == 0) {
+      // Declarative marker: this container is phase-local arena scratch
+      // (plum-mem), reclaimed wholesale at cycle reset. It acknowledges a
+      // dense-rank/replicated hit when one anchors here, and is otherwise
+      // informational — never reported unused.
+      kind = "scratch";
+      body_at = 7;
     } else if (rest.rfind("allow(", 0) == 0) {
       const std::size_t close = rest.find(')');
       if (close != std::string::npos && close > 6) {
@@ -370,6 +378,7 @@ void parse_annotations(const std::string& file,
       out.push_back({file, c.line, kBadAnnot,
                      "malformed plum-scale comment; expected `plum-scale: "
                      "dist(P) -- <why>`, `plum-scale: host-only -- <why>`, "
+                     "`plum-scale: scratch -- <why>`, "
                      "or `plum-scale: allow(<check>) -- <why>`",
                      false,
                      ""});
@@ -454,7 +463,9 @@ LintResult scale_files(const std::vector<FileInput>& files,
       }
     }
     for (const auto& a : annots) {
-      if (!a.used) {
+      // scratch is declarative (it documents arena-backed phase scratch
+      // wherever it appears); only suppression kinds can go stale.
+      if (!a.used && a.kind != "scratch") {
         diags.push_back({path, a.line, kUnusedAnnot,
                          "plum-scale annotation '" +
                              (a.kind == "dist" ? std::string("dist(P)")

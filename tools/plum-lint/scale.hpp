@@ -31,12 +31,18 @@
 // Annotations (the scaling contract, see DESIGN.md):
 //   // plum-scale: dist(P) -- <why this state is deliberately per-rank>
 //   // plum-scale: host-only -- <why this runs outside superstep ranks>
+//   // plum-scale: scratch -- <why this is phase-local arena scratch>
 //   // plum-scale: allow(<check>) -- <justification>
-// on the same line or the line directly above the diagnostic. dist(P) and
-// host-only acknowledge dense-rank-container / replicated-global-state
-// hits; allow() suppresses the named check. A missing justification or an
-// unknown check is a bad-annotation diagnostic; an annotation matching
-// nothing is flagged unused-annotation. Meta diagnostics are unsuppressable.
+// on the same line or the line directly above the diagnostic. dist(P),
+// host-only, and scratch acknowledge dense-rank-container /
+// replicated-global-state hits; allow() suppresses the named check.
+// scratch additionally marks plum-mem arena-backed containers (reclaimed
+// wholesale at cycle reset) and is declarative: unlike the suppression
+// kinds it is never reported unused, so it can document scratch
+// containers the checks have nothing to say about. A missing
+// justification or an unknown check is a bad-annotation diagnostic; a
+// dist/host-only/allow annotation matching nothing is flagged
+// unused-annotation. Meta diagnostics are unsuppressable.
 
 #include <string>
 #include <vector>

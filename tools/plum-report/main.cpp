@@ -355,20 +355,116 @@ int report_replay_doc(const Json& doc) {
 void print_depot(const Json& depot) {
   if (!depot.is_array() || depot.size() == 0) return;
   std::printf("\nDepot telemetry (per rank-group child):\n");
-  std::printf("  %5s %10s %10s %10s %10s %12s %12s\n", "group", "frames_in",
-              "frames_out", "reads", "writes", "peak_buf_B", "stall_ms");
+  std::printf("  %5s %10s %10s %10s %10s %12s %12s %8s %8s\n", "group",
+              "frames_in", "frames_out", "reads", "writes", "peak_buf_B",
+              "stall_ms", "rss_MB", "hwm_MB");
   for (std::size_t g = 0; g < depot.size(); ++g) {
     const Json& d = depot.at(g);
     if (!d.is_object()) continue;
-    std::printf("  %5lld %10lld %10lld %10lld %10lld %12lld %12.3f\n",
-                static_cast<long long>(int_or(d.find("group"),
-                                              static_cast<std::int64_t>(g))),
-                static_cast<long long>(int_or(d.find("frames_in"), 0)),
-                static_cast<long long>(int_or(d.find("frames_out"), 0)),
-                static_cast<long long>(int_or(d.find("read_calls"), 0)),
-                static_cast<long long>(int_or(d.find("write_calls"), 0)),
-                static_cast<long long>(int_or(d.find("peak_buffer_bytes"), 0)),
-                static_cast<double>(int_or(d.find("stall_ns"), 0)) / 1e6);
+    std::printf(
+        "  %5lld %10lld %10lld %10lld %10lld %12lld %12.3f %8.1f %8.1f\n",
+        static_cast<long long>(int_or(d.find("group"),
+                                      static_cast<std::int64_t>(g))),
+        static_cast<long long>(int_or(d.find("frames_in"), 0)),
+        static_cast<long long>(int_or(d.find("frames_out"), 0)),
+        static_cast<long long>(int_or(d.find("read_calls"), 0)),
+        static_cast<long long>(int_or(d.find("write_calls"), 0)),
+        static_cast<long long>(int_or(d.find("peak_buffer_bytes"), 0)),
+        static_cast<double>(int_or(d.find("stall_ns"), 0)) / 1e6,
+        static_cast<double>(int_or(d.find("vm_rss_bytes"), 0)) / 1e6,
+        static_cast<double>(int_or(d.find("vm_hwm_bytes"), 0)) / 1e6);
+  }
+}
+
+// --- plum-mem (heap profile) ------------------------------------------------
+
+/// The plum-heap/1 section: per-phase allocation table (rank rows summed),
+/// top-churn ranking, and per-row live/RSS gauges when present.
+void print_heap(const Json& heap) {
+  const Json* phases = heap.find("phases");
+  const Json* rows = heap.find("rows");
+  if (!phases || !phases->is_array() || !rows || !rows->is_array()) return;
+
+  struct PhaseSum {
+    std::string name;
+    std::int64_t allocs = 0;
+    std::int64_t frees = 0;
+    std::int64_t bytes = 0;
+    std::int64_t peak = 0;  ///< max over rows — rows peak independently
+  };
+  std::vector<PhaseSum> sums(phases->size() + 1);
+  for (std::size_t p = 0; p < phases->size(); ++p) {
+    sums[p].name = str_or(&phases->at(p), "?");
+  }
+  sums.back().name = "(unphased)";
+
+  auto fold = [](PhaseSum& dst, const Json& cell) {
+    dst.allocs += int_or(cell.find("allocs"), 0);
+    dst.frees += int_or(cell.find("frees"), 0);
+    dst.bytes += int_or(cell.find("bytes"), 0);
+    dst.peak = std::max(dst.peak, int_or(cell.find("peak_live"), 0));
+  };
+  for (std::size_t r = 0; r < rows->size(); ++r) {
+    const Json& row = rows->at(r);
+    const Json* by_phase = row.find("phases");
+    for (std::size_t p = 0; by_phase && by_phase->is_array() &&
+                            p < by_phase->size() && p < phases->size();
+         ++p) {
+      fold(sums[p], by_phase->at(p));
+    }
+    if (const Json* up = row.find("unphased")) fold(sums.back(), *up);
+  }
+
+  std::printf("\nHeap profile (plum-heap/1, %lld ranks + host):\n",
+              static_cast<long long>(int_or(heap.find("nranks"), 0)));
+  std::printf("  %-14s %10s %10s %14s %14s\n", "phase", "allocs", "frees",
+              "bytes_req", "peak_live_B");
+  for (const PhaseSum& s : sums) {
+    if (s.allocs == 0 && s.frees == 0 && s.bytes == 0) continue;
+    std::printf("  %-14s %10lld %10lld %14lld %14lld\n", s.name.c_str(),
+                static_cast<long long>(s.allocs),
+                static_cast<long long>(s.frees),
+                static_cast<long long>(s.bytes),
+                static_cast<long long>(s.peak));
+  }
+
+  // Top churn: the phases paying the most allocation traffic (by bytes,
+  // allocs as tiebreak) — the first places to point an arena at.
+  std::vector<const PhaseSum*> rank;
+  for (const PhaseSum& s : sums) {
+    if (s.allocs > 0) rank.push_back(&s);
+  }
+  std::sort(rank.begin(), rank.end(),
+            [](const PhaseSum* a, const PhaseSum* b) {
+              if (a->bytes != b->bytes) return a->bytes > b->bytes;
+              if (a->allocs != b->allocs) return a->allocs > b->allocs;
+              return a->name < b->name;
+            });
+  if (!rank.empty()) {
+    std::printf("  top churn:");
+    for (std::size_t i = 0; i < rank.size() && i < 3; ++i) {
+      std::printf("%s %zu. %s (%lld B / %lld allocs)", i ? " " : "", i + 1,
+                  rank[i]->name.c_str(),
+                  static_cast<long long>(rank[i]->bytes),
+                  static_cast<long long>(rank[i]->allocs));
+    }
+    std::printf("\n");
+  }
+
+  std::int64_t live_total = 0;
+  for (std::size_t r = 0; r < rows->size(); ++r) {
+    live_total += int_or(rows->at(r).find("live_bytes"), 0);
+  }
+  if (live_total != 0) {
+    std::printf("  live tracked bytes: %lld\n",
+                static_cast<long long>(live_total));
+  }
+  if (const Json* rss = heap.find("rss")) {
+    std::printf("  rss %.1f MB  hwm %.1f MB  (wall)\n",
+                static_cast<double>(int_or(rss->find("vm_rss_bytes"), 0)) /
+                    1e6,
+                static_cast<double>(int_or(rss->find("vm_hwm_bytes"), 0)) /
+                    1e6);
   }
 }
 
@@ -546,6 +642,7 @@ void print_trace_doc(const Json& trace) {
     print_critical_path(*cpw);
   }
   if (const Json* cm = trace.find("comm_matrix")) print_comm_matrix(*cm);
+  if (const Json* heap = trace.find("heap")) print_heap(*heap);
   if (const Json* depot = trace.find("depot")) print_depot(*depot);
   if (const Json* bc = trace.find("comm_by_class")) print_comm_by_class(*bc);
   if (const Json* ga = trace.find("gate_audit")) print_gate_audit(*ga);

@@ -83,35 +83,17 @@ std::string str_or(const Json* v, const std::string& fallback) {
   return v && v->is_string() ? v->as_string() : fallback;
 }
 
-/// Last complete (newline-terminated) line that parses and validates as a
-/// plum-scope/1 record; returns false when the file holds none yet.
-bool latest_record(const std::string& path, Json* out) {
+/// Latest complete record in the stream file, through the shared tail
+/// parser (obs::latest_stream_record): kRecord fills *out; kPartial means
+/// the only content is a torn/mid-write tail — skip this poll and retry;
+/// kNone means no record bytes at all yet.
+plum::obs::TailStatus latest_record(const std::string& path, Json* out) {
   std::ifstream in(path);
-  if (!in) return false;
+  if (!in) return plum::obs::TailStatus::kNone;
   std::ostringstream buf;
   buf << in.rdbuf();
   const std::string text = buf.str();
-
-  std::size_t end = text.rfind('\n');
-  bool found = false;
-  while (end != std::string::npos && !found) {
-    const std::size_t start = end == 0 ? std::string::npos : text.rfind('\n', end - 1);
-    const std::size_t from = start == std::string::npos ? 0 : start + 1;
-    const std::string line = text.substr(from, end - from);
-    if (!line.empty()) {
-      Json rec;
-      std::string err;
-      if (Json::parse(line, &rec, &err) &&
-          plum::obs::validate_scope_record(rec).empty()) {
-        *out = std::move(rec);
-        found = true;
-        break;
-      }
-    }
-    if (start == std::string::npos) break;
-    end = start;
-  }
-  return found;
+  return plum::obs::latest_stream_record(text, out);
 }
 
 std::string bar(double fraction, int width) {
@@ -138,15 +120,26 @@ void render(const Json& rec, bool ansi) {
               static_cast<long long>(int_or(rec.find("cycle"), 0)),
               static_cast<long long>(int_or(rec.find("supersteps"), 0)),
               static_cast<long long>(int_or(rec.find("elements"), 0)));
-  std::printf("imbalance %.4f   gate %s   cycle wall %.3fs\n\n",
+  std::printf("imbalance %.4f   gate %s   cycle wall %.3fs",
               num_or(rec.find("imbalance"), 0),
               !evaluated ? "skipped" : (accepted ? "ACCEPT" : "reject"),
               num_or(rec.find("wall_s"), 0));
+  if (const Json* rss = rec.find("rss")) {
+    std::printf("   rss %.1f MB (hwm %.1f MB)",
+                static_cast<double>(int_or(rss->find("vm_rss_bytes"), 0)) /
+                    1e6,
+                static_cast<double>(int_or(rss->find("vm_hwm_bytes"), 0)) /
+                    1e6);
+  }
+  std::printf("\n\n");
 
   const Json* ranks = rec.find("ranks");
   if (ranks && ranks->is_array() && ranks->size() > 0) {
-    std::printf("%6s %12s %12s %6s  %s\n", "rank", "busy", "wait", "util",
-                "utilization");
+    // live_B is the rank's tracked scratch bytes (plum-mem); absent in
+    // streams written before the tracker existed.
+    const bool have_live = ranks->at(0).find("live_bytes") != nullptr;
+    std::printf("%6s %12s %12s %6s%s  %s\n", "rank", "busy", "wait", "util",
+                have_live ? "       live_B" : "", "utilization");
     for (std::size_t r = 0; r < ranks->size(); ++r) {
       const Json& rk = ranks->at(r);
       const std::int64_t busy = int_or(rk.find("busy"), 0);
@@ -155,11 +148,16 @@ void render(const Json& rec, bool ansi) {
           busy + wait > 0
               ? static_cast<double>(busy) / static_cast<double>(busy + wait)
               : 1.0;
-      std::printf("%6lld %12lld %12lld %5.1f%%  [%s]\n",
+      std::printf("%6lld %12lld %12lld %5.1f%%",
                   static_cast<long long>(int_or(rk.find("rank"),
                                                 static_cast<std::int64_t>(r))),
                   static_cast<long long>(busy), static_cast<long long>(wait),
-                  100.0 * util, bar(util, 30).c_str());
+                  100.0 * util);
+      if (have_live) {
+        std::printf(" %12lld",
+                    static_cast<long long>(int_or(rk.find("live_bytes"), 0)));
+      }
+      std::printf("  [%s]\n", bar(util, 30).c_str());
     }
   }
 
@@ -189,9 +187,13 @@ int main(int argc, char** argv) {
 
   bool rendered = false;
   std::int64_t last_cycle = -1;
+  // --once tolerates a torn tail (the writer is mid-append) by retrying a
+  // few polls before concluding the stream has no record.
+  int once_retries = 10;
   for (;;) {
     Json rec;
-    if (latest_record(cli.path, &rec)) {
+    const plum::obs::TailStatus st = latest_record(cli.path, &rec);
+    if (st == plum::obs::TailStatus::kRecord) {
       const std::int64_t cycle = int_or(rec.find("cycle"), 0);
       if (!rendered || cycle != last_cycle) {
         render(rec, /*ansi=*/!cli.once && rendered);
@@ -199,10 +201,17 @@ int main(int argc, char** argv) {
         rendered = true;
       }
     } else if (cli.once) {
-      std::fprintf(stderr, "%s: no valid plum-scope/1 record\n",
-                   cli.path.c_str());
+      if (st == plum::obs::TailStatus::kPartial && once_retries-- > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      std::fprintf(stderr, "%s: %s\n", cli.path.c_str(),
+                   st == plum::obs::TailStatus::kPartial
+                       ? "only a torn/partial trailing record"
+                       : "no valid plum-scope/1 record");
       return 1;
     }
+    // While tailing, kPartial/kNone just mean "not yet": skip and retry.
     if (cli.once) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(cli.interval_ms));
   }

@@ -28,9 +28,11 @@ rm -f "${out_dir}"/BENCH_*.json
 export PLUM_BENCH_SMALL=1
 export PLUM_BENCH_JSON_DIR="${out_dir}"
 # bench_micro writes BENCH_bench_micro_scope.json (flight-recorder ring
-# survival counts are deterministic and gated; ns/event is wall, report-only).
+# survival counts are deterministic and gated; ns/event is wall, report-only)
+# and BENCH_bench_micro_mem.json (per-phase allocation churn for HEM match,
+# KL-FM refine, and remap pack; arena overhead is wall, report-only).
 "${build_dir}/bench/bench_micro" --threads 2 \
-  --benchmark_filter='ScopeRecorder' --benchmark_min_time=0.05
+  --benchmark_filter='ScopeRecorder|Arena' --benchmark_min_time=0.05
 "${build_dir}/bench/bench_fig4"
 "${build_dir}/bench/bench_fig5"
 "${build_dir}/bench/bench_fig6"
